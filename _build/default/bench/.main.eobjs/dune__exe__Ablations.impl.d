@@ -1,0 +1,1 @@
+bench/ablations.ml: Apps Bench_util Float Fun Lazy List Lp Profiler Unix Wishbone

@@ -1,0 +1,1 @@
+bench/bench_util.ml: Apps Array Dataflow Float Lazy List Printf Wishbone

@@ -1,0 +1,1 @@
+bench/fig3.ml: Apps Bench_util Dataflow List String Wishbone

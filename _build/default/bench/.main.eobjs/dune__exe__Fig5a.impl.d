@@ -1,0 +1,1 @@
+bench/fig5a.ml: Bench_util Lazy List Profiler Wishbone

@@ -1,0 +1,1 @@
+bench/fig6.ml: Array Bench_util Float Lazy List Lp Printf Profiler Wishbone

@@ -1,0 +1,1 @@
+bench/fig7.ml: Bench_util Lazy List Profiler Wishbone

@@ -1,0 +1,1 @@
+bench/fig8.ml: Bench_util Format Lazy Profiler Wishbone

@@ -1,0 +1,1 @@
+bench/fig9_10.ml: Apps Array Bench_util Dataflow Lazy List Netsim Profiler

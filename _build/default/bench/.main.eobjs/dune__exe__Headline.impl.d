@@ -1,0 +1,1 @@
+bench/headline.ml: Apps Bench_util Fig9_10 Float Lazy List Netsim Profiler String Wishbone

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Apps Array Bechamel Bench_util Benchmark Dsp Hashtbl Instance Lazy List Lp Measure Netsim Prng Profiler Runtime Staged Test Time Toolkit Wishbone

@@ -1,0 +1,34 @@
+(* Figure 5(b): speech detection.  For each of the paper's labelled
+   cut points (source, filtbank, logs, cepstral), the maximum input
+   data rate each platform can sustain, as a multiple of the native
+   8 kHz stream.  Bars under 1.0 mean the platform cannot keep up. *)
+
+let labelled = [ "source"; "filtbank"; "logs"; "cepstrals" ]
+
+let run () =
+  Bench_util.header "Figure 5(b): max sustainable rate per cut per platform";
+  Bench_util.paper_vs
+    "TinyOS lowest, JavaME ~2x TinyOS, then iPhone << VoxNet < Scheme; \
+     TinyOS/JavaME bars fall below 1.0 beyond the source cut";
+  let raw = Lazy.force Bench_util.speech_profile in
+  let platforms =
+    Profiler.Platform.[ tmote_sky; nokia_n80; iphone; voxnet; scheme_server ]
+  in
+  Bench_util.row "%-10s" "cutpoint";
+  List.iter
+    (fun (p : Profiler.Platform.t) -> Bench_util.row " %10s" p.name)
+    platforms;
+  print_newline ();
+  List.iter
+    (fun label ->
+      Bench_util.row "%-10s" label;
+      List.iter
+        (fun p ->
+          let cuts = Wishbone.Cutpoints.enumerate raw p in
+          let c =
+            List.find (fun c -> c.Wishbone.Cutpoints.label = label) cuts
+          in
+          Bench_util.row " %10.4g" c.Wishbone.Cutpoints.max_rate_compute)
+        platforms;
+      print_newline ())
+    labelled

@@ -1,0 +1,20 @@
+(* Figure 7: speech pipeline on the TMote.  Per-operator execution
+   time (microseconds per frame, impulses in the paper) against the
+   output bandwidth of each stage (line, right-hand scale). *)
+
+let run () =
+  Bench_util.header "Figure 7: TMote per-operator cost vs bandwidth";
+  Bench_util.paper_vs
+    "~400 B frames; 128 B after filtbank (cumulative ~250 ms); 52 B after \
+     the DCT (total ~2 s); processing reduces data but costs CPU";
+  let raw = Lazy.force Bench_util.speech_profile in
+  let order = Wishbone.Cutpoints.pipeline_order raw in
+  let table =
+    Profiler.Report.per_op_table raw Profiler.Platform.tmote_sky ~order
+  in
+  Bench_util.row "%-12s %14s %14s %14s\n" "operator" "us/frame" "cum us/frame"
+    "out B/s";
+  List.iter
+    (fun (name, us, cum, bps) ->
+      Bench_util.row "%-12s %14.1f %14.1f %14.1f\n" name us cum bps)
+    table

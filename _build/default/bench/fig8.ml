@@ -1,0 +1,17 @@
+(* Figure 8: normalized cumulative CPU usage per operator across
+   platforms.  If relative operator costs were platform-independent the
+   three columns would match; the mote's software floating point makes
+   the cepstral stage dominate there. *)
+
+let run () =
+  Bench_util.header "Figure 8: normalized cumulative CPU share per platform";
+  Bench_util.paper_vs
+    "curves differ by over an order of magnitude per stage: cepstrals \
+     dominate on the mote (no FPU), far less so on the PC";
+  let raw = Lazy.force Bench_util.speech_profile in
+  let order = Wishbone.Cutpoints.pipeline_order raw in
+  Profiler.Report.pp_comparison Format.std_formatter raw
+    ~platforms:
+      Profiler.Platform.[ tmote_sky; nokia_n80; xeon_server ]
+    ~order;
+  Format.pp_print_flush Format.std_formatter ()

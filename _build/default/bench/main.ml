@@ -1,0 +1,43 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md experiment index).
+
+     dune exec bench/main.exe            -- run everything
+     dune exec bench/main.exe -- fig7    -- one experiment
+     dune exec bench/main.exe -- fig6 2100   -- full-size Figure 6
+     dune exec bench/main.exe -- micro   -- Bechamel micro-benchmarks *)
+
+let experiments =
+  [
+    ("fig3", fun () -> Fig3.run ());
+    ("fig5a", fun () -> Fig5a.run ());
+    ("fig5b", fun () -> Fig5b.run ());
+    ("fig6", fun () -> Fig6.run ());
+    ("fig7", fun () -> Fig7.run ());
+    ("fig8", fun () -> Fig8.run ());
+    ("fig9", fun () -> Fig9_10.run ());
+    ("fig10", fun () -> Fig9_10.run ());
+    ("headline", fun () -> Headline.run ());
+    ("ablations", fun () -> Ablations.run ());
+    ("micro", fun () -> Micro.run ());
+  ]
+
+let default_order =
+  [ "fig3"; "fig5a"; "fig5b"; "fig6"; "fig7"; "fig8"; "fig9"; "headline";
+    "ablations"; "micro" ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] ->
+      print_endline "Wishbone reproduction: all evaluation experiments";
+      List.iter (fun name -> (List.assoc name experiments) ()) default_order
+  | [ _; "fig6"; count ] -> Fig6.run ~count:(int_of_string count) ()
+  | [ _; name ] -> (
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %s; available: %s\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+  | _ ->
+      prerr_endline "usage: main.exe [experiment] | fig6 <count>";
+      exit 1

@@ -1,0 +1,359 @@
+(* The wishbone command-line tool: profile, partition, rate-sweep and
+   deploy the bundled applications from the shell.
+
+     wishbone platforms
+     wishbone profile  -a speech -p tmote
+     wishbone partition -a eeg -p tmote --mode permissive --rate 0.5
+     wishbone sweep    -a speech -p tmote --from 0.01 --to 0.2 --steps 10
+     wishbone deploy   -a speech -p tmote --nodes 20 --cut 6
+     wishbone netprofile --nodes 20 --target 0.9 *)
+
+open Cmdliner
+
+(* ---- shared arguments ---- *)
+
+type app = Speech | Eeg | Eeg1
+
+let app_conv =
+  let parse = function
+    | "speech" -> Ok Speech
+    | "eeg" -> Ok Eeg
+    | "eeg1" -> Ok Eeg1
+    | s -> Error (`Msg (Printf.sprintf "unknown app %S (speech|eeg|eeg1)" s))
+  in
+  let print ppf = function
+    | Speech -> Format.fprintf ppf "speech"
+    | Eeg -> Format.fprintf ppf "eeg"
+    | Eeg1 -> Format.fprintf ppf "eeg1"
+  in
+  Arg.conv (parse, print)
+
+let app_arg =
+  Arg.(
+    value
+    & opt app_conv Speech
+    & info [ "a"; "app" ] ~docv:"APP"
+        ~doc:"Application: speech (MFCC pipeline), eeg (22 channels), eeg1 \
+              (single channel).")
+
+let platform_conv =
+  let parse s =
+    match Profiler.Platform.find s with
+    | p -> Ok p
+    | exception Not_found ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown platform %S; try: %s" s
+               (String.concat ", "
+                  (List.map
+                     (fun p -> p.Profiler.Platform.name)
+                     Profiler.Platform.all))))
+  in
+  let print ppf p = Format.fprintf ppf "%s" p.Profiler.Platform.name in
+  Arg.conv (parse, print)
+
+let platform_arg =
+  Arg.(
+    value
+    & opt platform_conv Profiler.Platform.tmote_sky
+    & info [ "p"; "platform" ] ~docv:"PLATFORM"
+        ~doc:"Embedded node platform (see $(b,wishbone platforms)).")
+
+let duration_arg =
+  Arg.(
+    value & opt float 30.
+    & info [ "duration" ] ~docv:"SECONDS" ~doc:"Profiling trace length.")
+
+let mode_conv =
+  let parse = function
+    | "conservative" -> Ok Wishbone.Movable.Conservative
+    | "permissive" -> Ok Wishbone.Movable.Permissive
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
+  in
+  let print ppf = function
+    | Wishbone.Movable.Conservative -> Format.fprintf ppf "conservative"
+    | Wishbone.Movable.Permissive -> Format.fprintf ppf "permissive"
+  in
+  Arg.conv (parse, print)
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Wishbone.Movable.Conservative
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "Stateful relocation mode: conservative refuses to put loss \
+           upstream of state; permissive relocates with per-node state \
+           tables (§2.1.1).")
+
+(* ---- app construction ---- *)
+
+type built = {
+  graph : Dataflow.Graph.t;
+  profile : duration:float -> Profiler.Profile.raw;
+  label : string;
+}
+
+let build_app = function
+  | Speech ->
+      let t = Apps.Speech.build () in
+      {
+        graph = t.Apps.Speech.graph;
+        profile = (fun ~duration -> Apps.Speech.profile ~duration t);
+        label = "speech detection (MFCC pipeline)";
+      }
+  | Eeg ->
+      let t = Apps.Eeg.build () in
+      {
+        graph = t.Apps.Eeg.graph;
+        profile = (fun ~duration -> Apps.Eeg.profile ~duration t);
+        label = "EEG seizure detection, 22 channels";
+      }
+  | Eeg1 ->
+      let t = Apps.Eeg.single_channel () in
+      {
+        graph = t.Apps.Eeg.graph;
+        profile = (fun ~duration -> Apps.Eeg.profile ~duration t);
+        label = "EEG seizure detection, single channel";
+      }
+
+(* ---- commands ---- *)
+
+let platforms_cmd =
+  let run () =
+    Printf.printf "%-10s %10s %12s %14s  %s\n" "name" "clock" "float cyc"
+      "radio B/s" "description";
+    List.iter
+      (fun (p : Profiler.Platform.t) ->
+        Printf.printf "%-10s %7.0f MHz %12.0f %14.0f  %s\n" p.name
+          (p.clock_hz /. 1e6) p.cycles_float p.radio_bytes_per_sec
+          p.description)
+      Profiler.Platform.all
+  in
+  Cmd.v (Cmd.info "platforms" ~doc:"List the platform catalog.")
+    Term.(const run $ const ())
+
+let profile_cmd =
+  let run app platform duration =
+    let b = build_app app in
+    Printf.printf "profiling %s for %.0f s...\n" b.label duration;
+    let raw = b.profile ~duration in
+    let costed = Profiler.Profile.cost raw platform in
+    Printf.printf "%-16s %6s %14s %10s %12s\n" "operator" "fires" "us/fire"
+      "cpu %" "out B/s";
+    Array.iter
+      (fun (op : Dataflow.Op.t) ->
+        let out_bps =
+          List.fold_left
+            (fun acc (e : Dataflow.Graph.edge) ->
+              acc +. Profiler.Profile.edge_bytes_per_sec raw e.eid)
+            0.
+            (Dataflow.Graph.succs b.graph op.id)
+        in
+        Printf.printf "%-16s %6d %14.1f %10.3f %12.1f\n" op.name
+          (Profiler.Profile.op_fires raw op.id)
+          (costed.seconds_per_fire.(op.id) *. 1e6)
+          (100. *. costed.cpu_fraction.(op.id))
+          out_bps)
+      (Dataflow.Graph.ops b.graph)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Profile an application on synthetic sample data (§3).")
+    Term.(const run $ app_arg $ platform_arg $ duration_arg)
+
+let partition_cmd =
+  let rate_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "rate" ] ~docv:"X" ~doc:"Input rate multiplier (§4.3).")
+  in
+  let dot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:"Write a GraphViz visualization of the partition.")
+  in
+  let search_arg =
+    Arg.(
+      value & flag
+      & info [ "search" ]
+          ~doc:"Binary-search the maximum sustainable rate instead of \
+                partitioning at --rate.")
+  in
+  let run app platform duration mode rate dot search =
+    let b = build_app app in
+    let raw = b.profile ~duration in
+    match Wishbone.Spec.of_profile ~mode ~node_platform:platform raw with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 1
+    | Ok spec ->
+        let finish (report : Wishbone.Partitioner.report) =
+          Format.printf "%a@."
+            (Wishbone.Partitioner.pp_report b.graph)
+            report;
+          match dot with
+          | Some path ->
+              let costed = Profiler.Profile.cost raw platform in
+              Wishbone.Viz.save ~path ~assignment:report.assignment ~costed raw;
+              Printf.printf "wrote %s\n" path
+          | None -> ()
+        in
+        if search then
+          match Wishbone.Rate_search.search spec with
+          | Some { rate_multiplier; report } ->
+              Printf.printf "maximum sustainable rate: x%.4f\n" rate_multiplier;
+              finish report
+          | None ->
+              print_endline "no feasible partition at any rate";
+              exit 1
+        else
+          let spec = Wishbone.Spec.scale_rate spec rate in
+          match Wishbone.Partitioner.solve spec with
+          | Wishbone.Partitioner.Partitioned report -> finish report
+          | Wishbone.Partitioner.No_feasible_partition ->
+              print_endline
+                "no feasible partition at this rate; try --search";
+              exit 1
+          | Wishbone.Partitioner.Solver_failure m ->
+              Printf.eprintf "solver failure: %s\n" m;
+              exit 1
+  in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:"Compute the optimal node/server partition (§4).")
+    Term.(
+      const run $ app_arg $ platform_arg $ duration_arg $ mode_arg $ rate_arg
+      $ dot_arg $ search_arg)
+
+let sweep_cmd =
+  let from_arg =
+    Arg.(value & opt float 0.25 & info [ "from" ] ~docv:"X" ~doc:"Lowest rate.")
+  in
+  let to_arg =
+    Arg.(value & opt float 2.0 & info [ "to" ] ~docv:"X" ~doc:"Highest rate.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 8 & info [ "steps" ] ~docv:"N" ~doc:"Sweep points.")
+  in
+  let run app platform duration mode lo hi steps =
+    let b = build_app app in
+    let raw = b.profile ~duration in
+    match Wishbone.Spec.of_profile ~mode ~node_platform:platform raw with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 1
+    | Ok spec ->
+        Printf.printf "%-10s %16s %16s %12s\n" "rate x" "ops on node"
+          "cut B/s" "node cpu %";
+        for i = 0 to steps - 1 do
+          let mult =
+            lo +. ((hi -. lo) *. Float.of_int i /. Float.of_int (Int.max 1 (steps - 1)))
+          in
+          match
+            Wishbone.Partitioner.solve (Wishbone.Spec.scale_rate spec mult)
+          with
+          | Wishbone.Partitioner.Partitioned r ->
+              Printf.printf "%-10.3f %16d %16.1f %12.1f\n" mult
+                (List.length (Wishbone.Partitioner.node_ops r))
+                r.net (100. *. r.cpu)
+          | Wishbone.Partitioner.No_feasible_partition ->
+              Printf.printf "%-10.3f %16s\n" mult "(does not fit)"
+          | Wishbone.Partitioner.Solver_failure m ->
+              Printf.printf "%-10.3f solver failure: %s\n" mult m
+        done
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Partition across a range of input rates.")
+    Term.(
+      const run $ app_arg $ platform_arg $ duration_arg $ mode_arg $ from_arg
+      $ to_arg $ steps_arg)
+
+let deploy_cmd =
+  let nodes_arg =
+    Arg.(value & opt int 1 & info [ "nodes" ] ~docv:"N" ~doc:"Network size.")
+  in
+  let cut_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "cut" ] ~docv:"K"
+          ~doc:"Pipeline cut: first K operators on the node (speech only).")
+  in
+  let sim_duration_arg =
+    Arg.(
+      value & opt float 60.
+      & info [ "sim-duration" ] ~docv:"SECONDS" ~doc:"Simulated seconds.")
+  in
+  let run platform nodes cut sim_duration =
+    let t = Apps.Speech.build () in
+    let assignment = Apps.Speech.cut_assignment t cut in
+    let link =
+      if platform.Profiler.Platform.radio_payload_bytes <= 64 then
+        Netsim.Link.cc2420
+      else Netsim.Link.wifi
+    in
+    let config =
+      Netsim.Testbed.default_config ~n_nodes:nodes ~duration:sim_duration
+        ~seed:5 ~platform ~link ()
+    in
+    let r =
+      Netsim.Testbed.run config ~graph:t.Apps.Speech.graph
+        ~node_of:(fun i -> assignment.(i))
+        ~sources:(Apps.Speech.testbed_sources ~rate_mult:1.0 t)
+    in
+    Printf.printf
+      "inputs %d (processed %.1f%%)\nmessages %d (received %.1f%%)\n\
+       packets %d (collisions %d, channel %d, queue %d)\n\
+       goodput %.2f%%; node cpu %.1f%%; offered %.0f B/s\n"
+      r.inputs_offered
+      (100. *. r.input_fraction)
+      r.msgs_sent
+      (100. *. r.msg_fraction)
+      r.packets_sent r.packets_lost_collision r.packets_lost_channel
+      r.packets_lost_queue
+      (100. *. r.goodput_fraction)
+      (100. *. r.node_busy_fraction)
+      r.offered_bytes_per_sec
+  in
+  Cmd.v
+    (Cmd.info "deploy"
+       ~doc:"Run the speech app on the simulated wireless testbed (§7.3).")
+    Term.(const run $ platform_arg $ nodes_arg $ cut_arg $ sim_duration_arg)
+
+let netprofile_cmd =
+  let nodes_arg =
+    Arg.(value & opt int 1 & info [ "nodes" ] ~docv:"N" ~doc:"Network size.")
+  in
+  let target_arg =
+    Arg.(
+      value & opt float 0.9
+      & info [ "target" ] ~docv:"FRACTION" ~doc:"Target reception rate.")
+  in
+  let run nodes target =
+    let p =
+      Netsim.Netprofile.max_send_rate ~target ~n_nodes:nodes
+        ~link:Netsim.Link.cc2420 ()
+    in
+    Printf.printf
+      "max per-node send rate %.2f msg/s at %.1f%% reception (%.0f B/s \
+       aggregate goodput)\n"
+      p.offered_msgs_per_sec (100. *. p.reception) p.goodput_bytes_per_sec
+  in
+  Cmd.v
+    (Cmd.info "netprofile"
+       ~doc:"Profile the radio channel: max send rate for a target \
+             reception rate (§7.3.1).")
+    Term.(const run $ nodes_arg $ target_arg)
+
+let () =
+  let doc = "profile-based partitioning for sensornet applications" in
+  let info = Cmd.info "wishbone" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            platforms_cmd; profile_cmd; partition_cmd; sweep_cmd; deploy_cmd;
+            netprofile_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/eeg_monitor.ml: Apps Array Dataflow Dsp Float List Printf Profiler Runtime Value Wishbone

@@ -1,0 +1,1 @@
+examples/eeg_monitor.mli:

@@ -1,0 +1,1 @@
+examples/fleet_planner.ml: Apps Array Builder Dataflow Float Format Graph List Op Printf Profiler Value Wishbone Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Builder Dataflow Dsp Format Graph List Op Printf Prng Profiler Value Wishbone

@@ -1,0 +1,1 @@
+examples/speech_detection.ml: Apps Array Dataflow List Netsim Printf Profiler Wishbone

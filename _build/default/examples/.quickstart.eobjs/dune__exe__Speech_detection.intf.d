@@ -1,0 +1,1 @@
+examples/speech_detection.mli:

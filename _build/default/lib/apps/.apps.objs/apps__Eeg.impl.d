@@ -1,0 +1,1 @@
+lib/apps/eeg.ml: Array Builder Dataflow Dsp Float Graph Int List Printf Profiler Queue Value Workload

@@ -1,0 +1,1 @@
+lib/apps/eeg.mli: Dataflow Dsp Profiler

@@ -1,0 +1,1 @@
+lib/apps/speech.ml: Array Builder Dataflow Dsp Float Graph Hashtbl Int Lazy Netsim Profiler Value Workload

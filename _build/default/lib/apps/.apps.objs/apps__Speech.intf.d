@@ -1,0 +1,1 @@
+lib/apps/speech.mli: Dataflow Netsim Profiler

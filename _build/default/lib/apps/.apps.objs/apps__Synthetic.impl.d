@@ -1,0 +1,1 @@
+lib/apps/synthetic.ml: Array Dataflow Graph List Op Printf Prng Wishbone Workload

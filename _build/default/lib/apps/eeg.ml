@@ -1,0 +1,318 @@
+open Dataflow
+
+type t = { graph : Graph.t; sources : int array; n_channels : int }
+
+let sample_rate = 256.
+let window_samples = 512
+let window_rate = sample_rate /. Float.of_int window_samples
+let features_per_channel = 3
+
+(* band-energy normalisation per feature level (5, 6, 7) *)
+let filter_gains = [| 1. /. 16.; 1. /. 8.; 1. /. 4. |]
+
+(* ---- elementary work functions ---- *)
+
+let notch_work v =
+  (* 60 Hz-suppressing 3-tap high-shelf; also converts the int16 ADC
+     samples to floats for the wavelet cascade *)
+  let x = Value.int16_arr v in
+  let n = Array.length x in
+  let f = Array.map Float.of_int x in
+  let out =
+    Array.init n (fun i ->
+        let prev = if i > 0 then f.(i - 1) else 0. in
+        let next = if i < n - 1 then f.(i + 1) else 0. in
+        f.(i) -. (0.25 *. (prev +. next)))
+  in
+  let nf = Float.of_int n in
+  ( Value.Float_arr out,
+    Workload.make ~float_ops:(4. *. nf) ~mem_ops:(3. *. nf) ~branch_ops:nf
+      ~call_ops:1. () )
+
+let get_parity_work ~odd v =
+  let x = Value.float_arr v in
+  let n = Array.length x / 2 in
+  let off = if odd then 1 else 0 in
+  let out = Array.init n (fun i -> x.((2 * i) + off)) in
+  let nf = Float.of_int n in
+  ( Value.Float_arr out,
+    Workload.make ~int_ops:(2. *. nf) ~mem_ops:(2. *. nf) ~branch_ops:nf
+      ~call_ops:1. () )
+
+let elementwise_workload n =
+  let nf = Float.of_int n in
+  Workload.make ~float_ops:nf ~mem_ops:(3. *. nf) ~branch_ops:nf ~call_ops:1. ()
+
+(* ---- composite operator constructors (Figure 1 structure) ---- *)
+
+let fir_op b ~name taps strm =
+  Builder.stateful b ~name ~kind:"fir"
+    ~init:(fun () ->
+      let f = Dsp.Fir.create taps in
+      fun ~port:_ v ->
+        let y, w = Dsp.Fir.filter_frame f (Value.float_arr v) in
+        ([ Value.Float_arr y ], w))
+    [ strm ]
+
+let add_op b ~name s0 s1 =
+  Builder.stateful b ~name ~kind:"add"
+    ~init:(fun () ->
+      let q0 : Value.t Queue.t = Queue.create () in
+      let q1 : Value.t Queue.t = Queue.create () in
+      fun ~port v ->
+        (if port = 0 then Queue.add v q0 else Queue.add v q1);
+        if Queue.is_empty q0 || Queue.is_empty q1 then
+          ([], Workload.make ~call_ops:1. ())
+        else begin
+          let a = Value.float_arr (Queue.pop q0) in
+          let c = Value.float_arr (Queue.pop q1) in
+          let n = Int.min (Array.length a) (Array.length c) in
+          let out = Array.init n (fun i -> a.(i) +. c.(i)) in
+          ([ Value.Float_arr out ], elementwise_workload n)
+        end)
+    [ s0; s1 ]
+
+(* LowFreqFilter / HighFreqFilter of Figure 1: split even/odd, 2-tap
+   polyphase FIR on each, recombine. *)
+let freq_filter b ~prefix kind strm =
+  let taps =
+    match kind with
+    | Dsp.Wavelet.Low -> Dsp.Wavelet.qmf_low
+    | Dsp.Wavelet.High -> Dsp.Wavelet.qmf_high
+  in
+  let even_taps = [| taps.(0); taps.(2) |] in
+  let odd_taps = [| taps.(1); taps.(3) |] in
+  let even =
+    Builder.map b ~name:(prefix ^ "_even") ~kind:"split"
+      (get_parity_work ~odd:false) strm
+  in
+  let odd =
+    Builder.map b ~name:(prefix ^ "_odd") ~kind:"split"
+      (get_parity_work ~odd:true) strm
+  in
+  let fe = fir_op b ~name:(prefix ^ "_firE") even_taps even in
+  let fo = fir_op b ~name:(prefix ^ "_firO") odd_taps odd in
+  add_op b ~name:(prefix ^ "_add") fe fo
+
+let mag_op b ~name ~gain strm =
+  Builder.map b ~name ~kind:"mag"
+    (fun v ->
+      let e, w = Dsp.Wavelet.mag_with_scale ~gain (Value.float_arr v) in
+      (Value.Float e, w))
+    strm
+
+(* zipN: buffer one value per input port, emit when all present. *)
+let zip_op b ~name ~combine inputs =
+  let k = List.length inputs in
+  Builder.stateful b ~name ~kind:"zip"
+    ~init:(fun () ->
+      let queues = Array.init k (fun _ -> Queue.create ()) in
+      fun ~port v ->
+        Queue.add v queues.(port);
+        if Array.for_all (fun q -> not (Queue.is_empty q)) queues then begin
+          let vs = Array.to_list (Array.map Queue.pop queues) in
+          let out, w = combine vs in
+          ([ out ], w)
+        end
+        else ([], Workload.make ~call_ops:1. ()))
+    inputs
+
+let zip_tuple vs =
+  ( Value.Tuple vs,
+    Workload.make ~mem_ops:(Float.of_int (List.length vs)) ~call_ops:1. () )
+
+(* flatten a list of float / tuple-of-float values into one vector *)
+let zip_flatten vs =
+  let rec floats v acc =
+    match v with
+    | Value.Float f -> f :: acc
+    | Value.Tuple inner -> List.fold_right floats inner acc
+    | _ -> invalid_arg "eeg: non-float feature"
+  in
+  let flat = List.fold_right floats vs [] in
+  let arr = Array.of_list flat in
+  ( Value.Float_arr arr,
+    Workload.make
+      ~mem_ops:(2. *. Float.of_int (Array.length arr))
+      ~call_ops:1. () )
+
+(* GetChannelFeatures (Figure 1): 7-level cascade, band energies from
+   the high-pass outputs of levels 5..7. *)
+let channel_features b ~ch strm =
+  let name level s = Printf.sprintf "c%02d_%s%d" ch s level in
+  let notch =
+    Builder.map b ~name:(Printf.sprintf "c%02d_notch" ch) ~kind:"fir"
+      notch_work strm
+  in
+  let rec lows level strm acc =
+    if level > 6 then (strm, List.rev acc)
+    else begin
+      let low =
+        freq_filter b ~prefix:(name level "low") Dsp.Wavelet.Low strm
+      in
+      lows (level + 1) low ((level, strm, low) :: acc)
+    end
+  in
+  let _last_low, levels = lows 1 notch [] in
+  (* high-pass taps come off the previous level's low output *)
+  let feature idx source_level_input =
+    let level = idx + 5 in
+    let high =
+      freq_filter b
+        ~prefix:(name level "high")
+        Dsp.Wavelet.High source_level_input
+    in
+    mag_op b
+      ~name:(Printf.sprintf "c%02d_level%d" ch level)
+      ~gain:filter_gains.(idx) high
+  in
+  let low_out l =
+    let _, _, out = List.find (fun (lv, _, _) -> lv = l) levels in
+    out
+  in
+  let l5 = feature 0 (low_out 4) in
+  let l6 = feature 1 (low_out 5) in
+  let l7 = feature 2 (low_out 6) in
+  zip_op b ~name:(Printf.sprintf "c%02d_zip" ch) ~combine:zip_tuple
+    [ l5; l6; l7 ]
+
+let default_svm n_channels =
+  let dim = n_channels * features_per_channel in
+  (* positive weight on every low-frequency band energy; threshold set
+     against the synthetic background level *)
+  { Dsp.Svm.weights = Array.make dim 1e-3; bias = -1.5 }
+
+let build ?(n_channels = 22) ?svm () =
+  let svm =
+    match svm with Some s -> s | None -> default_svm n_channels
+  in
+  let b = Builder.create () in
+  let sources = Array.make n_channels 0 in
+  let channel_streams =
+    Builder.in_node b (fun () ->
+        List.init n_channels (fun ch ->
+            let src =
+              Builder.source b ~name:(Printf.sprintf "ch%02d" ch) ~kind:"eeg"
+                ()
+            in
+            sources.(ch) <- Builder.op_id src;
+            channel_features b ~ch src))
+  in
+  let features =
+    zip_op b ~name:"zip_channels" ~combine:zip_flatten channel_streams
+  in
+  let decision =
+    Builder.map b ~name:"svm" ~kind:"svm"
+      (fun v ->
+        let x = Value.float_arr v in
+        let d, w = Dsp.Svm.decision svm x in
+        (Value.Tuple [ Value.Float d; Value.Bool (d > 0.) ], w))
+      features
+  in
+  let declared =
+    Builder.stateful b ~name:"detect" ~kind:"debounce"
+      ~init:(fun () ->
+        let st = Dsp.Svm.Debounce.create ~k:3 in
+        fun ~port:_ v ->
+          match v with
+          | Value.Tuple [ Value.Float d; Value.Bool positive ] ->
+              let fired = Dsp.Svm.Debounce.step st positive in
+              ( [ Value.Tuple [ Value.Bool fired; Value.Float d ] ],
+                Workload.make ~int_ops:2. ~branch_ops:2. ~call_ops:1. () )
+          | _ -> invalid_arg "eeg: bad svm output")
+      [ decision ]
+  in
+  Builder.sink b ~name:"alarm" declared;
+  let graph = Builder.build b in
+  { graph; sources; n_channels }
+
+let single_channel () =
+  let b = Builder.create () in
+  let sources = Array.make 1 0 in
+  let features =
+    Builder.in_node b (fun () ->
+        let src = Builder.source b ~name:"ch00" ~kind:"eeg" () in
+        sources.(0) <- Builder.op_id src;
+        channel_features b ~ch:0 src)
+  in
+  Builder.sink b ~name:"features" features;
+  let graph = Builder.build b in
+  { graph; sources; n_channels = 1 }
+
+(* ---- synthetic input ---- *)
+
+let quantize samples =
+  Array.map
+    (fun x ->
+      let q = int_of_float (Float.round x) in
+      Int.max (-32768) (Int.min 32767 q))
+    samples
+
+let profile ?(duration = 120.) ?(seed = 7) t =
+  let gen = Dsp.Siggen.Eeg.create ~seed ~n_channels:t.n_channels ~sample_rate () in
+  let n_windows = int_of_float (duration *. window_rate) in
+  let events = ref [] in
+  for w = 0 to n_windows - 1 do
+    let time = Float.of_int w /. window_rate in
+    let channels = Dsp.Siggen.Eeg.window gen window_samples in
+    Array.iteri
+      (fun ch samples ->
+        events :=
+          {
+            Profiler.Profile.Trace.time;
+            source = t.sources.(ch);
+            value = Value.Int16_arr (quantize samples);
+          }
+          :: !events)
+      channels
+  done;
+  let events =
+    List.stable_sort
+      (fun a b ->
+        Float.compare a.Profiler.Profile.Trace.time
+          b.Profiler.Profile.Trace.time)
+      (List.rev !events)
+  in
+  Profiler.Profile.collect ~duration t.graph events
+
+let collect_features ?(seed = 11) ~n_windows t =
+  let gen = Dsp.Siggen.Eeg.create ~seed ~n_channels:t.n_channels ~sample_rate () in
+  (* per-channel offline cascade, mathematically identical to the
+     5-operator graph structure *)
+  let lows =
+    Array.init t.n_channels (fun _ ->
+        Array.init 6 (fun _ -> Dsp.Wavelet.create_branch Dsp.Wavelet.Low))
+  in
+  let highs =
+    Array.init t.n_channels (fun _ ->
+        Array.init 3 (fun _ -> Dsp.Wavelet.create_branch Dsp.Wavelet.High))
+  in
+  Array.init n_windows (fun _ ->
+      let in_seizure = Dsp.Siggen.Eeg.in_seizure gen in
+      let channels = Dsp.Siggen.Eeg.window gen window_samples in
+      let features =
+        Array.mapi
+          (fun ch samples ->
+            let notched, _ = notch_work (Value.Int16_arr (quantize samples)) in
+            let x = Value.float_arr notched in
+            (* run the low chain, tapping highs at levels 5..7 *)
+            let stream = ref x in
+            let taps = ref [] in
+            for level = 1 to 7 do
+              if level >= 5 then begin
+                let h, _ = Dsp.Wavelet.apply highs.(ch).(level - 5) !stream in
+                let e, _ =
+                  Dsp.Wavelet.mag_with_scale ~gain:filter_gains.(level - 5) h
+                in
+                taps := e :: !taps
+              end;
+              if level <= 6 then begin
+                let l, _ = Dsp.Wavelet.apply lows.(ch).(level - 1) !stream in
+                stream := l
+              end
+            done;
+            List.rev !taps |> Array.of_list)
+          channels
+      in
+      let flat = Array.concat (Array.to_list features) in
+      (flat, in_seizure))

@@ -1,0 +1,49 @@
+(** The patient-specific seizure-onset detection application (§6.1).
+
+    22 channels sampled at 256 Hz, 16 bits, processed in 2-second
+    windows.  Each channel runs a 7-level polyphase wavelet cascade
+    built exactly as in Figure 1 — every [LowFreqFilter] /
+    [HighFreqFilter] is five operators (GetEven, GetOdd, two 2-tap
+    polyphase FIRs, Add) — with band energies ([MagWithScale]) taken
+    from the high-pass outputs of the last three levels.  All 66
+    features are zipped into one vector and classified by a linear
+    SVM; a seizure is declared after three consecutive positive
+    windows.
+
+    The full graph has 1126 operators (22 × 51 per-channel plus the
+    shared zip/SVM/detect/sink); the paper reports 1412 for its
+    WaveScript build — the difference is compiler-inserted plumbing
+    operators, not structure, and does not change partitioning
+    behaviour (see EXPERIMENTS.md). *)
+
+type t = {
+  graph : Dataflow.Graph.t;
+  sources : int array;  (** one per channel *)
+  n_channels : int;
+}
+
+val sample_rate : float  (** 256 Hz *)
+
+val window_samples : int  (** 512 (2 s) *)
+
+val window_rate : float  (** 0.5 windows/s *)
+
+val features_per_channel : int  (** 3 *)
+
+val build : ?n_channels:int -> ?svm:Dsp.Svm.t -> unit -> t
+(** Default: 22 channels, canned SVM weights. *)
+
+val single_channel : unit -> t
+(** The one-channel subset used for the Figure 5(a) sweep (the shared
+    SVM stage is omitted; the channel's feature stream feeds the sink
+    directly). *)
+
+val profile :
+  ?duration:float -> ?seed:int -> t -> Profiler.Profile.raw
+(** Profile on synthetic EEG (default 120 s, i.e. 60 windows,
+    including seizure episodes). *)
+
+val collect_features :
+  ?seed:int -> n_windows:int -> t -> (float array * bool) array
+(** Run the generator and full graph offline, returning (feature
+    vector, in-seizure ground truth) pairs for SVM training. *)

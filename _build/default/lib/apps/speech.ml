@@ -1,0 +1,169 @@
+open Dataflow
+
+type t = { graph : Graph.t; source : int; order : int array }
+
+let sample_rate = 8000.
+let frame_samples = 200
+let frame_rate = sample_rate /. Float.of_int frame_samples
+
+let n_mel = 32
+let n_ceps = 13
+
+(* ---- work functions ----
+   The front-end stages run in 16-bit fixed point, as a careful mote
+   port would; FFT onwards uses floats.  Every function returns the
+   instruction mix it actually performed. *)
+
+let preemph_work v =
+  let x = Value.int16_arr v in
+  let n = Array.length x in
+  let out = Array.make n 0 in
+  let prev = ref x.(0) in
+  for i = 0 to n - 1 do
+    (* y = x - 0.97 x[-1], in Q: 97/100 via integer mul/div *)
+    out.(i) <- x.(i) - (97 * !prev / 100);
+    prev := x.(i)
+  done;
+  let nf = Float.of_int n in
+  ( Value.Int16_arr out,
+    Workload.make ~int_ops:(3. *. nf) ~mem_ops:(3. *. nf) ~branch_ops:nf
+      ~call_ops:1. () )
+
+let hamming_q15 =
+  lazy
+    (Array.map
+       (fun w -> int_of_float (Float.round (w *. 32767.)))
+       (Dsp.Window.hamming frame_samples))
+
+let hamming_work v =
+  let x = Value.int16_arr v in
+  let w = Lazy.force hamming_q15 in
+  let n = Array.length x in
+  if n <> frame_samples then invalid_arg "speech: bad frame length";
+  let out = Array.init n (fun i -> (x.(i) * w.(i)) asr 15) in
+  let nf = Float.of_int n in
+  ( Value.Int16_arr out,
+    Workload.make ~int_ops:(2. *. nf) ~mem_ops:(3. *. nf) ~branch_ops:nf
+      ~call_ops:1. () )
+
+let prefilt_work v =
+  (* DC removal in integer arithmetic *)
+  let x = Value.int16_arr v in
+  let n = Array.length x in
+  let sum = Array.fold_left ( + ) 0 x in
+  let mean = sum / Int.max 1 n in
+  let out = Array.map (fun s -> s - mean) x in
+  let nf = Float.of_int n in
+  ( Value.Int16_arr out,
+    Workload.make ~int_ops:(2. *. nf) ~mem_ops:(2. *. nf)
+      ~branch_ops:(2. *. nf) ~call_ops:1. () )
+
+let fft_work v =
+  let x = Value.float_arr v in
+  let power, w = Dsp.Fft.power_spectrum x in
+  (* conversion from int16 adds a float op per sample *)
+  let conv = Workload.make ~float_ops:(Float.of_int (Array.length x)) () in
+  (Value.Float_arr power, Workload.add w conv)
+
+let mel_bank =
+  lazy
+    (Dsp.Mel.create ~n_filters:n_mel
+       ~n_fft:(Dsp.Fft.next_pow2 frame_samples)
+       ~sample_rate ())
+
+let filtbank_work v =
+  let power = Value.float_arr v in
+  let e, w = Dsp.Mel.apply (Lazy.force mel_bank) power in
+  (Value.Float_arr e, w)
+
+let logs_work v =
+  let e = Value.float_arr v in
+  let logs, w = Dsp.Mel.log_energies e in
+  (* stays 32 floats on the wire: data-neutral, exactly as in the
+     paper (Figure 7's bandwidth line is flat from filtbank to logs) *)
+  (Value.Float_arr logs, w)
+
+let cepstrals_work v =
+  let logs = Value.float_arr v in
+  (* a direct port computes the full DCT and keeps the first 13 *)
+  let all, w = Dsp.Dct.dct_ii logs in
+  let out = Array.sub all 0 n_ceps in
+  (Value.Float_arr out, w)
+
+let build () =
+  let b = Builder.create () in
+  let source = ref 0 in
+  Builder.in_node b (fun () ->
+      let s0 = Builder.source b ~name:"source" ~kind:"adc" () in
+      source := Builder.op_id s0;
+      let s1 = Builder.map b ~name:"preemph" ~kind:"fir" preemph_work s0 in
+      let s2 = Builder.map b ~name:"hamming" ~kind:"window" hamming_work s1 in
+      let s3 = Builder.map b ~name:"prefilt" ~kind:"filter" prefilt_work s2 in
+      let s4 = Builder.map b ~name:"fft" ~kind:"fft" fft_work s3 in
+      let s5 =
+        Builder.map b ~name:"filtbank" ~kind:"mel" filtbank_work s4
+      in
+      let s6 = Builder.map b ~name:"logs" ~kind:"log" logs_work s5 in
+      let s7 =
+        Builder.map b ~name:"cepstrals" ~kind:"dct" cepstrals_work s6
+      in
+      Builder.sink b ~name:"detect" s7);
+  let graph = Builder.build b in
+  { graph; source = !source; order = Graph.topo_order graph }
+
+(* Per-seed generator states, so repeated calls with increasing frame
+   index stream a continuous signal. *)
+let gen_table : (int, Dsp.Siggen.Speech.t * int ref) Hashtbl.t =
+  Hashtbl.create 8
+
+let frame_gen ~seed i =
+  let g, next =
+    match Hashtbl.find_opt gen_table seed with
+    | Some ((_, next) as entry) when !next <= i -> entry
+    | _ ->
+        (* fresh stream (also replays deterministically when a caller
+           rewinds to an earlier frame index) *)
+        let entry = (Dsp.Siggen.Speech.create ~seed ~sample_rate (), ref 0) in
+        Hashtbl.replace gen_table seed entry;
+        entry
+  in
+  let frame = ref [||] in
+  while !next <= i do
+    frame := Dsp.Siggen.Speech.frame g frame_samples;
+    incr next
+  done;
+  Value.Int16_arr !frame
+
+let profile ?(duration = 30.) ?(seed = 42) t =
+  Hashtbl.remove gen_table seed;
+  let events =
+    Profiler.Profile.Trace.periodic ~source:t.source ~rate:frame_rate
+      ~duration ~gen:(frame_gen ~seed)
+  in
+  Profiler.Profile.collect ~duration t.graph events
+
+let testbed_sources ?(seed = 1000) ~rate_mult t =
+  let per_node : (int, Dsp.Siggen.Speech.t) Hashtbl.t = Hashtbl.create 32 in
+  let gen ~node ~seq:_ =
+    let g =
+      match Hashtbl.find_opt per_node node with
+      | Some g -> g
+      | None ->
+          let g = Dsp.Siggen.Speech.create ~seed:(seed + node) ~sample_rate () in
+          Hashtbl.add per_node node g;
+          g
+    in
+    Value.Int16_arr (Dsp.Siggen.Speech.frame g frame_samples)
+  in
+  [ { Netsim.Testbed.source = t.source; rate = frame_rate *. rate_mult; gen } ]
+
+let cut_assignment t k =
+  let n = Array.length t.order in
+  if k < 1 || k >= n then invalid_arg "Speech.cut_assignment: k out of range";
+  let a = Array.make n false in
+  for i = 0 to k - 1 do
+    a.(t.order.(i)) <- true
+  done;
+  a
+
+let relevant_cutpoints _t = [ 1; 4; 5; 6; 7; 8 ]

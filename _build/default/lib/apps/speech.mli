@@ -1,0 +1,49 @@
+(** The acoustic speech-detection application (§6.2): a linear
+    pipeline computing Mel Frequency Cepstral Coefficients over 25 ms
+    audio frames sampled at 8 kHz.
+
+    Pipeline (Figure 7):
+    [source → preemph → hamming → prefilt → fft → filtbank → logs →
+     cepstrals → detect(sink)]
+
+    Wire formats are chosen as a real port would choose them, which
+    yields exactly the paper's viable cut points: raw frames are
+    402-byte int16 arrays; the integer front-end stages are
+    data-neutral; the FFT power spectrum is data-expanding (518 B);
+    the 32-filter bank reduces to 130 B; quantized log energies to
+    66 B; and the 13 cepstral coefficients to 54 B. *)
+
+type t = {
+  graph : Dataflow.Graph.t;
+  source : int;
+  order : int array;  (** pipeline order, source first, sink last *)
+}
+
+val sample_rate : float  (** 8000 Hz *)
+
+val frame_samples : int  (** 200 (25 ms) *)
+
+val frame_rate : float  (** 40 windows/s *)
+
+val build : unit -> t
+
+val frame_gen : seed:int -> int -> Dataflow.Value.t
+(** Deterministic speech-like frame generator (one generator state per
+    call chain; frame [i] of the given seed's stream). *)
+
+val profile :
+  ?duration:float -> ?seed:int -> t -> Profiler.Profile.raw
+(** Profile on synthetic audio (default 30 s). *)
+
+val testbed_sources :
+  ?seed:int -> rate_mult:float -> t -> Netsim.Testbed.source_spec list
+(** Per-node independent audio streams at [rate_mult *. frame_rate]
+    windows/s. *)
+
+val cut_assignment : t -> int -> bool array
+(** [cut_assignment t k] places the first [k] pipeline operators on
+    the node (k in 1 .. n-1). *)
+
+val relevant_cutpoints : t -> int list
+(** The six cut indices examined in Figures 9/10: after source,
+    prefilt, fft, filtbank, logs, cepstrals. *)

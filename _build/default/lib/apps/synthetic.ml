@@ -1,0 +1,138 @@
+open Dataflow
+
+let passthrough () =
+  Op.stateless_instance (fun v -> ([ v ], Workload.make ~call_ops:1. ()))
+
+let dummy_op ~id ~name ~namespace ~stateful ~side_effect =
+  { Op.id; name; kind = "synthetic"; namespace; stateful; side_effect;
+    fresh = passthrough }
+
+(* Build a spec directly from shape + cost arrays. *)
+let spec_of ~ops ~edges ~cpu ~bw ?(mode = Wishbone.Movable.Conservative)
+    ~cpu_budget ~net_budget ~alpha ~beta () =
+  let graph = Graph.make ops edges in
+  match Wishbone.Movable.classify mode graph with
+  | Error msg -> invalid_arg ("Synthetic: " ^ msg)
+  | Ok placement ->
+      {
+        Wishbone.Spec.graph;
+        placement;
+        cpu;
+        bandwidth = bw;
+        cpu_budget;
+        net_budget;
+        alpha;
+        beta;
+      }
+
+let random_spec ?(seed = 1) ?(n_ops = 10) ?(extra_edge_prob = 0.15)
+    ?(stateful_prob = 0.2) ?(mode = Wishbone.Movable.Conservative)
+    ?(cpu_budget = 1.0) ?(net_budget = 200.) ?(alpha = 0.) ?(beta = 1.) () =
+  if n_ops < 3 then invalid_arg "Synthetic.random_spec: need at least 3 ops";
+  let rng = Prng.create seed in
+  let sink = n_ops - 1 in
+  let ops =
+    Array.init n_ops (fun id ->
+        if id = 0 then
+          dummy_op ~id ~name:"src" ~namespace:Op.Node ~stateful:false
+            ~side_effect:Op.Sensor_input
+        else if id = sink then
+          dummy_op ~id ~name:"out" ~namespace:Op.Server ~stateful:false
+            ~side_effect:Op.Display_output
+        else
+          dummy_op ~id
+            ~name:(Printf.sprintf "op%d" id)
+            ~namespace:Op.Node
+            ~stateful:(Prng.bool rng stateful_prob)
+            ~side_effect:Op.Pure)
+  in
+  (* spine: each interior op reads from a random earlier op; ports are
+     assigned densely per destination *)
+  let in_count = Array.make n_ops 0 in
+  let edges = ref [] in
+  let add_edge u v =
+    edges := (u, v, in_count.(v)) :: !edges;
+    in_count.(v) <- in_count.(v) + 1
+  in
+  for v = 1 to sink - 1 do
+    add_edge (Prng.int rng v) v
+  done;
+  (* extra forward edges *)
+  for u = 0 to sink - 2 do
+    for v = u + 1 to sink - 1 do
+      if v > u && Prng.bool rng extra_edge_prob then add_edge u v
+    done
+  done;
+  (* every terminal interior op feeds the sink *)
+  let has_out = Array.make n_ops false in
+  List.iter (fun (u, _, _) -> has_out.(u) <- true) !edges;
+  for u = 0 to sink - 1 do
+    if not has_out.(u) then add_edge u sink
+  done;
+  let edges = List.rev !edges in
+  let n_edges = List.length edges in
+  let cpu =
+    Array.init n_ops (fun i ->
+        if i = 0 || i = sink then 0.01 else Prng.uniform rng 0.01 0.3)
+  in
+  let bw = Array.init n_edges (fun _ -> Prng.uniform rng 1. 100.) in
+  spec_of ~ops ~edges ~cpu ~bw ~mode ~cpu_budget ~net_budget ~alpha ~beta ()
+
+let random_pipeline_spec ?(seed = 2) ?(n_ops = 8) ?(cpu_budget = 1.0)
+    ?(net_budget = 500.) () =
+  if n_ops < 3 then invalid_arg "Synthetic.random_pipeline_spec: too small";
+  let rng = Prng.create seed in
+  let sink = n_ops - 1 in
+  let ops =
+    Array.init n_ops (fun id ->
+        if id = 0 then
+          dummy_op ~id ~name:"src" ~namespace:Op.Node ~stateful:false
+            ~side_effect:Op.Sensor_input
+        else if id = sink then
+          dummy_op ~id ~name:"out" ~namespace:Op.Server ~stateful:false
+            ~side_effect:Op.Display_output
+        else
+          dummy_op ~id
+            ~name:(Printf.sprintf "stage%d" id)
+            ~namespace:Op.Node ~stateful:false ~side_effect:Op.Pure)
+  in
+  let edges = List.init (n_ops - 1) (fun i -> (i, i + 1, 0)) in
+  let cpu =
+    Array.init n_ops (fun i ->
+        if i = 0 || i = sink then 0.01 else Prng.uniform rng 0.02 0.4)
+  in
+  (* mostly decreasing bandwidth with occasional expansion *)
+  let bw = Array.make (n_ops - 1) 0. in
+  let cur = ref 1000. in
+  for e = 0 to n_ops - 2 do
+    let factor =
+      if Prng.bool rng 0.2 then Prng.uniform rng 1.0 1.5
+      else Prng.uniform rng 0.3 0.95
+    in
+    cur := !cur *. factor;
+    bw.(e) <- !cur
+  done;
+  spec_of ~ops ~edges ~cpu ~bw ~cpu_budget ~net_budget ~alpha:0. ~beta:1. ()
+
+let fig3_spec ~cpu_budget =
+  (* source S feeding two 2-stage chains A and B into the sink; see
+     interface comment for the optimal cuts per budget *)
+  let names = [| "S"; "A1"; "A2"; "B1"; "B2"; "T" |] in
+  let ops =
+    Array.init 6 (fun id ->
+        if id = 0 then
+          dummy_op ~id ~name:names.(id) ~namespace:Op.Node ~stateful:false
+            ~side_effect:Op.Sensor_input
+        else if id = 5 then
+          dummy_op ~id ~name:names.(id) ~namespace:Op.Server ~stateful:false
+            ~side_effect:Op.Display_output
+        else
+          dummy_op ~id ~name:names.(id) ~namespace:Op.Node ~stateful:false
+            ~side_effect:Op.Pure)
+  in
+  let edges =
+    [ (0, 1, 0); (1, 2, 0); (2, 5, 0); (0, 3, 0); (3, 4, 0); (4, 5, 1) ]
+  in
+  let cpu = [| 1.; 2.; 1.; 2.; 1.; 0. |] in
+  let bw = [| 4.; 2.; 1.; 4.; 2.; 1. |] in
+  spec_of ~ops ~edges ~cpu ~bw ~cpu_budget ~net_budget:1e9 ~alpha:0. ~beta:1. ()

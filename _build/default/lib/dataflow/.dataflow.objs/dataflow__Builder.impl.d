@@ -1,0 +1,1 @@
+lib/dataflow/builder.ml: Array Fun Graph List Op Workload

@@ -1,0 +1,1 @@
+lib/dataflow/dot.ml: Array Buffer Float Fun Graph List Op Printf String

@@ -1,0 +1,1 @@
+lib/dataflow/graph.ml: Array List Op Printf Queue

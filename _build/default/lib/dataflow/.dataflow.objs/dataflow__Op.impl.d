@@ -1,0 +1,1 @@
+lib/dataflow/op.ml: Format Value Workload

@@ -1,0 +1,1 @@
+lib/dataflow/op.mli: Format Value Workload

@@ -1,0 +1,1 @@
+lib/dataflow/value.ml: Array Float Format List String

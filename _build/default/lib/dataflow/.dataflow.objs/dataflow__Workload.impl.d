@@ -1,0 +1,1 @@
+lib/dataflow/workload.ml: Float Format

@@ -1,0 +1,53 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let attrs_to_string attrs =
+  match attrs with
+  | [] -> ""
+  | _ ->
+      let body =
+        String.concat ", "
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape v)) attrs)
+      in
+      Printf.sprintf " [%s]" body
+
+let heat_color f =
+  let f = Float.max 0. (Float.min 1. f) in
+  (* hue 0.66 (blue, cool) down to 0.0 (red, hot) *)
+  Printf.sprintf "%.3f 0.8 0.95" (0.66 *. (1. -. f))
+
+let render ?(graph_name = "wishbone") ?(vertex_attrs = fun _ -> [])
+    ?(edge_attrs = fun _ -> []) g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" graph_name);
+  Buffer.add_string buf "  rankdir=TB;\n  node [style=filled];\n";
+  Array.iter
+    (fun (op : Op.t) ->
+      let base = [ ("label", Printf.sprintf "%s\\n#%d" op.name op.id) ] in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d%s;\n" op.id
+           (attrs_to_string (base @ vertex_attrs op.id))))
+    (Graph.ops g);
+  Array.iter
+    (fun (e : Graph.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d%s;\n" e.src e.dst
+           (attrs_to_string (edge_attrs e))))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path text =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc text)

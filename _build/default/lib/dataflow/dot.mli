@@ -1,0 +1,21 @@
+(** GraphViz rendering of operator graphs.
+
+    Wishbone generates a visualization after profiling and
+    partitioning: colorization encodes profiling heat (cool to hot)
+    and vertex shape encodes the node/server assignment (§3).  The
+    attribute callbacks let the caller inject that information. *)
+
+val render :
+  ?graph_name:string ->
+  ?vertex_attrs:(int -> (string * string) list) ->
+  ?edge_attrs:(Graph.edge -> (string * string) list) ->
+  Graph.t ->
+  string
+(** Returns the [.dot] source text. *)
+
+val heat_color : float -> string
+(** [heat_color f] maps [0. .. 1.] to a cool-to-hot HSV color string
+    suitable for a GraphViz [fillcolor]. *)
+
+val write_file : string -> string -> unit
+(** [write_file path dot_text] *)

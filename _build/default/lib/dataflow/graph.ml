@@ -1,0 +1,130 @@
+type edge = { eid : int; src : int; dst : int; dst_port : int }
+
+type t = {
+  ops : Op.t array;
+  edges : edge array;
+  succs : edge list array;  (* insertion order *)
+  preds : edge list array;  (* ordered by dst_port *)
+  topo : int array;
+}
+
+let compute_topo n succs =
+  let indeg = Array.make n 0 in
+  Array.iter (List.iter (fun e -> indeg.(e.dst) <- indeg.(e.dst) + 1)) succs;
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let order = Array.make n (-1) in
+  let k = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order.(!k) <- v;
+    incr k;
+    List.iter
+      (fun e ->
+        indeg.(e.dst) <- indeg.(e.dst) - 1;
+        if indeg.(e.dst) = 0 then Queue.add e.dst queue)
+      succs.(v)
+  done;
+  if !k <> n then invalid_arg "Graph.make: graph has a cycle";
+  order
+
+let make ops edge_list =
+  let n = Array.length ops in
+  Array.iteri
+    (fun i (op : Op.t) ->
+      if op.id <> i then
+        invalid_arg
+          (Printf.sprintf "Graph.make: operator at index %d has id %d" i op.id))
+    ops;
+  let edges =
+    Array.of_list
+      (List.mapi (fun eid (src, dst, dst_port) -> { eid; src; dst; dst_port }) edge_list)
+  in
+  Array.iter
+    (fun e ->
+      if e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n then
+        invalid_arg "Graph.make: edge endpoint out of range";
+      if e.dst_port < 0 then invalid_arg "Graph.make: negative port")
+    edges;
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  Array.iter
+    (fun e ->
+      succs.(e.src) <- e :: succs.(e.src);
+      preds.(e.dst) <- e :: preds.(e.dst))
+    edges;
+  for v = 0 to n - 1 do
+    succs.(v) <- List.rev succs.(v);
+    preds.(v) <-
+      List.sort (fun a b -> compare a.dst_port b.dst_port) preds.(v);
+    (* input ports must be dense 0..k-1 *)
+    List.iteri
+      (fun i e ->
+        if e.dst_port <> i then
+          invalid_arg
+            (Printf.sprintf "Graph.make: vertex %d input ports not dense" v))
+      preds.(v)
+  done;
+  let topo = compute_topo n succs in
+  { ops; edges; succs; preds; topo }
+
+let n_ops g = Array.length g.ops
+
+let op g i =
+  if i < 0 || i >= n_ops g then invalid_arg "Graph.op: index out of range";
+  g.ops.(i)
+
+let ops g = g.ops
+let edges g = g.edges
+let n_edges g = Array.length g.edges
+let succs g v = g.succs.(v)
+let preds g v = g.preds.(v)
+let in_degree g v = List.length g.preds.(v)
+let out_degree g v = List.length g.succs.(v)
+
+let filter_vertices g p =
+  let acc = ref [] in
+  for v = n_ops g - 1 downto 0 do
+    if p v then acc := v :: !acc
+  done;
+  !acc
+
+let sources g = filter_vertices g (fun v -> g.preds.(v) = [])
+let sinks g = filter_vertices g (fun v -> g.succs.(v) = [])
+let topo_order g = Array.copy g.topo
+
+let reach n adjacency seeds =
+  let seen = Array.make n false in
+  let rec visit v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter visit (adjacency v)
+    end
+  in
+  List.iter visit seeds;
+  seen
+
+let descendants g seeds =
+  reach (n_ops g) (fun v -> List.map (fun e -> e.dst) g.succs.(v)) seeds
+
+let ancestors g seeds =
+  reach (n_ops g) (fun v -> List.map (fun e -> e.src) g.preds.(v)) seeds
+
+let is_linear_pipeline g =
+  let n = n_ops g in
+  n > 0
+  && Array.length g.edges = n - 1
+  && Array.for_all
+       (fun (op : Op.t) ->
+         in_degree g op.id <= 1 && out_degree g op.id <= 1)
+       g.ops
+
+let map_ops f g =
+  let ops = Array.map f g.ops in
+  Array.iteri
+    (fun i (op : Op.t) ->
+      if op.id <> i then invalid_arg "Graph.map_ops: id changed")
+    ops;
+  { g with ops }

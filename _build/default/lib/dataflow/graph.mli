@@ -1,0 +1,59 @@
+(** The operator DAG.
+
+    Vertices are {!Op.t} values indexed by their [id]; edges are
+    streams.  An edge carries the destination input port so that
+    multi-input operators (e.g. [zipN], [AddOddAndEven]) know which
+    upstream fired.  Every operator has at most one logical output
+    stream; fan-out is expressed as multiple out-edges carrying the
+    same elements (WaveScript semantics). *)
+
+type edge = { eid : int; src : int; dst : int; dst_port : int }
+(** [eid] is the dense edge index assigned by {!make}, usable to key
+    per-edge statistics arrays. *)
+
+type t
+
+val make : Op.t array -> (int * int * int) list -> t
+(** [make ops edges] with edges given as [(src, dst, dst_port)]
+    triples; edge ids are assigned in list order.
+    @raise Invalid_argument when ids are not dense [0..n-1], an edge
+    endpoint is out of range, input ports of some vertex are not dense
+    [0..k-1], or the graph has a cycle. *)
+
+val n_ops : t -> int
+val op : t -> int -> Op.t
+val ops : t -> Op.t array
+val edges : t -> edge array
+val n_edges : t -> int
+
+val succs : t -> int -> edge list
+(** Out-edges of a vertex, in insertion order. *)
+
+val preds : t -> int -> edge list
+(** In-edges of a vertex, ordered by destination port. *)
+
+val in_degree : t -> int -> int
+val out_degree : t -> int -> int
+
+val sources : t -> int list
+(** Vertices with no in-edges, ascending. *)
+
+val sinks : t -> int list
+(** Vertices with no out-edges, ascending. *)
+
+val topo_order : t -> int array
+(** A topological order of all vertices. *)
+
+val descendants : t -> int list -> bool array
+(** [descendants g seeds] marks every vertex reachable from [seeds]
+    (seeds included). *)
+
+val ancestors : t -> int list -> bool array
+(** Reverse reachability (seeds included). *)
+
+val is_linear_pipeline : t -> bool
+(** True when every vertex has in- and out-degree at most one and the
+    graph is connected — the shape of the speech-detection app. *)
+
+val map_ops : (Op.t -> Op.t) -> t -> t
+(** Rebuild the graph with transformed operators (ids must be kept). *)

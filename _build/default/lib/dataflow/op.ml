@@ -1,0 +1,32 @@
+type namespace = Node | Server
+
+type side_effect = Pure | Sensor_input | Actuator | Display_output
+
+type instance = {
+  work : port:int -> Value.t -> Value.t list * Workload.t;
+  reset : unit -> unit;
+}
+
+type t = {
+  id : int;
+  name : string;
+  kind : string;
+  namespace : namespace;
+  stateful : bool;
+  side_effect : side_effect;
+  fresh : unit -> instance;
+}
+
+let is_pinned op =
+  match op.side_effect with
+  | Sensor_input | Actuator | Display_output -> true
+  | Pure -> false
+
+let stateless_instance f =
+  { work = (fun ~port:_ v -> f v); reset = (fun () -> ()) }
+
+let pp ppf op =
+  let ns = match op.namespace with Node -> "node" | Server -> "server" in
+  Format.fprintf ppf "#%d %s (%s, %s%s%s)" op.id op.name op.kind ns
+    (if op.stateful then ", stateful" else "")
+    (if is_pinned op then ", pinned" else "")

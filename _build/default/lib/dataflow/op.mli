@@ -1,0 +1,49 @@
+(** Stream operators: the vertices of the dataflow graph.
+
+    An operator is a work function plus optional private state
+    (§2 of the paper).  Statefulness and side effects drive the
+    relocation constraints of §2.1.1:
+    - side-effecting operators are pinned to their logical partition;
+    - stateless pure operators are always movable;
+    - stateful [Node]-namespace operators are movable onto the server
+      only in permissive mode (their state is then replicated per
+      node), and stateful [Server] operators can never move into the
+      network. *)
+
+type namespace = Node | Server
+
+type side_effect =
+  | Pure  (** no externally visible effect *)
+  | Sensor_input  (** samples node hardware; pinned to the node *)
+  | Actuator  (** drives node hardware (LED, speaker); pinned to node *)
+  | Display_output  (** prints/stores results; pinned to the server *)
+
+(** A live instance of an operator.  [work ~port v] processes one
+    element arriving on input [port] and returns the elements emitted
+    on the output stream together with the instruction mix the firing
+    performed.  [reset] returns private state to its initial value. *)
+type instance = {
+  work : port:int -> Value.t -> Value.t list * Workload.t;
+  reset : unit -> unit;
+}
+
+type t = {
+  id : int;
+  name : string;
+  kind : string;  (** operator class, e.g. ["fir"], ["fft"]; cosmetic *)
+  namespace : namespace;
+  stateful : bool;
+  side_effect : side_effect;
+  fresh : unit -> instance;
+      (** creates an instance with private state at its initial value;
+          called once per physical node for replicated operators *)
+}
+
+val is_pinned : t -> bool
+(** True when the §2.1.1 rules forbid moving this operator out of its
+    logical partition regardless of mode. *)
+
+val stateless_instance : (Value.t -> Value.t list * Workload.t) -> instance
+(** Wrap a pure single-input work function (ignores [port]). *)
+
+val pp : Format.formatter -> t -> unit

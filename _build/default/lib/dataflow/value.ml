@@ -1,0 +1,76 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Int16_arr of int array
+  | Float_arr of float array
+  | Tuple of t list
+
+let rec size_bytes = function
+  | Unit -> 0
+  | Bool _ -> 1
+  | Int _ -> 4
+  | Float _ -> 4
+  | String s -> 2 + String.length s
+  | Int16_arr a -> 2 + (2 * Array.length a)
+  | Float_arr a -> 2 + (4 * Array.length a)
+  | Tuple vs -> List.fold_left (fun acc v -> acc + size_bytes v) 1 vs
+
+let rec equal a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | String x, String y -> String.equal x y
+  | Int16_arr x, Int16_arr y -> x = y
+  | Float_arr x, Float_arr y ->
+      Array.length x = Array.length y
+      && (let ok = ref true in
+          Array.iteri (fun i v -> if not (Float.equal v y.(i)) then ok := false) x;
+          !ok)
+  | Tuple x, Tuple y -> List.length x = List.length y && List.for_all2 equal x y
+  | ( (Unit | Bool _ | Int _ | Float _ | String _ | Int16_arr _ | Float_arr _
+      | Tuple _),
+      _ ) ->
+      false
+
+let rec close ?(tol = 1e-9) a b =
+  match (a, b) with
+  | Float x, Float y -> Float.abs (x -. y) <= tol
+  | Float_arr x, Float_arr y ->
+      Array.length x = Array.length y
+      && (let ok = ref true in
+          Array.iteri
+            (fun i v -> if Float.abs (v -. y.(i)) > tol then ok := false)
+            x;
+          !ok)
+  | Tuple x, Tuple y ->
+      List.length x = List.length y && List.for_all2 (close ~tol) x y
+  | _ -> equal a b
+
+let float_arr = function
+  | Float_arr a -> a
+  | Int16_arr a -> Array.map Float.of_int a
+  | _ -> invalid_arg "Value.float_arr: not an array value"
+
+let int16_arr = function
+  | Int16_arr a -> a
+  | _ -> invalid_arg "Value.int16_arr: not an int16 array"
+
+let rec pp ppf = function
+  | Unit -> Format.fprintf ppf "()"
+  | Bool b -> Format.fprintf ppf "%b" b
+  | Int i -> Format.fprintf ppf "%d" i
+  | Float f -> Format.fprintf ppf "%g" f
+  | String s -> Format.fprintf ppf "%S" s
+  | Int16_arr a -> Format.fprintf ppf "int16[%d]" (Array.length a)
+  | Float_arr a -> Format.fprintf ppf "float[%d]" (Array.length a)
+  | Tuple vs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp)
+        vs

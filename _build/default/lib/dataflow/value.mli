@@ -1,0 +1,38 @@
+(** Runtime values flowing along dataflow edges.
+
+    Wishbone measures edge bandwidth as the number of bytes a value
+    occupies in the radio message format, so every value has a
+    deterministic wire size ({!size_bytes}).  The wire format mirrors
+    the WaveScript marshaller used on motes: 16-bit integers for raw
+    ADC samples, 32-bit floats for processed signals. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int  (** 32-bit on the wire *)
+  | Float of float  (** 32-bit float on the wire *)
+  | String of string
+  | Int16_arr of int array  (** raw samples; 2 bytes per element *)
+  | Float_arr of float array  (** 4 bytes per element *)
+  | Tuple of t list
+
+val size_bytes : t -> int
+(** Serialized size, including a small length header for variable-size
+    payloads. *)
+
+val equal : t -> t -> bool
+(** Structural equality with exact float comparison. *)
+
+val close : ?tol:float -> t -> t -> bool
+(** Structural equality with float tolerance (default [1e-9]),
+    used by the partition-invariance tests. *)
+
+val float_arr : t -> float array
+(** Coerce to a float array, converting an [Int16_arr] elementwise.
+    @raise Invalid_argument on other shapes. *)
+
+val int16_arr : t -> int array
+(** @raise Invalid_argument unless the value is an [Int16_arr]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Summary rendering; long arrays are abbreviated. *)

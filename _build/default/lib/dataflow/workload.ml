@@ -1,0 +1,55 @@
+type t = {
+  int_ops : float;
+  float_ops : float;
+  trans_ops : float;
+  mem_ops : float;
+  branch_ops : float;
+  call_ops : float;
+}
+
+let zero =
+  {
+    int_ops = 0.;
+    float_ops = 0.;
+    trans_ops = 0.;
+    mem_ops = 0.;
+    branch_ops = 0.;
+    call_ops = 0.;
+  }
+
+let add a b =
+  {
+    int_ops = a.int_ops +. b.int_ops;
+    float_ops = a.float_ops +. b.float_ops;
+    trans_ops = a.trans_ops +. b.trans_ops;
+    mem_ops = a.mem_ops +. b.mem_ops;
+    branch_ops = a.branch_ops +. b.branch_ops;
+    call_ops = a.call_ops +. b.call_ops;
+  }
+
+let scale k a =
+  {
+    int_ops = k *. a.int_ops;
+    float_ops = k *. a.float_ops;
+    trans_ops = k *. a.trans_ops;
+    mem_ops = k *. a.mem_ops;
+    branch_ops = k *. a.branch_ops;
+    call_ops = k *. a.call_ops;
+  }
+
+let total a =
+  a.int_ops +. a.float_ops +. a.trans_ops +. a.mem_ops +. a.branch_ops
+  +. a.call_ops
+
+let make ?(int_ops = 0.) ?(float_ops = 0.) ?(trans_ops = 0.) ?(mem_ops = 0.)
+    ?(branch_ops = 0.) ?(call_ops = 0.) () =
+  { int_ops; float_ops; trans_ops; mem_ops; branch_ops; call_ops }
+
+let loop ~iters ~body =
+  let n = Float.of_int iters in
+  add (scale n body) { zero with branch_ops = n }
+
+let pp ppf w =
+  Format.fprintf ppf
+    "{int=%.0f float=%.0f trans=%.0f mem=%.0f branch=%.0f call=%.0f}"
+    w.int_ops w.float_ops w.trans_ops w.mem_ops w.branch_ops w.call_ops

@@ -1,0 +1,42 @@
+(** Abstract instruction-mix accounting.
+
+    Work functions report how much work one firing performed, broken
+    down by instruction class.  The profiler turns a mix into cycles
+    on a concrete platform by taking the dot product with that
+    platform's per-class cycle costs — this is the "cycle-accurate
+    simulation" substitute for running on real hardware or MSPsim
+    (see DESIGN.md).  Keeping classes separate is what lets the model
+    reproduce the paper's Figure 8: on a TMote every float op is
+    software-emulated and dominates, while on a PC floats are cheap. *)
+
+type t = {
+  int_ops : float;  (** integer ALU operations *)
+  float_ops : float;  (** float add/sub/mul/div *)
+  trans_ops : float;  (** transcendental calls: log, cos, sqrt, exp *)
+  mem_ops : float;  (** loads/stores beyond register traffic *)
+  branch_ops : float;  (** loop iterations and conditionals *)
+  call_ops : float;  (** function-call / emit / task overhead *)
+}
+
+val zero : t
+val add : t -> t -> t
+val scale : float -> t -> t
+val total : t -> float
+(** Unweighted total operation count (platform-independent). *)
+
+val make :
+  ?int_ops:float ->
+  ?float_ops:float ->
+  ?trans_ops:float ->
+  ?mem_ops:float ->
+  ?branch_ops:float ->
+  ?call_ops:float ->
+  unit ->
+  t
+
+val loop : iters:int -> body:t -> t
+(** Workload of a counted loop: [iters] executions of [body] plus one
+    branch per iteration — the shape Wishbone's TinyOS profiler
+    recovers by timestamping loop heads (§3). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/dsp/dct.ml: Array Dataflow Float

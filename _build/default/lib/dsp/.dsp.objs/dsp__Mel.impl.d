@@ -1,0 +1,1 @@
+lib/dsp/mel.ml: Array Dataflow Float List

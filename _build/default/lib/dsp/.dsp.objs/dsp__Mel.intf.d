@@ -1,0 +1,1 @@
+lib/dsp/mel.mli: Dataflow

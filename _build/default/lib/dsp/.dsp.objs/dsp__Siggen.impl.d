@@ -1,0 +1,1 @@
+lib/dsp/siggen.ml: Array Float Int Prng

@@ -1,0 +1,1 @@
+lib/dsp/svm.ml: Array Dataflow Float Prng

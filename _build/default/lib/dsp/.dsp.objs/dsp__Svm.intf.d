@@ -1,0 +1,1 @@
+lib/dsp/svm.mli: Dataflow

@@ -1,0 +1,1 @@
+lib/dsp/wavelet.ml: Array Dataflow Fir Float

@@ -1,0 +1,1 @@
+lib/dsp/wavelet.mli: Dataflow

@@ -1,0 +1,1 @@
+lib/dsp/window.ml: Array Dataflow Float Int

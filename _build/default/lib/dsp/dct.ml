@@ -1,0 +1,43 @@
+let dct_ii ?n_out x =
+  let n = Array.length x in
+  if n = 0 then invalid_arg "Dct.dct_ii: empty input";
+  let n_out = match n_out with Some k -> k | None -> n in
+  if n_out < 0 || n_out > n then invalid_arg "Dct.dct_ii: bad n_out";
+  let nf = Float.of_int n in
+  let out = Array.make n_out 0. in
+  for k = 0 to n_out - 1 do
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      acc :=
+        !acc
+        +. x.(i)
+           *. Float.cos (Float.pi /. nf *. (Float.of_int i +. 0.5) *. Float.of_int k)
+    done;
+    let scale =
+      if k = 0 then Float.sqrt (1. /. nf) else Float.sqrt (2. /. nf)
+    in
+    out.(k) <- scale *. !acc
+  done;
+  let pairs = Float.of_int (n * n_out) in
+  ( out,
+    Dataflow.Workload.make ~trans_ops:pairs ~float_ops:(4. *. pairs)
+      ~mem_ops:(2. *. pairs) ~branch_ops:pairs
+      ~call_ops:(Float.of_int n_out) () )
+
+let idct_ii ?n coeffs =
+  let k_in = Array.length coeffs in
+  let n = match n with Some v -> v | None -> k_in in
+  if n < k_in then invalid_arg "Dct.idct_ii: output shorter than input";
+  let nf = Float.of_int n in
+  Array.init n (fun i ->
+      let acc = ref 0. in
+      for k = 0 to k_in - 1 do
+        let scale =
+          if k = 0 then Float.sqrt (1. /. nf) else Float.sqrt (2. /. nf)
+        in
+        acc :=
+          !acc
+          +. scale *. coeffs.(k)
+             *. Float.cos (Float.pi /. nf *. (Float.of_int i +. 0.5) *. Float.of_int k)
+      done;
+      !acc)

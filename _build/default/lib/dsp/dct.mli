@@ -1,0 +1,14 @@
+(** Discrete cosine transform (type II), used for the cepstral step:
+    the first 13 DCT coefficients of the log mel spectrum are the
+    MFCCs (§6.2.1).  The direct implementation evaluates a cosine per
+    (coefficient, input) pair, which is what makes the [cepstrals]
+    operator float- and transcendental-heavy — the dominant cost on a
+    TMote (Figure 8). *)
+
+val dct_ii : ?n_out:int -> float array -> float array * Dataflow.Workload.t
+(** [dct_ii ~n_out x] returns the first [n_out] (default all) DCT-II
+    coefficients with orthonormal scaling. *)
+
+val idct_ii : ?n:int -> float array -> float array
+(** Inverse (DCT-III with orthonormal scaling); [n] is the output
+    length (default: input length).  Test oracle. *)

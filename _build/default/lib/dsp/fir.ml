@@ -1,0 +1,87 @@
+type t = {
+  coeffs : float array;
+  hist : float array;  (* circular buffer of past inputs *)
+  mutable pos : int;
+}
+
+let create coeffs =
+  if Array.length coeffs = 0 then invalid_arg "Fir.create: empty coefficients";
+  { coeffs; hist = Array.make (Array.length coeffs) 0.; pos = 0 }
+
+let reset f =
+  Array.fill f.hist 0 (Array.length f.hist) 0.;
+  f.pos <- 0
+
+let tap_workload n =
+  let nf = Float.of_int n in
+  Dataflow.Workload.make ~float_ops:(2. *. nf) ~mem_ops:(2. *. nf)
+    ~branch_ops:nf ~int_ops:nf ()
+
+let push_sample f x =
+  let n = Array.length f.coeffs in
+  f.hist.(f.pos) <- x;
+  let acc = ref 0. in
+  for k = 0 to n - 1 do
+    let idx = (f.pos - k + n) mod n in
+    acc := !acc +. (f.coeffs.(k) *. f.hist.(idx))
+  done;
+  f.pos <- (f.pos + 1) mod n;
+  !acc
+
+let push f x = (push_sample f x, tap_workload (Array.length f.coeffs))
+
+let filter_frame f frame =
+  let out = Array.map (fun x -> push_sample f x) frame in
+  let w =
+    Dataflow.Workload.add
+      (Dataflow.Workload.scale
+         (Float.of_int (Array.length frame))
+         (tap_workload (Array.length f.coeffs)))
+      (Dataflow.Workload.make ~call_ops:1. ())
+  in
+  (out, w)
+
+let decimate f ~factor frame =
+  if factor <= 0 then invalid_arg "Fir.decimate: factor must be positive";
+  let n = Array.length frame in
+  let m = n / factor in
+  let out = Array.make m 0. in
+  for i = 0 to n - 1 do
+    let y = push_sample f frame.(i) in
+    if i mod factor = factor - 1 then out.((i / factor)) <- y
+  done;
+  let w =
+    Dataflow.Workload.add
+      (Dataflow.Workload.scale (Float.of_int n)
+         (tap_workload (Array.length f.coeffs)))
+      (Dataflow.Workload.make ~int_ops:(Float.of_int n)
+         ~branch_ops:(Float.of_int n) ~call_ops:1. ())
+  in
+  (out, w)
+
+let moving_average n =
+  if n <= 0 then invalid_arg "Fir.moving_average: length must be positive";
+  Array.make n (1. /. Float.of_int n)
+
+let low_pass ~cutoff ~taps =
+  if cutoff <= 0. || cutoff > 0.5 then
+    invalid_arg "Fir.low_pass: cutoff must be in (0, 0.5]";
+  if taps <= 0 then invalid_arg "Fir.low_pass: taps must be positive";
+  let mid = Float.of_int (taps - 1) /. 2. in
+  let h =
+    Array.init taps (fun i ->
+        let t = Float.of_int i -. mid in
+        let sinc =
+          if Float.abs t < 1e-12 then 2. *. cutoff
+          else Float.sin (2. *. Float.pi *. cutoff *. t) /. (Float.pi *. t)
+        in
+        let hamming =
+          0.54
+          -. 0.46
+             *. Float.cos (2. *. Float.pi *. Float.of_int i /. Float.of_int (Int.max 1 (taps - 1)))
+        in
+        sinc *. hamming)
+  in
+  (* normalize DC gain to 1 *)
+  let s = Array.fold_left ( +. ) 0. h in
+  if Float.abs s > 1e-12 then Array.map (fun x -> x /. s) h else h

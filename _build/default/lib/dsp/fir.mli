@@ -1,0 +1,35 @@
+(** Finite impulse response filters.
+
+    Mirrors the paper's Figure 1: a streaming FIR keeps an N-deep FIFO
+    of past samples as private operator state.  A frame-based variant
+    filters a whole window at once (used by the mote's 32 kS/s to
+    8 kS/s decimating low-pass, §6.2.3). *)
+
+type t
+(** Streaming filter state. *)
+
+val create : float array -> t
+(** [create coeffs]; the FIFO starts zero-filled like [FIRFilter] in
+    Figure 1. *)
+
+val reset : t -> unit
+
+val push : t -> float -> float * Dataflow.Workload.t
+(** Feed one sample; returns the filter output. *)
+
+val filter_frame : t -> float array -> float array * Dataflow.Workload.t
+(** Feed a frame through the streaming state, preserving continuity
+    across frames. *)
+
+val decimate :
+  t -> factor:int -> float array -> float array * Dataflow.Workload.t
+(** Low-pass through the filter and keep every [factor]-th output —
+    the anti-aliasing decimator of the TMote audio board. *)
+
+val moving_average : int -> float array
+(** Box-car coefficients of the given length (a simple low-pass for
+    tests and the prefilter). *)
+
+val low_pass : cutoff:float -> taps:int -> float array
+(** Windowed-sinc low-pass; [cutoff] is the normalized frequency in
+    (0, 0.5]. *)

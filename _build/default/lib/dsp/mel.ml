@@ -1,0 +1,75 @@
+type t = {
+  n_fft : int;
+  (* per filter: bin range and triangle weights *)
+  filters : (int * float array) array;
+}
+
+let hz_to_mel f = 2595. *. Float.log10 (1. +. (f /. 700.))
+let mel_to_hz m = 700. *. ((10. ** (m /. 2595.)) -. 1.)
+
+let create ~n_filters ~n_fft ~sample_rate ?(f_lo = 0.) ?f_hi () =
+  if n_filters <= 0 then invalid_arg "Mel.create: n_filters must be positive";
+  let f_hi = match f_hi with Some f -> f | None -> sample_rate /. 2. in
+  if f_lo < 0. || f_hi <= f_lo then invalid_arg "Mel.create: bad band";
+  let n_bins = (n_fft / 2) + 1 in
+  let mel_lo = hz_to_mel f_lo and mel_hi = hz_to_mel f_hi in
+  (* n_filters + 2 boundary points, evenly spaced in mel *)
+  let centers =
+    Array.init (n_filters + 2) (fun i ->
+        let m =
+          mel_lo +. ((mel_hi -. mel_lo) *. Float.of_int i /. Float.of_int (n_filters + 1))
+        in
+        mel_to_hz m)
+  in
+  let hz_of_bin k = Float.of_int k *. sample_rate /. Float.of_int n_fft in
+  let filters =
+    Array.init n_filters (fun f ->
+        let left = centers.(f) and mid = centers.(f + 1) and right = centers.(f + 2) in
+        let weights = ref [] in
+        let start = ref (-1) in
+        for k = 0 to n_bins - 1 do
+          let hz = hz_of_bin k in
+          if hz > left && hz < right then begin
+            let w =
+              if hz <= mid then (hz -. left) /. Float.max 1e-9 (mid -. left)
+              else (right -. hz) /. Float.max 1e-9 (right -. mid)
+            in
+            if !start < 0 then start := k;
+            weights := w :: !weights
+          end
+        done;
+        let arr = Array.of_list (List.rev !weights) in
+        ((if !start < 0 then 0 else !start), arr))
+  in
+  { n_fft; filters }
+
+let n_filters bank = Array.length bank.filters
+
+let apply bank power =
+  let n_bins = (bank.n_fft / 2) + 1 in
+  if Array.length power <> n_bins then
+    invalid_arg "Mel.apply: power spectrum length mismatch";
+  let total_taps = ref 0 in
+  let out =
+    Array.map
+      (fun (start, weights) ->
+        let acc = ref 0. in
+        Array.iteri (fun i w -> acc := !acc +. (w *. power.(start + i))) weights;
+        total_taps := !total_taps + Array.length weights;
+        !acc)
+      bank.filters
+  in
+  let taps = Float.of_int !total_taps in
+  ( out,
+    Dataflow.Workload.make ~float_ops:(2. *. taps) ~mem_ops:(2. *. taps)
+      ~branch_ops:taps
+      ~call_ops:(Float.of_int (Array.length bank.filters))
+      () )
+
+let log_energies e =
+  let eps = 1e-12 in
+  let out = Array.map (fun x -> Float.log (Float.max eps x)) e in
+  let nf = Float.of_int (Array.length e) in
+  ( out,
+    Dataflow.Workload.make ~trans_ops:nf ~float_ops:nf ~mem_ops:(2. *. nf)
+      ~branch_ops:nf ~call_ops:1. () )

@@ -1,0 +1,26 @@
+(** Mel-scale filter bank.
+
+    Summarizes a power spectrum with overlapping triangular filters
+    spaced on the perceptual mel scale (§6.2.1); the 32-filter bank
+    reduces a 400-byte frame to 128 bytes, the first data-reducing
+    step of the speech pipeline. *)
+
+type t
+
+val create :
+  n_filters:int -> n_fft:int -> sample_rate:float ->
+  ?f_lo:float -> ?f_hi:float -> unit -> t
+(** [n_fft] is the FFT length whose [n_fft/2 + 1] power bins feed the
+    bank.  Default band: 0 Hz to Nyquist. *)
+
+val hz_to_mel : float -> float
+val mel_to_hz : float -> float
+
+val n_filters : t -> int
+
+val apply : t -> float array -> float array * Dataflow.Workload.t
+(** [apply bank power_bins] returns one energy per filter.
+    @raise Invalid_argument when [power_bins] has the wrong length. *)
+
+val log_energies : float array -> float array * Dataflow.Workload.t
+(** Elementwise [log (max eps e)] — the "logs" operator. *)

@@ -1,0 +1,124 @@
+let white_noise rng n = Array.init n (fun _ -> Prng.gaussian rng)
+
+let sine ~sample_rate ~freq ?(phase = 0.) n =
+  Array.init n (fun i ->
+      Float.sin (phase +. (2. *. Float.pi *. freq *. Float.of_int i /. sample_rate)))
+
+module Speech = struct
+  type t = {
+    rng : Prng.t;
+    sample_rate : float;
+    mutable t_samples : int;
+    mutable voiced : bool;
+    mutable segment_left : int;  (* samples until segment switch *)
+    mutable pitch_hz : float;
+    mutable phase : float;
+  }
+
+  let create ?(seed = 42) ?(sample_rate = 8000.) () =
+    {
+      rng = Prng.create seed;
+      sample_rate;
+      t_samples = 0;
+      voiced = false;
+      segment_left = int_of_float (0.5 *. sample_rate);
+      pitch_hz = 120.;
+      phase = 0.;
+    }
+
+  let switch_segment t =
+    t.voiced <- not t.voiced;
+    let dur_s =
+      if t.voiced then Prng.uniform t.rng 0.5 2.0
+      else Prng.uniform t.rng 0.3 1.5
+    in
+    t.segment_left <- Int.max 1 (int_of_float (dur_s *. t.sample_rate));
+    if t.voiced then t.pitch_hz <- Prng.uniform t.rng 90. 220.
+
+  let sample t =
+    if t.segment_left <= 0 then switch_segment t;
+    t.segment_left <- t.segment_left - 1;
+    t.t_samples <- t.t_samples + 1;
+    let noise = Prng.gaussian t.rng in
+    let v =
+      if t.voiced then begin
+        t.phase <- t.phase +. (2. *. Float.pi *. t.pitch_hz /. t.sample_rate);
+        if t.phase > 2. *. Float.pi then t.phase <- t.phase -. (2. *. Float.pi);
+        (* a few harmonics with decaying amplitude, like glottal pulses
+           shaped by the vocal tract *)
+        let h1 = Float.sin t.phase in
+        let h2 = 0.6 *. Float.sin (2. *. t.phase) in
+        let h3 = 0.35 *. Float.sin (3. *. t.phase) in
+        let h4 = 0.2 *. Float.sin (5. *. t.phase) in
+        (0.55 *. (h1 +. h2 +. h3 +. h4)) +. (0.03 *. noise)
+      end
+      else 0.02 *. noise
+    in
+    (* 12-bit signed ADC range *)
+    let q = int_of_float (Float.round (v *. 1500.)) in
+    Int.max (-2048) (Int.min 2047 q)
+
+  let frame t n = Array.init n (fun _ -> sample t)
+
+  let is_voiced t = t.voiced
+end
+
+module Eeg = struct
+  type t = {
+    rng : Prng.t;
+    n_channels : int;
+    sample_rate : float;
+    seizure_period : int;  (* samples *)
+    seizure_len : int;
+    mutable t_samples : int;
+    (* per-channel one-pole low-pass state for pink-ish background *)
+    lp_state : float array;
+    chan_gain : float array;
+  }
+
+  let create ?(seed = 7) ?(n_channels = 22) ?(sample_rate = 256.)
+      ?(seizure_period_s = 60.) ?(seizure_len_s = 12.) () =
+    let rng = Prng.create seed in
+    {
+      rng;
+      n_channels;
+      sample_rate;
+      seizure_period = Int.max 1 (int_of_float (seizure_period_s *. sample_rate));
+      seizure_len = Int.max 1 (int_of_float (seizure_len_s *. sample_rate));
+      t_samples = 0;
+      lp_state = Array.make n_channels 0.;
+      chan_gain = Array.init n_channels (fun _ -> Prng.uniform rng 0.7 1.3);
+    }
+
+  let in_seizure_at t k = k mod t.seizure_period < t.seizure_len
+
+  let in_seizure t = in_seizure_at t t.t_samples
+
+  let window t n =
+    let start = t.t_samples in
+    let out =
+      Array.init t.n_channels (fun _ -> Array.make n 0.)
+    in
+    for i = 0 to n - 1 do
+      let k = start + i in
+      let ictal = in_seizure_at t k in
+      let tsec = Float.of_int k /. t.sample_rate in
+      (* oscillatory seizure wave: ~3 Hz with a touch of 7 Hz, well
+         below the 20 Hz band the detector inspects *)
+      let burst =
+        if ictal then
+          (40. *. Float.sin (2. *. Float.pi *. 3. *. tsec))
+          +. (15. *. Float.sin (2. *. Float.pi *. 7. *. tsec))
+        else 0.
+      in
+      for c = 0 to t.n_channels - 1 do
+        let w = Prng.gaussian t.rng in
+        (* one-pole low-pass gives a 1/f-ish background *)
+        t.lp_state.(c) <- (0.95 *. t.lp_state.(c)) +. (0.05 *. w *. 60.);
+        out.(c).(i) <-
+          t.chan_gain.(c) *. (t.lp_state.(c) +. burst +. (3. *. w))
+      done
+    done;
+    t.t_samples <- start + n;
+    out
+end

@@ -1,0 +1,41 @@
+(** Deterministic synthetic signal generators.
+
+    Substitutes for the paper's microphone and EEG-cap sample data
+    (see DESIGN.md): the generators exercise the same operator code
+    paths at the paper's sampling rates.  All generators are seeded
+    and reproducible. *)
+
+(** Speech-like audio: alternating voiced segments (harmonic
+    excitation shaped by formant-ish envelopes) and silence/noise. *)
+module Speech : sig
+  type t
+
+  val create : ?seed:int -> ?sample_rate:float -> unit -> t
+
+  val frame : t -> int -> int array
+  (** [frame t n] produces the next [n] 12-bit signed samples, as
+      delivered by the TMote ADC. *)
+
+  val is_voiced : t -> bool
+  (** Whether the generator is currently inside a voiced segment
+      (ground truth for detection tests). *)
+end
+
+(** EEG-like multichannel signal: 1/f-ish background plus 3 Hz
+    oscillatory bursts below 20 Hz during "ictal" (seizure) episodes,
+    matching the §6.1 description of what the detector looks for. *)
+module Eeg : sig
+  type t
+
+  val create : ?seed:int -> ?n_channels:int -> ?sample_rate:float ->
+    ?seizure_period_s:float -> ?seizure_len_s:float -> unit -> t
+
+  val window : t -> int -> float array array
+  (** [window t n] advances time by [n] samples and returns one
+      [n]-sample array per channel (16-bit-range floats). *)
+
+  val in_seizure : t -> bool
+end
+
+val white_noise : Prng.t -> int -> float array
+val sine : sample_rate:float -> freq:float -> ?phase:float -> int -> float array

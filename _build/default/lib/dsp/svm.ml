@@ -1,0 +1,78 @@
+type t = { weights : float array; bias : float }
+
+let decision svm x =
+  let n = Array.length svm.weights in
+  if Array.length x <> n then invalid_arg "Svm.decision: dimension mismatch";
+  let acc = ref svm.bias in
+  for i = 0 to n - 1 do
+    acc := !acc +. (svm.weights.(i) *. x.(i))
+  done;
+  let nf = Float.of_int n in
+  ( !acc,
+    Dataflow.Workload.make ~float_ops:(2. *. nf) ~mem_ops:(2. *. nf)
+      ~branch_ops:nf ~call_ops:1. () )
+
+let classify svm x =
+  let d, w = decision svm x in
+  (d > 0., w)
+
+let train ?(epochs = 50) ?(learning_rate = 0.05) ?(lambda = 1e-3) samples =
+  let m = Array.length samples in
+  if m = 0 then invalid_arg "Svm.train: no samples";
+  let dim = Array.length (fst samples.(0)) in
+  Array.iter
+    (fun (x, _) ->
+      if Array.length x <> dim then invalid_arg "Svm.train: ragged samples")
+    samples;
+  let w = Array.make dim 0. in
+  let b = ref 0. in
+  let rng = Prng.create 0x5743 in
+  for epoch = 1 to epochs do
+    let eta = learning_rate /. Float.of_int epoch in
+    for _ = 1 to m do
+      let x, label = samples.(Prng.int rng m) in
+      let y = if label then 1. else -1. in
+      let margin =
+        let acc = ref !b in
+        for i = 0 to dim - 1 do
+          acc := !acc +. (w.(i) *. x.(i))
+        done;
+        y *. !acc
+      in
+      for i = 0 to dim - 1 do
+        let grad =
+          (lambda *. w.(i)) -. (if margin < 1. then y *. x.(i) else 0.)
+        in
+        w.(i) <- w.(i) -. (eta *. grad)
+      done;
+      if margin < 1. then b := !b +. (eta *. y)
+    done
+  done;
+  { weights = w; bias = !b }
+
+module Debounce = struct
+  type state = { k : int; mutable run : int; mutable fired : bool }
+
+  let create ~k =
+    if k <= 0 then invalid_arg "Svm.Debounce.create: k must be positive";
+    { k; run = 0; fired = false }
+
+  let reset s =
+    s.run <- 0;
+    s.fired <- false
+
+  let step s positive =
+    if positive then begin
+      s.run <- s.run + 1;
+      if s.run >= s.k && not s.fired then begin
+        s.fired <- true;
+        true
+      end
+      else false
+    end
+    else begin
+      s.run <- 0;
+      s.fired <- false;
+      false
+    end
+end

@@ -1,0 +1,35 @@
+(** Linear support vector machine.
+
+    The EEG application feeds a 66-element feature vector into a
+    patient-specific SVM; a seizure is declared after three
+    consecutive positive windows (§6.1). *)
+
+type t = { weights : float array; bias : float }
+
+val decision : t -> float array -> float * Dataflow.Workload.t
+(** Signed distance [w . x + b].
+    @raise Invalid_argument on a dimension mismatch. *)
+
+val classify : t -> float array -> bool * Dataflow.Workload.t
+(** [decision > 0]. *)
+
+val train :
+  ?epochs:int -> ?learning_rate:float -> ?lambda:float ->
+  (float array * bool) array -> t
+(** Stochastic sub-gradient descent on the L2-regularized hinge loss
+    (Pegasos-style); enough to produce a working patient-specific
+    detector from labelled windows.
+    @raise Invalid_argument on empty or ragged training data. *)
+
+(** Post-classifier that declares an event after [k] consecutive
+    positive windows. *)
+module Debounce : sig
+  type state
+
+  val create : k:int -> state
+  val reset : state -> unit
+  val step : state -> bool -> bool
+  (** Feed one window classification; returns whether the event fires
+      on this window (edge-triggered: fires once per run of
+      positives). *)
+end

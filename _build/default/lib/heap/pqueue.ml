@@ -1,0 +1,69 @@
+type 'a t = {
+  mutable keys : float array;
+  mutable data : 'a option array;
+  mutable size : int;
+}
+
+let create () = { keys = Array.make 16 0.; data = Array.make 16 None; size = 0 }
+
+let is_empty q = q.size = 0
+let length q = q.size
+
+let grow q =
+  let cap = Array.length q.keys in
+  if q.size = cap then begin
+    let keys = Array.make (2 * cap) 0. in
+    let data = Array.make (2 * cap) None in
+    Array.blit q.keys 0 keys 0 cap;
+    Array.blit q.data 0 data 0 cap;
+    q.keys <- keys;
+    q.data <- data
+  end
+
+let swap q i j =
+  let k = q.keys.(i) and d = q.data.(i) in
+  q.keys.(i) <- q.keys.(j);
+  q.data.(i) <- q.data.(j);
+  q.keys.(j) <- k;
+  q.data.(j) <- d
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if q.keys.(i) < q.keys.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && q.keys.(l) < q.keys.(!smallest) then smallest := l;
+  if r < q.size && q.keys.(r) < q.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let push q key v =
+  grow q;
+  q.keys.(q.size) <- key;
+  q.data.(q.size) <- Some v;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let key = q.keys.(0) in
+    let v = match q.data.(0) with Some v -> v | None -> assert false in
+    q.size <- q.size - 1;
+    q.keys.(0) <- q.keys.(q.size);
+    q.data.(0) <- q.data.(q.size);
+    q.data.(q.size) <- None;
+    if q.size > 0 then sift_down q 0;
+    Some (key, v)
+  end
+
+let min_key q = if q.size = 0 then None else Some q.keys.(0)

@@ -1,0 +1,13 @@
+(** Minimal binary min-heap keyed by floats, used by branch & bound to
+    order open nodes by their LP relaxation bound (best-first). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a t -> float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the entry with the smallest key. *)
+
+val min_key : 'a t -> float option

@@ -1,0 +1,1 @@
+lib/lp/brute.ml: Array Float Problem Simplex Solution

@@ -1,0 +1,190 @@
+type options = {
+  max_nodes : int;
+  int_tol : float;
+  gap_tol : float;
+  time_limit : float;
+  simplex : Simplex.options;
+}
+
+let default_options =
+  {
+    max_nodes = 200_000;
+    int_tol = 1e-6;
+    gap_tol = 0.;
+    time_limit = infinity;
+    simplex = Simplex.default_options;
+  }
+
+type stats = {
+  nodes_explored : int;
+  lp_solves : int;
+  time_to_incumbent : float;
+  time_total : float;
+  proved_optimal : bool;
+  best_bound : float;
+  incumbent_trace : (float * float) list;
+}
+
+type node = { lo : float array; hi : float array; relax : Solution.t }
+
+(* Most fractional integer variable, or None when integral. *)
+let fractional_var ~int_tol int_vars (x : float array) =
+  let best = ref None in
+  let best_score = ref int_tol in
+  List.iter
+    (fun v ->
+      let f = x.(v) -. Float.round x.(v) in
+      let dist = Float.abs f in
+      if dist > !best_score then begin
+        (* prefer the variable closest to .5 *)
+        best_score := dist;
+        best := Some v
+      end)
+    int_vars;
+  !best
+
+let snap ~int_tol int_vars (x : float array) =
+  let x = Array.copy x in
+  List.iter
+    (fun v ->
+      let r = Float.round x.(v) in
+      if Float.abs (x.(v) -. r) <= int_tol *. 10. then x.(v) <- r)
+    int_vars;
+  x
+
+let solve ?(options = default_options) problem =
+  let t0 = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. t0 in
+  let minimize = Problem.direction problem = Problem.Minimize in
+  (* internal keys are always "minimize": smaller is better *)
+  let key_of_obj obj = if minimize then obj else -.obj in
+  let obj_of_key key = if minimize then key else -.key in
+  let int_vars = Problem.integer_vars problem in
+  let lp_solves = ref 0 in
+  let relaxation ~lo ~hi =
+    incr lp_solves;
+    Simplex.solve ~options:options.simplex ~lo ~hi problem
+  in
+  let vars = Problem.vars problem in
+  let lo0 = Array.map (fun (v : Problem.var_info) -> v.lo) vars in
+  let hi0 = Array.map (fun (v : Problem.var_info) -> v.hi) vars in
+  let finish status ~proved ~best_bound ~t_inc ~nodes ~trace =
+    ( status,
+      {
+        nodes_explored = nodes;
+        lp_solves = !lp_solves;
+        time_to_incumbent = t_inc;
+        time_total = elapsed ();
+        proved_optimal = proved;
+        best_bound;
+        incumbent_trace = List.rev trace;
+      } )
+  in
+  match relaxation ~lo:lo0 ~hi:hi0 with
+  | Solution.Infeasible ->
+      finish Solution.Infeasible ~proved:true ~best_bound:nan ~t_inc:0.
+        ~nodes:0 ~trace:[]
+  | Solution.Unbounded ->
+      finish Solution.Unbounded ~proved:true ~best_bound:nan ~t_inc:0. ~nodes:0
+        ~trace:[]
+  | Solution.Iteration_limit ->
+      finish Solution.Iteration_limit ~proved:false ~best_bound:nan ~t_inc:0.
+        ~nodes:0 ~trace:[]
+  | Solution.Optimal root_relax -> (
+      let open_nodes : node Heap.Pqueue.t = Heap.Pqueue.create () in
+      Heap.Pqueue.push open_nodes
+        (key_of_obj root_relax.objective)
+        { lo = lo0; hi = hi0; relax = root_relax };
+      let incumbent = ref None in
+      let incumbent_key = ref infinity in
+      let t_incumbent = ref 0. in
+      let trace = ref [] in
+      let nodes = ref 0 in
+      let hit_budget = ref false in
+      let try_incumbent (sol : Solution.t) =
+        let x = snap ~int_tol:options.int_tol int_vars sol.x in
+        let obj = Problem.objective_value problem x in
+        let key = key_of_obj obj in
+        if
+          Problem.constraint_violation problem x <= 1e-5
+          && key < !incumbent_key -. 1e-12
+        then begin
+          incumbent := Some { Solution.x; objective = obj };
+          incumbent_key := key;
+          t_incumbent := elapsed ();
+          trace := (!t_incumbent, obj) :: !trace
+        end
+      in
+      let gap_closed bound_key =
+        match !incumbent with
+        | None -> false
+        | Some _ ->
+            let gap = !incumbent_key -. bound_key in
+            gap <= options.gap_tol *. Float.max 1. (Float.abs !incumbent_key)
+                   +. 1e-9
+      in
+      let continue = ref true in
+      while !continue do
+        match Heap.Pqueue.min_key open_nodes with
+        | None -> continue := false
+        | Some bound_key when gap_closed bound_key -> continue := false
+        | Some _ ->
+            if !nodes >= options.max_nodes || elapsed () > options.time_limit
+            then begin
+              hit_budget := true;
+              continue := false
+            end
+            else begin
+              match Heap.Pqueue.pop open_nodes with
+              | None -> continue := false
+              | Some (_, node) -> (
+                  incr nodes;
+                  match
+                    fractional_var ~int_tol:options.int_tol int_vars
+                      node.relax.x
+                  with
+                  | None -> try_incumbent node.relax
+                  | Some v ->
+                      let xv = node.relax.x.(v) in
+                      let expand ~lo ~hi =
+                        match relaxation ~lo ~hi with
+                        | Solution.Optimal relax ->
+                            let key = key_of_obj relax.objective in
+                            if key < !incumbent_key -. 1e-12 then
+                              Heap.Pqueue.push open_nodes key { lo; hi; relax }
+                        | Solution.Infeasible -> ()
+                        | Solution.Unbounded ->
+                            (* a bounded parent cannot have an unbounded
+                               child; treat as numerical noise *)
+                            ()
+                        | Solution.Iteration_limit -> hit_budget := true
+                      in
+                      (* down child: x_v <= floor *)
+                      let hi_down = Array.copy node.hi in
+                      hi_down.(v) <- Float.of_int (int_of_float (Float.floor xv));
+                      expand ~lo:node.lo ~hi:hi_down;
+                      (* up child: x_v >= ceil *)
+                      let lo_up = Array.copy node.lo in
+                      lo_up.(v) <- Float.of_int (int_of_float (Float.ceil xv));
+                      expand ~lo:lo_up ~hi:node.hi)
+            end
+      done;
+      let best_bound_key =
+        match Heap.Pqueue.min_key open_nodes with
+        | Some k -> Float.min k !incumbent_key
+        | None -> !incumbent_key
+      in
+      match !incumbent with
+      | Some sol ->
+          let proved = (not !hit_budget) || gap_closed best_bound_key in
+          finish (Solution.Optimal sol) ~proved
+            ~best_bound:(obj_of_key best_bound_key) ~t_inc:!t_incumbent
+            ~nodes:!nodes ~trace:!trace
+      | None ->
+          if !hit_budget then
+            finish Solution.Iteration_limit ~proved:false
+              ~best_bound:(obj_of_key best_bound_key) ~t_inc:0. ~nodes:!nodes
+              ~trace:!trace
+          else
+            finish Solution.Infeasible ~proved:true ~best_bound:nan ~t_inc:0.
+              ~nodes:!nodes ~trace:!trace)

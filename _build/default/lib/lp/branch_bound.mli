@@ -1,0 +1,43 @@
+(** Best-first branch & bound for mixed-integer linear programs.
+
+    LP relaxations are solved by {!Simplex}; open nodes are kept in a
+    min-heap ordered by relaxation bound so the most promising subtree
+    is explored first (this mirrors how [lp_solve]'s branch-and-bound
+    behaves on the Wishbone formulations and lets us reproduce the
+    paper's Figure 6 "time to discover" vs "time to prove"
+    distinction).
+
+    Statistics record when the final incumbent was found
+    ([time_to_incumbent]) separately from when optimality was proved
+    ([time_total]). *)
+
+type options = {
+  max_nodes : int;  (** open-node exploration budget *)
+  int_tol : float;  (** how close to integral a relaxed value must be *)
+  gap_tol : float;
+      (** terminate when (incumbent - bound) / max(1, |incumbent|)
+          falls below this; [0.] demands a full proof *)
+  time_limit : float;  (** wall-clock seconds; [infinity] = unlimited *)
+  simplex : Simplex.options;
+}
+
+val default_options : options
+
+type stats = {
+  nodes_explored : int;
+  lp_solves : int;
+  time_to_incumbent : float;
+      (** seconds until the returned solution was first discovered *)
+  time_total : float;  (** seconds until termination (proof or budget) *)
+  proved_optimal : bool;
+  best_bound : float;
+      (** strongest dual bound at termination, in the problem's own
+          direction *)
+  incumbent_trace : (float * float) list;
+      (** (time, objective) for each incumbent improvement, in
+          chronological order *)
+}
+
+val solve : ?options:options -> Problem.t -> Solution.status * stats
+(** Solves the problem honouring the [integer] markers set through
+    {!Problem.add_var}.  Never mutates the problem. *)

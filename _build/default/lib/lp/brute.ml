@@ -1,0 +1,66 @@
+let solve ?(max_combinations = 2_000_000) problem =
+  let int_vars = Array.of_list (Problem.integer_vars problem) in
+  let vars = Problem.vars problem in
+  let ranges =
+    Array.map
+      (fun v ->
+        let info = vars.(v) in
+        if not (Float.is_finite info.lo && Float.is_finite info.hi) then
+          invalid_arg "Brute.solve: integer variable with infinite bound";
+        let lo = int_of_float (Float.ceil (info.lo -. 1e-9)) in
+        let hi = int_of_float (Float.floor (info.hi +. 1e-9)) in
+        (lo, hi))
+      int_vars
+  in
+  let count =
+    Array.fold_left
+      (fun acc (lo, hi) ->
+        if hi < lo then 0 else acc * (hi - lo + 1))
+      1 ranges
+  in
+  if count > max_combinations then
+    invalid_arg "Brute.solve: too many integer combinations";
+  if count = 0 then Solution.Infeasible
+  else begin
+    let n = Problem.n_vars problem in
+    let lo0 = Array.map (fun (v : Problem.var_info) -> v.lo) vars in
+    let hi0 = Array.map (fun (v : Problem.var_info) -> v.hi) vars in
+    let minimize = Problem.direction problem = Problem.Minimize in
+    let best = ref None in
+    let best_key = ref infinity in
+    let assignment = Array.map fst ranges in
+    let saw_unbounded = ref false in
+    let rec enumerate i =
+      if i = Array.length int_vars then begin
+        let lo = Array.make n 0. and hi = Array.make n 0. in
+        Array.blit lo0 0 lo 0 n;
+        Array.blit hi0 0 hi 0 n;
+        Array.iteri
+          (fun k v ->
+            let x = Float.of_int assignment.(k) in
+            lo.(v) <- x;
+            hi.(v) <- x)
+          int_vars;
+        match Simplex.solve ~lo ~hi problem with
+        | Solution.Optimal sol ->
+            let key = if minimize then sol.objective else -.sol.objective in
+            if key < !best_key then begin
+              best_key := key;
+              best := Some sol
+            end
+        | Solution.Infeasible -> ()
+        | Solution.Unbounded -> saw_unbounded := true
+        | Solution.Iteration_limit -> ()
+      end
+      else begin
+        let lo, hi = ranges.(i) in
+        for v = lo to hi do
+          assignment.(i) <- v;
+          enumerate (i + 1)
+        done
+      end
+    in
+    enumerate 0;
+    if !saw_unbounded then Solution.Unbounded
+    else match !best with Some s -> Solution.Optimal s | None -> Solution.Infeasible
+  end

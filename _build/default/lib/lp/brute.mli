@@ -1,0 +1,11 @@
+(** Exhaustive reference solver for small mixed-integer programs.
+
+    Enumerates every integer assignment within the declared bounds and
+    solves the continuous remainder with {!Simplex}.  Exponential —
+    intended only as a test oracle for {!Branch_bound} and for the
+    partitioner property tests. *)
+
+val solve : ?max_combinations:int -> Problem.t -> Solution.status
+(** @raise Invalid_argument if an integer variable has an infinite
+    bound or the assignment count exceeds [max_combinations]
+    (default [2_000_000]). *)

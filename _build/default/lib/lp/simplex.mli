@@ -1,0 +1,33 @@
+(** Two-phase primal simplex for linear programs with bounded
+    variables.
+
+    The implementation is a dense-tableau bounded-variable simplex:
+    nonbasic variables rest at either bound, the ratio test allows
+    bound flips, and phase 1 drives a full set of artificial variables
+    to zero.  Dantzig pricing is used with a Bland's-rule fallback
+    after a run of degenerate pivots, which guarantees termination.
+
+    Problem sizes in Wishbone are small (at most a few thousand rows
+    after preprocessing), so a dense tableau is both simple and fast
+    enough; see DESIGN.md. *)
+
+type options = {
+  max_pivots : int;  (** total pivot budget across both phases *)
+  feas_tol : float;  (** feasibility / integrality of the basis *)
+  cost_tol : float;  (** reduced-cost optimality tolerance *)
+  degen_window : int;
+      (** consecutive non-improving pivots before switching to Bland *)
+}
+
+val default_options : options
+
+val solve :
+  ?options:options ->
+  ?lo:float array ->
+  ?hi:float array ->
+  Problem.t ->
+  Solution.status
+(** [solve p] ignores integrality markers and solves the LP
+    relaxation.  [lo] / [hi], when given, override the problem's
+    variable bounds without mutating it (used by branch & bound).
+    Overriding arrays must have length [Problem.n_vars p]. *)

@@ -1,0 +1,17 @@
+type t = { x : float array; objective : float }
+
+type status = Optimal of t | Infeasible | Unbounded | Iteration_limit
+
+let is_optimal = function Optimal _ -> true | _ -> false
+
+let get = function
+  | Optimal s -> s
+  | Infeasible -> invalid_arg "Solution.get: infeasible"
+  | Unbounded -> invalid_arg "Solution.get: unbounded"
+  | Iteration_limit -> invalid_arg "Solution.get: iteration limit"
+
+let pp_status ppf = function
+  | Optimal s -> Format.fprintf ppf "optimal (objective %g)" s.objective
+  | Infeasible -> Format.fprintf ppf "infeasible"
+  | Unbounded -> Format.fprintf ppf "unbounded"
+  | Iteration_limit -> Format.fprintf ppf "iteration limit reached"

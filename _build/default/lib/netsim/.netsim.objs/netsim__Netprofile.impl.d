@@ -1,0 +1,1 @@
+lib/netsim/netprofile.ml: Array Builder Dataflow Float Int List Option Profiler Testbed Value

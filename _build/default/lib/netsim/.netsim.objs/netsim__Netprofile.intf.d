@@ -1,0 +1,1 @@
+lib/netsim/netprofile.mli: Link

@@ -1,0 +1,1 @@
+lib/netsim/testbed.ml: Array Dataflow Float Graph Hashtbl Heap Int Link List Op Prng Profiler Queue Runtime Value

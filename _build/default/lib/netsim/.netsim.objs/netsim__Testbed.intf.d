@@ -1,0 +1,1 @@
+lib/netsim/testbed.mli: Dataflow Link Profiler

@@ -1,0 +1,45 @@
+type t = {
+  bitrate_bps : float;
+  header_bytes : int;
+  payload_bytes : int;
+  turnaround_s : float;
+  backoff_s : float;
+  per_packet_overhead_s : float;
+  base_loss : float;
+  retries : int;
+}
+
+let cc2420 =
+  {
+    bitrate_bps = 250_000.;
+    header_bytes = 11;
+    payload_bytes = 28;
+    turnaround_s = 0.3e-3;
+    backoff_s = 3.0e-3;
+    per_packet_overhead_s = 11.0e-3;
+    base_loss = 0.03;
+    retries = 2;
+  }
+
+let wifi =
+  {
+    bitrate_bps = 5_500_000.;
+    header_bytes = 34;
+    payload_bytes = 1024;
+    turnaround_s = 0.1e-3;
+    backoff_s = 0.8e-3;
+    per_packet_overhead_s = 0.3e-3;
+    base_loss = 0.02;
+    retries = 3;
+  }
+
+let packet_airtime l =
+  (* framing + payload + MAC/OS processing time *)
+  (Float.of_int (l.header_bytes + l.payload_bytes) *. 8. /. l.bitrate_bps)
+  +. l.per_packet_overhead_s
+
+let packets_of_bytes l bytes =
+  if bytes <= 0 then 1
+  else (bytes + l.payload_bytes - 1) / l.payload_bytes
+
+let saturation_msgs_per_sec l = 1. /. packet_airtime l

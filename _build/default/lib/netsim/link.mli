@@ -1,0 +1,36 @@
+(** Radio link parameters for the simulated testbed.
+
+    Models a single collision domain (all nodes one hop from the
+    basestation, like the paper's 20-TMote testbed whose bottleneck is
+    the single link at the root of the routing tree, §7.3). *)
+
+type t = {
+  bitrate_bps : float;  (** physical rate, e.g. 250 kbps for CC2420 *)
+  header_bytes : int;  (** per-packet MAC/PHY framing *)
+  payload_bytes : int;  (** usable application payload per packet *)
+  turnaround_s : float;
+      (** carrier-sense blind spot: two transmissions starting within
+          this window collide *)
+  backoff_s : float;  (** max random backoff before an attempt *)
+  per_packet_overhead_s : float;
+      (** MAC/OS processing time per packet beyond raw airtime; this is
+          what limits a TinyOS 2.0 stack to tens of packets per second
+          despite the 250 kbps PHY *)
+  base_loss : float;  (** per-packet loss on an uncontended channel *)
+  retries : int;  (** link-layer retransmissions after a collision *)
+}
+
+val cc2420 : t
+(** TMote Sky radio. *)
+
+val wifi : t
+(** 802.11b-class link for Meraki / phones (abstracted). *)
+
+val packet_airtime : t -> float
+(** Seconds a full-size packet occupies the channel. *)
+
+val packets_of_bytes : t -> int -> int
+(** Fragments needed for a payload of the given size (at least 1). *)
+
+val saturation_msgs_per_sec : t -> float
+(** Upper bound on packets/s through the channel. *)

@@ -1,0 +1,26 @@
+(** The network profiling tool of §7.3.1.
+
+    "This tool sends packets from all nodes at an identical rate,
+    which gradually increases … it takes as input a target reception
+    rate (e.g. 90%) and returns a maximum send rate that the network
+    can maintain."
+
+    The returned bound is what makes the §4.3 binary search valid:
+    within it, sending more data means receiving more data. *)
+
+type point = {
+  offered_msgs_per_sec : float;  (** per node *)
+  reception : float;  (** fraction of messages received *)
+  goodput_bytes_per_sec : float;  (** aggregate at the basestation *)
+}
+
+val sweep :
+  ?payload_bytes:int -> ?duration:float -> ?seed:int ->
+  n_nodes:int -> link:Link.t -> rates:float list -> unit -> point list
+(** Measure the reception curve at the given per-node message rates. *)
+
+val max_send_rate :
+  ?payload_bytes:int -> ?target:float -> ?duration:float -> ?seed:int ->
+  n_nodes:int -> link:Link.t -> unit -> point
+(** Binary-search the highest per-node send rate whose reception stays
+    at or above [target] (default 0.9). *)

@@ -1,0 +1,355 @@
+open Dataflow
+
+type source_spec = {
+  source : int;
+  rate : float;
+  gen : node:int -> seq:int -> Value.t;
+}
+
+type config = {
+  n_nodes : int;
+  platform : Profiler.Platform.t;
+  link : Link.t;
+  duration : float;
+  seed : int;
+  tx_queue_packets : int;
+  per_packet_cpu_s : float;
+  os_overhead : float;
+}
+
+let default_config ?(n_nodes = 1) ?(duration = 60.) ?(seed = 1) ~platform ~link
+    () =
+  {
+    n_nodes;
+    platform;
+    link;
+    duration;
+    seed;
+    tx_queue_packets = 24;
+    (* copying and driving the radio costs a few thousand cycles per
+       packet regardless of platform: ~0.75 ms on an 8 MHz mote, ~15 us
+       on a 400 MHz Gumstix *)
+    per_packet_cpu_s = 6000. /. platform.Profiler.Platform.clock_hz;
+    os_overhead = 1.15;
+  }
+
+type result = {
+  inputs_offered : int;
+  inputs_processed : int;
+  msgs_sent : int;
+  msgs_received : int;
+  packets_sent : int;
+  packets_lost_collision : int;
+  packets_lost_channel : int;
+  packets_lost_queue : int;
+  sink_outputs : int;
+  input_fraction : float;
+  msg_fraction : float;
+  goodput_fraction : float;
+  node_busy_fraction : float;
+  offered_bytes_per_sec : float;
+}
+
+(* ---- internal simulation structures ---- *)
+
+type message = {
+  mid : int;
+  from_node : int;
+  edge : Graph.edge;
+  value : Value.t;
+  total_frags : int;
+}
+
+type packet = { msg : message; mutable attempts : int }
+
+type tx = { sender : int; pkt : packet; start : float; mutable corrupted : bool }
+
+type event =
+  | Sample of int * int * int  (* node, source index, seq *)
+  | Cpu_done of int
+  | Attempt of int
+  | Tx_end
+
+type node_state = {
+  exec : Runtime.Exec.t;
+  queue : packet Queue.t;  (* radio send queue *)
+  mutable cpu_busy : bool;
+  mutable buffered : (int * Value.t) option;  (* source op, value *)
+  mutable waiting : bool;  (* an Attempt event is outstanding *)
+  mutable cw : int;  (* congestion-backoff exponent, grows on busy/collision *)
+  mutable busy_time : float;
+  mutable next_mid : int;
+}
+
+let run config ~graph ~node_of ~sources =
+  if config.n_nodes <= 0 then invalid_arg "Testbed.run: need at least one node";
+  List.iter
+    (fun s ->
+      if not (node_of s.source) then
+        invalid_arg "Testbed.run: source operator not placed on the node")
+    sources;
+  let link = config.link in
+  let rng = Prng.create config.seed in
+  let node_mask = Array.init (Graph.n_ops graph) node_of in
+  let replicated i =
+    (Graph.op graph i).Op.namespace = Op.Node && not node_mask.(i)
+  in
+  let server =
+    Runtime.Exec.create ~replicated ~member:(fun i -> not node_mask.(i)) graph
+  in
+  let nodes =
+    Array.init config.n_nodes (fun _ ->
+        {
+          exec = Runtime.Exec.create ~member:(fun i -> node_mask.(i)) graph;
+          queue = Queue.create ();
+          cpu_busy = false;
+          buffered = None;
+          waiting = false;
+          cw = 0;
+          busy_time = 0.;
+          next_mid = 0;
+        })
+  in
+  let events : event Heap.Pqueue.t = Heap.Pqueue.create () in
+  let channel_busy_until = ref 0. in
+  let current_tx : tx option ref = ref None in
+  (* reassembly: (node, mid) -> fragments still missing *)
+  let missing : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  (* counters *)
+  let inputs_offered = ref 0 in
+  let inputs_processed = ref 0 in
+  let msgs_sent = ref 0 in
+  let msgs_received = ref 0 in
+  let packets_sent = ref 0 in
+  let lost_collision = ref 0 in
+  let lost_channel = ref 0 in
+  let lost_queue = ref 0 in
+  let sink_outputs = ref 0 in
+  let offered_bytes = ref 0 in
+  let sources_arr = Array.of_list sources in
+  (* schedule the first window of every (node, source) pair with a
+     small per-node phase offset so nodes do not fire in lockstep *)
+  Array.iteri
+    (fun si spec ->
+      if spec.rate > 0. then
+        for node = 0 to config.n_nodes - 1 do
+          let phase = Prng.uniform rng 0. (1. /. spec.rate) in
+          Heap.Pqueue.push events phase (Sample (node, si, 0))
+        done)
+    sources_arr;
+  let schedule t ev = Heap.Pqueue.push events t ev in
+  (* congestion backoff: the contention window doubles each time a node
+     finds the channel busy or collides, like the TinyOS CSMA layer *)
+  let backoff st =
+    let window = link.backoff_s *. Float.of_int (1 lsl Int.min st.cw 6) in
+    Prng.uniform rng 0. window
+  in
+  let ensure_attempt now node_id =
+    let st = nodes.(node_id) in
+    if (not st.waiting) && not (Queue.is_empty st.queue) then begin
+      st.waiting <- true;
+      schedule (now +. backoff st) (Attempt node_id)
+    end
+  in
+  let start_processing now node_id source_op value =
+    let st = nodes.(node_id) in
+    st.cpu_busy <- true;
+    let fired =
+      Runtime.Exec.fire ~node:node_id st.exec ~op:source_op ~port:0 value
+    in
+    sink_outputs := !sink_outputs + List.length fired.sink_values;
+    let crossings = fired.crossings in
+    let n_packets =
+      List.fold_left
+        (fun acc (c : Runtime.Exec.crossing) ->
+          acc + Link.packets_of_bytes link (Value.size_bytes c.value))
+        0 crossings
+    in
+    let compute_s =
+      (Profiler.Platform.seconds config.platform fired.workload
+       *. config.os_overhead)
+      +. (Float.of_int n_packets *. config.per_packet_cpu_s)
+    in
+    st.busy_time <- st.busy_time +. compute_s;
+    schedule (now +. compute_s) (Cpu_done node_id);
+    (* queue the messages now; they go on air as the channel allows *)
+    List.iter
+      (fun (c : Runtime.Exec.crossing) ->
+        let bytes = Value.size_bytes c.value in
+        offered_bytes := !offered_bytes + bytes;
+        let total_frags = Link.packets_of_bytes link bytes in
+        let msg =
+          {
+            mid = st.next_mid;
+            from_node = node_id;
+            edge = c.edge;
+            value = c.value;
+            total_frags;
+          }
+        in
+        st.next_mid <- st.next_mid + 1;
+        incr msgs_sent;
+        (* fragments are admitted individually, like a per-packet send
+           queue: losing any fragment makes the message undeliverable,
+           but admitted siblings still burn airtime -- the §4.3
+           overload effect where offering more data delivers less *)
+        Hashtbl.replace missing (node_id, msg.mid) total_frags;
+        let dropped = ref false in
+        for _ = 1 to total_frags do
+          if Queue.length st.queue < config.tx_queue_packets then
+            Queue.add { msg; attempts = 0 } st.queue
+          else begin
+            incr lost_queue;
+            dropped := true
+          end
+        done;
+        if !dropped then Hashtbl.remove missing (node_id, msg.mid))
+      crossings;
+    ensure_attempt now node_id
+  in
+  let deliver_fragment (pkt : packet) =
+    let key = (pkt.msg.from_node, pkt.msg.mid) in
+    match Hashtbl.find_opt missing key with
+    | None -> ()
+    | Some left when left <= 1 ->
+        Hashtbl.remove missing key;
+        incr msgs_received;
+        let fired =
+          Runtime.Exec.fire ~node:pkt.msg.from_node server ~op:pkt.msg.edge.dst
+            ~port:pkt.msg.edge.dst_port pkt.msg.value
+        in
+        sink_outputs := !sink_outputs + List.length fired.sink_values
+    | Some left -> Hashtbl.replace missing key (left - 1)
+  in
+  let kill_message (pkt : packet) =
+    (* one lost fragment dooms the message; siblings already queued
+       keep transmitting (a NACK-free stack cannot know) *)
+    Hashtbl.remove missing (pkt.msg.from_node, pkt.msg.mid)
+  in
+  let handle now = function
+    | Sample (node_id, si, seq) ->
+        let spec = sources_arr.(si) in
+        (* next arrival *)
+        let next = now +. (1. /. spec.rate) in
+        if next < config.duration then
+          schedule next (Sample (node_id, si, seq + 1));
+        incr inputs_offered;
+        let st = nodes.(node_id) in
+        let value = spec.gen ~node:node_id ~seq in
+        if not st.cpu_busy then begin
+          incr inputs_processed;
+          start_processing now node_id spec.source value
+        end
+        else if st.buffered = None then begin
+          (* double-buffered ADC: hold exactly one pending window *)
+          incr inputs_processed;
+          st.buffered <- Some (spec.source, value)
+        end
+        (* else: missed input event *)
+    | Cpu_done node_id -> (
+        let st = nodes.(node_id) in
+        st.cpu_busy <- false;
+        match st.buffered with
+        | Some (src, v) ->
+            st.buffered <- None;
+            start_processing now node_id src v
+        | None -> ())
+    | Attempt node_id ->
+        let st = nodes.(node_id) in
+        st.waiting <- false;
+        if not (Queue.is_empty st.queue) then begin
+          if now +. 1e-12 >= !channel_busy_until then begin
+            (* channel idle: transmit the head-of-line packet *)
+            let pkt = Queue.pop st.queue in
+            pkt.attempts <- pkt.attempts + 1;
+            incr packets_sent;
+            let dur = Link.packet_airtime link in
+            let tx = { sender = node_id; pkt; start = now; corrupted = false } in
+            current_tx := Some tx;
+            channel_busy_until := now +. dur;
+            schedule (now +. dur) Tx_end
+          end
+          else begin
+            (match !current_tx with
+            | Some tx when now -. tx.start < link.turnaround_s ->
+                (* carrier not yet detectable: we transmit blindly and
+                   collide with the ongoing packet *)
+                tx.corrupted <- true;
+                st.cw <- st.cw + 1;
+                let pkt = Queue.pop st.queue in
+                pkt.attempts <- pkt.attempts + 1;
+                incr packets_sent;
+                incr lost_collision;
+                let dur = Link.packet_airtime link in
+                channel_busy_until :=
+                  Float.max !channel_busy_until (now +. dur);
+                if pkt.attempts <= link.retries then begin
+                  (* retry later, head of line *)
+                  let q = Queue.create () in
+                  Queue.add pkt q;
+                  Queue.transfer st.queue q;
+                  Queue.transfer q st.queue
+                end
+                else kill_message pkt
+            | _ -> st.cw <- st.cw + 1);
+            ensure_attempt (Float.max now !channel_busy_until) node_id
+          end
+        end
+    | Tx_end -> (
+        match !current_tx with
+        | None -> ()
+        | Some tx ->
+            current_tx := None;
+            let st = nodes.(tx.sender) in
+            (if tx.corrupted then begin
+               incr lost_collision;
+               st.cw <- st.cw + 1;
+               if tx.pkt.attempts <= link.retries then begin
+                 let q = Queue.create () in
+                 Queue.add tx.pkt q;
+                 Queue.transfer st.queue q;
+                 Queue.transfer q st.queue
+               end
+               else kill_message tx.pkt
+             end
+             else begin
+               st.cw <- 0;
+               if Prng.bool rng link.base_loss then begin
+                 (* clean-channel loss: no link-layer ack, no retry *)
+                 incr lost_channel;
+                 kill_message tx.pkt
+               end
+               else deliver_fragment tx.pkt
+             end);
+            ensure_attempt now tx.sender)
+  in
+  let rec loop () =
+    match Heap.Pqueue.pop events with
+    | None -> ()
+    | Some (t, _) when t > config.duration -> ()
+    | Some (t, ev) ->
+        handle t ev;
+        loop ()
+  in
+  loop ();
+  let busy_total = Array.fold_left (fun acc st -> acc +. st.busy_time) 0. nodes in
+  let fdiv a b = if b = 0 then 0. else Float.of_int a /. Float.of_int b in
+  let input_fraction = fdiv !inputs_processed !inputs_offered in
+  let msg_fraction = fdiv !msgs_received !msgs_sent in
+  {
+    inputs_offered = !inputs_offered;
+    inputs_processed = !inputs_processed;
+    msgs_sent = !msgs_sent;
+    msgs_received = !msgs_received;
+    packets_sent = !packets_sent;
+    packets_lost_collision = !lost_collision;
+    packets_lost_channel = !lost_channel;
+    packets_lost_queue = !lost_queue;
+    sink_outputs = !sink_outputs;
+    input_fraction;
+    msg_fraction;
+    goodput_fraction = input_fraction *. msg_fraction;
+    node_busy_fraction =
+      busy_total /. (config.duration *. Float.of_int config.n_nodes);
+    offered_bytes_per_sec = Float.of_int !offered_bytes /. config.duration;
+  }

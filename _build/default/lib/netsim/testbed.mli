@@ -1,0 +1,65 @@
+(** Discrete-event simulation of a deployed, partitioned program on a
+    single-hop wireless testbed (the reproduction of §7.3's 20-TMote
+    deployment).
+
+    Per node: sensor windows arrive periodically; if the CPU is still
+    busy with an earlier traversal (beyond one buffered window) the
+    input is {e missed}.  Completing a traversal turns every value
+    crossing the node→server cut into a fragmented radio message.
+    Nodes contend for one shared channel with CSMA + random backoff;
+    two transmissions starting within the carrier-sense turnaround
+    window collide.  A message is delivered only when all of its
+    fragments arrive; delivered messages drive the server half of the
+    graph, whose sink outputs are the application's goodput.
+
+    The three measured quantities of Figure 9 map to
+    {!result.input_fraction}, {!result.msg_fraction}, and their
+    product {!result.goodput_fraction}. *)
+
+type source_spec = {
+  source : int;  (** source operator id *)
+  rate : float;  (** windows per second *)
+  gen : node:int -> seq:int -> Dataflow.Value.t;
+}
+
+type config = {
+  n_nodes : int;
+  platform : Profiler.Platform.t;
+  link : Link.t;
+  duration : float;  (** simulated seconds *)
+  seed : int;
+  tx_queue_packets : int;  (** per-node radio queue capacity *)
+  per_packet_cpu_s : float;
+      (** node CPU consumed per transmitted packet (the "processor
+          involvement in communication" the paper's additive model
+          omits, §7.3.1) *)
+  os_overhead : float;
+      (** multiplier on traversal compute time for OS/task overheads *)
+}
+
+val default_config :
+  ?n_nodes:int -> ?duration:float -> ?seed:int ->
+  platform:Profiler.Platform.t -> link:Link.t -> unit -> config
+
+type result = {
+  inputs_offered : int;
+  inputs_processed : int;
+  msgs_sent : int;  (** whole values crossing the cut *)
+  msgs_received : int;  (** fully reassembled at the basestation *)
+  packets_sent : int;
+  packets_lost_collision : int;
+  packets_lost_channel : int;
+  packets_lost_queue : int;
+  sink_outputs : int;
+  input_fraction : float;
+  msg_fraction : float;
+  goodput_fraction : float;  (** input_fraction *. msg_fraction *)
+  node_busy_fraction : float;  (** mean CPU utilisation across nodes *)
+  offered_bytes_per_sec : float;
+}
+
+val run :
+  config -> graph:Dataflow.Graph.t -> node_of:(int -> bool) ->
+  sources:source_spec list -> result
+(** Simulate the given partition.  [node_of] must place every source
+    operator on the node. *)

@@ -1,0 +1,32 @@
+(** Deterministic splittable pseudo-random numbers (SplitMix64).
+
+    All stochastic parts of the reproduction (synthetic signals, radio
+    loss, CSMA backoff) draw from explicitly seeded generators so that
+    every experiment is bit-reproducible. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; equal seeds give equal streams. *)
+
+val split : t -> t
+(** An independent generator derived from (and advancing) [t]. *)
+
+val int64 : t -> int64
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val uniform : t -> float -> float -> float
+(** Uniform in [lo, hi). *)
+
+val int : t -> int -> int
+(** Uniform in [0, bound); [bound] must be positive. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val gaussian : t -> float
+(** Standard normal via Box–Muller. *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] with mean [1/rate]. *)

@@ -1,0 +1,1 @@
+lib/profiler/platform.mli: Dataflow

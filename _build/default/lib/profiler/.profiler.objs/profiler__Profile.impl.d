@@ -1,0 +1,1 @@
+lib/profiler/profile.ml: Array Dataflow Float Graph List Platform Runtime Value Workload

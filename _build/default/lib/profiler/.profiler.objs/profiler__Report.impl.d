@@ -1,0 +1,1 @@
+lib/profiler/report.ml: Array Dataflow Format Graph List Op Platform Profile

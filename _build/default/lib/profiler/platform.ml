@@ -1,0 +1,174 @@
+type t = {
+  name : string;
+  description : string;
+  clock_hz : float;
+  cycles_int : float;
+  cycles_float : float;
+  cycles_trans : float;
+  cycles_mem : float;
+  cycles_branch : float;
+  cycles_call : float;
+  overhead : float;
+  radio_bytes_per_sec : float;
+  radio_payload_bytes : int;
+  cpu_budget : float;
+}
+
+let cycles p (w : Dataflow.Workload.t) =
+  (w.int_ops *. p.cycles_int)
+  +. (w.float_ops *. p.cycles_float)
+  +. (w.trans_ops *. p.cycles_trans)
+  +. (w.mem_ops *. p.cycles_mem)
+  +. (w.branch_ops *. p.cycles_branch)
+  +. (w.call_ops *. p.cycles_call)
+
+let seconds p w = cycles p w *. p.overhead /. p.clock_hz
+
+let tmote_sky =
+  {
+    name = "tmote";
+    description = "TMote Sky: 8 MHz MSP430, no FPU, CC2420 radio, TinyOS 2.0";
+    clock_hz = 8e6;
+    cycles_int = 1.;
+    cycles_float = 120.;  (* software-emulated double precision *)
+    cycles_trans = 9000.;  (* soft-float libm cos/log *)
+    cycles_mem = 2.;
+    cycles_branch = 2.;
+    cycles_call = 12.;  (* task post / split-phase overhead *)
+    overhead = 1.;
+    radio_bytes_per_sec = 1250.;  (* ~50 msg/s * 28 B at 90% reception *)
+    radio_payload_bytes = 28;
+    cpu_budget = 1.0;
+  }
+
+let nokia_n80 =
+  {
+    name = "n80";
+    description = "Nokia N80: 220 MHz ARM9, JavaME (JVM-interpreted)";
+    clock_hz = 220e6;
+    cycles_int = 1.;
+    cycles_float = 600.;  (* boxed doubles, no JIT float pipeline *)
+    cycles_trans = 20000.;  (* Math.cos on interpreted doubles *)
+    cycles_mem = 2.;
+    cycles_branch = 2.;
+    cycles_call = 20.;
+    overhead = 3.;  (* bytecode dispatch: §7.2 "poor JVM performance" *)
+    radio_bytes_per_sec = 60_000.;  (* WiFi via JSR-135 streaming *)
+    radio_payload_bytes = 512;
+    cpu_budget = 1.0;
+  }
+
+let iphone =
+  {
+    name = "iphone";
+    description = "iPhone: 412 MHz ARM11 + VFP, GCC, frequency-scaled";
+    clock_hz = 412e6;
+    cycles_int = 1.;
+    cycles_float = 2.;
+    cycles_trans = 45.;
+    cycles_mem = 1.5;
+    cycles_branch = 1.5;
+    cycles_call = 6.;
+    overhead = 25.;  (* §7.2: 3x worse than the 400 MHz Gumstix, on top
+                        of the generated-code overhead below *)
+    radio_bytes_per_sec = 120_000.;
+    radio_payload_bytes = 1024;
+    cpu_budget = 1.0;
+  }
+
+let gumstix =
+  {
+    name = "gumstix";
+    description = "Gumstix: 400 MHz XScale ARM-Linux, GCC";
+    clock_hz = 400e6;
+    cycles_int = 1.;
+    cycles_float = 2.5;  (* XScale has no FPU but fast kernel emu *)
+    cycles_trans = 50.;
+    cycles_mem = 1.5;
+    cycles_branch = 1.5;
+    cycles_call = 6.;
+    overhead = 8.5;  (* compiler-generated single-threaded code; lands
+                        the §7.3.1 prediction of ~11.5% CPU for the
+                        whole speech pipeline *)
+    radio_bytes_per_sec = 120_000.;
+    radio_payload_bytes = 1024;
+    cpu_budget = 1.0;
+  }
+
+let meraki =
+  {
+    name = "meraki";
+    description = "Meraki Mini: 180 MHz MIPS, WiFi (~15x TMote CPU, 10x radio)";
+    clock_hz = 180e6;
+    cycles_int = 1.5;
+    cycles_float = 200.;  (* soft-float MIPS *)
+    cycles_trans = 5000.;
+    cycles_mem = 3.;
+    cycles_branch = 3.;
+    cycles_call = 10.;
+    overhead = 1.5;
+    radio_bytes_per_sec = 25_000.;
+    radio_payload_bytes = 1024;
+    cpu_budget = 1.0;
+  }
+
+let voxnet =
+  {
+    name = "voxnet";
+    description = "VoxNet acoustic node: 400 MHz PXA ARM-Linux with DSP libs";
+    clock_hz = 400e6;
+    cycles_int = 1.;
+    cycles_float = 1.5;
+    cycles_trans = 30.;
+    cycles_mem = 1.;
+    cycles_branch = 1.;
+    cycles_call = 4.;
+    overhead = 1.;
+    radio_bytes_per_sec = 250_000.;
+    radio_payload_bytes = 1024;
+    cpu_budget = 1.0;
+  }
+
+let scheme_server =
+  {
+    name = "scheme";
+    description = "WaveScript graph interpreted inside Scheme on a server PC";
+    clock_hz = 3.2e9;
+    cycles_int = 1.;
+    cycles_float = 1.;
+    cycles_trans = 25.;
+    cycles_mem = 1.;
+    cycles_branch = 1.;
+    cycles_call = 3.;
+    overhead = 3.;  (* graph interpretation overhead *)
+    radio_bytes_per_sec = 10e6;
+    radio_payload_bytes = 1400;
+    cpu_budget = 1.0;
+  }
+
+let xeon_server =
+  {
+    name = "xeon";
+    description = "3.2 GHz Intel Xeon server (native C backend)";
+    clock_hz = 3.2e9;
+    cycles_int = 0.5;  (* superscalar issue *)
+    cycles_float = 0.5;
+    cycles_trans = 20.;
+    cycles_mem = 0.7;
+    cycles_branch = 0.7;
+    cycles_call = 2.;
+    overhead = 1.;
+    radio_bytes_per_sec = 100e6;
+    radio_payload_bytes = 1400;
+    cpu_budget = 1.0;
+  }
+
+let all =
+  [
+    tmote_sky; nokia_n80; iphone; gumstix; meraki; voxnet; scheme_server;
+    xeon_server;
+  ]
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find (fun p -> String.lowercase_ascii p.name = lower) all

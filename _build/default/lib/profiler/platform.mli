@@ -1,0 +1,55 @@
+(** Target platform descriptors.
+
+    A platform turns an abstract instruction mix ({!Dataflow.Workload})
+    into cycles, and cycles into seconds — the reproduction's stand-in
+    for running instrumented code on real hardware or a cycle-accurate
+    simulator (§3).  Per-class costs capture the paper's key
+    observation (Figure 8): relative operator costs vary wildly across
+    platforms — most dramatically the software-emulated floating point
+    of the TMote's MSP430 — so a single scalar "speed" would
+    mis-estimate costs by an order of magnitude. *)
+
+type t = {
+  name : string;
+  description : string;
+  clock_hz : float;
+  cycles_int : float;
+  cycles_float : float;  (** >> 1 when there is no FPU *)
+  cycles_trans : float;  (** log/cos/sqrt library calls *)
+  cycles_mem : float;
+  cycles_branch : float;
+  cycles_call : float;
+  overhead : float;
+      (** multiplicative runtime penalty (JVM dispatch, interpreter,
+          frequency scaling) applied on top of the cycle model *)
+  radio_bytes_per_sec : float;
+      (** effective link goodput at the target reception rate, as the
+          §7.3.1 network profiling tool would report *)
+  radio_payload_bytes : int;  (** usable payload per radio message *)
+  cpu_budget : float;
+      (** fraction of the CPU the partitioner may assign (1.0 = all) *)
+}
+
+val cycles : t -> Dataflow.Workload.t -> float
+val seconds : t -> Dataflow.Workload.t -> float
+
+(** {1 Catalog}
+
+    Calibrated so that the cross-platform ratios reported in §7.2
+    hold: the N80 performs only about twice the TMote despite a 55x
+    clock (JVM overhead); the iPhone runs about 3x slower than the
+    similarly clocked Gumstix (frequency scaling); the Meraki has
+    ~15x the TMote's CPU but at least 10x its bandwidth. *)
+
+val tmote_sky : t
+val nokia_n80 : t
+val iphone : t
+val gumstix : t
+val meraki : t
+val voxnet : t
+val scheme_server : t
+val xeon_server : t
+
+val all : t list
+val find : string -> t
+(** Look up by name (case-insensitive). @raise Not_found otherwise. *)

@@ -1,0 +1,51 @@
+open Dataflow
+
+let out_bytes_per_sec raw op =
+  List.fold_left
+    (fun acc (e : Graph.edge) -> acc +. Profile.edge_bytes_per_sec raw e.eid)
+    0.
+    (Graph.succs (Profile.graph raw) op)
+
+let per_op_table raw platform ~order =
+  let costed = Profile.cost raw platform in
+  let cum = ref 0. in
+  Array.to_list order
+  |> List.map (fun op ->
+         let us = costed.seconds_per_fire.(op) *. 1e6 in
+         cum := !cum +. us;
+         let name = (Graph.op (Profile.graph raw) op).Op.name in
+         (name, us, !cum, out_bytes_per_sec raw op))
+
+let normalized_cumulative_cpu raw platform ~order =
+  let costed = Profile.cost raw platform in
+  let total =
+    Array.fold_left
+      (fun acc op -> acc +. costed.seconds_per_fire.(op))
+      0. order
+  in
+  let cum = ref 0. in
+  Array.map
+    (fun op ->
+      cum := !cum +. costed.seconds_per_fire.(op);
+      if total > 0. then !cum /. total else 0.)
+    order
+
+let pp_comparison ppf raw ~platforms ~order =
+  let columns =
+    List.map (fun p -> (p, normalized_cumulative_cpu raw p ~order)) platforms
+  in
+  Format.fprintf ppf "@[<v>%-14s" "operator";
+  List.iter
+    (fun (p, _) -> Format.fprintf ppf " %10s" p.Platform.name)
+    columns;
+  Format.fprintf ppf "@,";
+  Array.iteri
+    (fun i op ->
+      let name = (Graph.op (Profile.graph raw) op).Op.name in
+      Format.fprintf ppf "%-14s" name;
+      List.iter
+        (fun (_, cum) -> Format.fprintf ppf " %10.3f" cum.(i))
+        columns;
+      Format.fprintf ppf "@,")
+    order;
+  Format.fprintf ppf "@]"

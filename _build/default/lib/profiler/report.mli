@@ -1,0 +1,20 @@
+(** Human-readable profiling reports (the data behind Figures 7/8). *)
+
+val per_op_table :
+  Profile.raw -> Platform.t -> order:int array ->
+  (string * float * float * float) list
+(** For each operator in [order]: (name, microseconds per firing,
+    cumulative microseconds per firing, output bytes/s).  The
+    cumulative column is the sum over the prefix — the per-cut node
+    CPU cost of a linear pipeline (Figure 7). *)
+
+val normalized_cumulative_cpu :
+  Profile.raw -> Platform.t -> order:int array -> float array
+(** Fraction of total CPU consumed by each prefix of [order]
+    (Figure 8); last element is 1 (or 0 for an idle graph). *)
+
+val pp_comparison :
+  Format.formatter ->
+  Profile.raw -> platforms:Platform.t list -> order:int array -> unit
+(** Figure-8 style table: one row per operator, one column per
+    platform, each cell the platform-normalized CPU share. *)

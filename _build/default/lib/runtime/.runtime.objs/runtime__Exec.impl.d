@@ -1,0 +1,1 @@
+lib/runtime/exec.ml: Array Dataflow Graph Hashtbl List Op Value Workload

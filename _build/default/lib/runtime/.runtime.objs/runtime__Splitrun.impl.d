@@ -1,0 +1,1 @@
+lib/runtime/splitrun.ml: Array Dataflow Exec Graph List Op Value

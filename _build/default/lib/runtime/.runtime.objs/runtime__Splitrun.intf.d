@@ -1,0 +1,1 @@
+lib/runtime/splitrun.mli: Dataflow Exec

@@ -1,0 +1,56 @@
+open Dataflow
+
+type t = {
+  graph : Graph.t;
+  node_of : bool array;
+  nodes : Exec.t array;
+  server : Exec.t;
+  mutable cross_elems : int;
+  mutable cross_bytes : int;
+}
+
+let create ?(n_nodes = 1) ~node_of graph =
+  let n = Graph.n_ops graph in
+  let node_mask = Array.init n node_of in
+  let replicated i =
+    (Graph.op graph i).Op.namespace = Op.Node && not node_mask.(i)
+  in
+  {
+    graph;
+    node_of = node_mask;
+    nodes =
+      Array.init n_nodes (fun _ ->
+          Exec.create ~member:(fun i -> node_mask.(i)) graph);
+    server =
+      Exec.create ~replicated ~member:(fun i -> not node_mask.(i)) graph;
+    cross_elems = 0;
+    cross_bytes = 0;
+  }
+
+let reset t =
+  Array.iter Exec.reset t.nodes;
+  Exec.reset t.server;
+  t.cross_elems <- 0;
+  t.cross_bytes <- 0
+
+let inject ?(node = 0) t ~source value =
+  if node < 0 || node >= Array.length t.nodes then
+    invalid_arg "Splitrun.inject: bad node id";
+  if not t.node_of.(source) then
+    invalid_arg "Splitrun.inject: source operator is not on the node";
+  let fired = Exec.fire t.nodes.(node) ~op:source ~port:0 value in
+  let sink_values = ref (List.rev fired.sink_values) in
+  List.iter
+    (fun (c : Exec.crossing) ->
+      t.cross_elems <- t.cross_elems + 1;
+      t.cross_bytes <- t.cross_bytes + Value.size_bytes c.value;
+      let f =
+        Exec.fire ~node t.server ~op:c.edge.dst ~port:c.edge.dst_port c.value
+      in
+      sink_values := List.rev_append f.sink_values !sink_values)
+    fired.crossings;
+  List.rev !sink_values
+
+let node_exec t i = t.nodes.(i)
+let server_exec t = t.server
+let crossing_traffic t = (t.cross_elems, t.cross_bytes)

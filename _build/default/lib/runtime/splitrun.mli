@@ -1,0 +1,34 @@
+(** Lossless split execution of a partitioned program.
+
+    Runs the node-side and server-side halves of a graph connected by
+    a perfect (lossless, zero-latency) channel.  Used to check that
+    partitioning never changes program semantics when no messages are
+    lost — the invariant behind Wishbone's freedom to move stateless
+    operators (§2.1.1) — and as the reference for the netsim deploy
+    path. *)
+
+type t
+
+val create :
+  ?n_nodes:int -> node_of:(int -> bool) -> Dataflow.Graph.t -> t
+(** [node_of op] says whether the operator lives on the embedded node.
+    Operators with a [Node] namespace that are placed on the server
+    get per-node state instances. *)
+
+val reset : t -> unit
+
+val inject :
+  ?node:int -> t -> source:int -> Dataflow.Value.t ->
+  Dataflow.Value.t list
+(** Push one sensor sample into [source] on the given node (default
+    0); both halves execute and the values reaching server sinks
+    during this traversal are returned in order. *)
+
+val node_exec : t -> int -> Exec.t
+(** Per-node executor (for statistics inspection). *)
+
+val server_exec : t -> Exec.t
+
+val crossing_traffic : t -> int * int
+(** Total (elements, bytes) that crossed the node→server boundary so
+    far. *)

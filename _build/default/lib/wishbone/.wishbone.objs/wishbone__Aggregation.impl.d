@@ -1,0 +1,1 @@
+lib/wishbone/aggregation.ml: Array Builder Dataflow Float Graph List Queue Spec Value Workload

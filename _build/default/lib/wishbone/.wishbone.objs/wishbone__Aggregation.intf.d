@@ -1,0 +1,1 @@
+lib/wishbone/aggregation.mli: Dataflow Spec

@@ -1,0 +1,1 @@
+lib/wishbone/cutpoints.ml: Array Dataflow Float Format Graph List Op Profiler

@@ -1,0 +1,1 @@
+lib/wishbone/cutpoints.mli: Format Profiler

@@ -1,0 +1,1 @@
+lib/wishbone/deploy.ml: Array Netsim Spec

@@ -1,0 +1,1 @@
+lib/wishbone/deploy.mli: Netsim Spec

@@ -1,0 +1,1 @@
+lib/wishbone/ilp.ml: Array Dataflow Float List Lp Movable Preprocess Printf Spec

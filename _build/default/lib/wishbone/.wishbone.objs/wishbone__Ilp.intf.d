@@ -1,0 +1,1 @@
+lib/wishbone/ilp.mli: Lp Preprocess

@@ -1,0 +1,1 @@
+lib/wishbone/mixed.ml: Float Format Int List Partitioner Printf Profiler Rate_search Spec

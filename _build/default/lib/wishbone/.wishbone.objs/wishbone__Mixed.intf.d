@@ -1,0 +1,1 @@
+lib/wishbone/mixed.mli: Dataflow Format Movable Partitioner Profiler

@@ -1,0 +1,1 @@
+lib/wishbone/movable.ml: Array Dataflow Format Graph Op Printf

@@ -1,0 +1,1 @@
+lib/wishbone/movable.mli: Dataflow Format

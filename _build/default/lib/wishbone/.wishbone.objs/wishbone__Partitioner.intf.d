@@ -1,0 +1,1 @@
+lib/wishbone/partitioner.mli: Dataflow Format Ilp Lp Spec

@@ -1,0 +1,1 @@
+lib/wishbone/pipeline_dp.ml: Array Dataflow Graph Spec

@@ -1,0 +1,1 @@
+lib/wishbone/pipeline_dp.mli: Spec

@@ -1,0 +1,1 @@
+lib/wishbone/preprocess.ml: Array Dataflow Fun Graph Hashtbl Int List Movable Option Spec

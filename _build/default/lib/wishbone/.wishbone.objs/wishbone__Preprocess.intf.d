@@ -1,0 +1,1 @@
+lib/wishbone/preprocess.mli: Movable Spec

@@ -1,0 +1,1 @@
+lib/wishbone/rate_search.ml: Float Lp Partitioner Spec

@@ -1,0 +1,1 @@
+lib/wishbone/rate_search.mli: Ilp Lp Partitioner Spec

@@ -1,0 +1,1 @@
+lib/wishbone/spec.ml: Array Dataflow Graph Movable Profiler

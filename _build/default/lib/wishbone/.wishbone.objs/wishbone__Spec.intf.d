@@ -1,0 +1,1 @@
+lib/wishbone/spec.mli: Dataflow Movable Profiler

@@ -1,0 +1,1 @@
+lib/wishbone/three_tier.ml: Array Dataflow Float Graph Hashtbl List Lp Movable Option Preprocess Printf Profiler Spec

@@ -1,0 +1,1 @@
+lib/wishbone/three_tier.mli: Lp Movable Profiler

@@ -1,0 +1,1 @@
+lib/wishbone/viz.ml: Array Dataflow Dot Float Graph Printf Profiler

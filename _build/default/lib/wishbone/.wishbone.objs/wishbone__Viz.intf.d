@@ -1,0 +1,1 @@
+lib/wishbone/viz.mli: Profiler

@@ -1,0 +1,33 @@
+open Dataflow
+
+let reduce_op b ~name ~window ~combine strm =
+  if window <= 0 then invalid_arg "Aggregation.reduce_op: window must be positive";
+  Builder.stateful b ~name ~kind:"reduce"
+    ~init:(fun () ->
+      let buf : Value.t Queue.t = Queue.create () in
+      fun ~port:_ v ->
+        Queue.add v buf;
+        if Queue.length buf >= window then begin
+          let items = List.init window (fun _ -> Queue.pop buf) in
+          let out, w = combine items in
+          ([ out ], w)
+        end
+        else ([], Workload.make ~mem_ops:1. ~call_ops:1. ()))
+    [ strm ]
+
+let annotate_fan_in spec ~op ~fan_in =
+  if fan_in < 1. then invalid_arg "Aggregation.annotate_fan_in: fan_in < 1";
+  if op < 0 || op >= Array.length spec.Spec.cpu then
+    invalid_arg "Aggregation.annotate_fan_in: unknown operator";
+  let cpu = Array.copy spec.Spec.cpu in
+  cpu.(op) <- cpu.(op) *. fan_in;
+  { spec with Spec.cpu }
+
+let in_network_benefit spec ~op =
+  let graph = spec.Spec.graph in
+  let sum edges =
+    List.fold_left
+      (fun acc (e : Graph.edge) -> acc +. spec.Spec.bandwidth.(e.eid))
+      0. edges
+  in
+  Float.max 0. (sum (Graph.preds graph op) -. sum (Graph.succs graph op))

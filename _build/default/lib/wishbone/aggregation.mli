@@ -1,0 +1,36 @@
+(** Tree-based in-network aggregation (§9, future work).
+
+    A "reduce" operator lives in the logical node partition but
+    implicitly takes input not just from local streams but from child
+    nodes routing through this node in an aggregation tree.  The
+    partitioning algorithm is unchanged: if the reduce operator is
+    assigned to the embedded node, aggregation happens in-network
+    (each node forwards one aggregate instead of its children's raw
+    data); otherwise all data is sent to the server.
+
+    Concretely this changes the cost model: placed on the node, the
+    reduce operator processes [fan_in] times more input (its own plus
+    its children's), so its CPU cost is scaled by the tree fan-in —
+    which the vertex-cost formulation expresses directly, since vertex
+    costs only apply to node-resident operators. *)
+
+val reduce_op :
+  Dataflow.Builder.t ->
+  name:string ->
+  window:int ->
+  combine:(Dataflow.Value.t list -> Dataflow.Value.t * Dataflow.Workload.t) ->
+  Dataflow.Builder.stream ->
+  Dataflow.Builder.stream
+(** A stateful windowed reducer: buffers [window] consecutive elements
+    and emits [combine] of them (e.g. a mean of sensor readings). *)
+
+val annotate_fan_in : Spec.t -> op:int -> fan_in:float -> Spec.t
+(** Scale the CPU cost of a reduce operator by the aggregation-tree
+    fan-in: the extra work it absorbs when running in-network.
+    @raise Invalid_argument when [fan_in < 1] or the op is unknown. *)
+
+val in_network_benefit :
+  Spec.t -> op:int -> float
+(** Bandwidth saved per node when the reduce operator runs in-network:
+    total input bandwidth minus output bandwidth of the operator
+    (clamped at 0). *)

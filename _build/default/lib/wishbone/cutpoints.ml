@@ -1,0 +1,104 @@
+open Dataflow
+
+type cut = {
+  index : int;
+  label : string;
+  node_us_per_input : float;
+  cut_bytes_per_input : float;
+  cut_bandwidth : float;
+  cpu_fraction : float;
+  max_rate_compute : float;
+  max_rate_network : float;
+  viable : bool;
+}
+
+let pipeline_order raw =
+  let g = Profiler.Profile.graph raw in
+  if not (Graph.is_linear_pipeline g) then
+    invalid_arg "Cutpoints: graph is not a linear pipeline";
+  Graph.topo_order g
+
+let enumerate ?net_budget raw platform =
+  let g = Profiler.Profile.graph raw in
+  let order = pipeline_order raw in
+  let n = Array.length order in
+  let costed = Profiler.Profile.cost raw platform in
+  let net_budget =
+    match net_budget with
+    | Some b -> b
+    | None -> platform.Profiler.Platform.radio_bytes_per_sec
+  in
+  (* input windows per second at the profiled rate *)
+  let source = order.(0) in
+  let input_rate = Profiler.Profile.op_fires_per_sec raw source in
+  let cuts = ref [] in
+  let cum_cpu_fraction = ref 0. in
+  let cum_us = ref 0. in
+  let best_bw = ref infinity in
+  for k = 1 to n - 1 do
+    let op = order.(k - 1) in
+    cum_cpu_fraction := !cum_cpu_fraction +. costed.cpu_fraction.(op);
+    (cum_us :=
+       !cum_us
+       +. costed.seconds_per_fire.(op)
+          *. 1e6
+          *. (Float.of_int (Profiler.Profile.op_fires raw op)
+             /. Float.max 1.
+                  (Float.of_int (Profiler.Profile.op_fires raw source))));
+    (* the single out-edge of the k-th operator is the cut *)
+    let bw =
+      match Graph.succs g op with
+      | [ e ] -> Profiler.Profile.edge_bytes_per_sec raw e.eid
+      | _ -> 0.
+    in
+    (* strictly data-reducing relative to every shallower cut, as in
+       §4.1 (the paper's Figure 5b additionally plots the data-neutral
+       "logs" stage; the benches do the same explicitly) *)
+    let viable = bw < !best_bw -. 1e-9 in
+    if viable then best_bw := bw;
+    let max_rate_compute =
+      if !cum_cpu_fraction > 0. then
+        platform.Profiler.Platform.cpu_budget /. !cum_cpu_fraction
+      else infinity
+    in
+    let max_rate_network = if bw > 0. then net_budget /. bw else infinity in
+    cuts :=
+      {
+        index = k;
+        label = (Graph.op g op).Op.name;
+        node_us_per_input = !cum_us;
+        cut_bytes_per_input =
+          (if input_rate > 0. then bw /. input_rate else 0.);
+        cut_bandwidth = bw;
+        cpu_fraction = !cum_cpu_fraction;
+        max_rate_compute;
+        max_rate_network;
+        viable;
+      }
+      :: !cuts
+  done;
+  List.rev !cuts
+
+let best_by_rate cuts =
+  List.fold_left
+    (fun best c ->
+      if not c.viable then best
+      else
+        let rate = Float.min c.max_rate_compute c.max_rate_network in
+        match best with
+        | Some b
+          when Float.min b.max_rate_compute b.max_rate_network >= rate ->
+            best
+        | _ -> Some c)
+    None cuts
+
+let pp ppf cuts =
+  Format.fprintf ppf "@[<v>%-4s %-12s %12s %12s %10s %10s %s@,"
+    "cut" "after" "us/input" "cut B/s" "rate_cpu" "rate_net" "viable";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%-4d %-12s %12.1f %12.1f %10.4g %10.4g %b@," c.index
+        c.label c.node_us_per_input c.cut_bandwidth c.max_rate_compute
+        c.max_rate_network c.viable)
+    cuts;
+  Format.fprintf ppf "@]"

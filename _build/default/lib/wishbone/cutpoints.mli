@@ -1,0 +1,42 @@
+(** Exhaustive cut-point analysis for linear pipelines.
+
+    The speech-detection application is a pipeline of a dozen
+    operators, so every cut can be examined directly (§7.2, Figures 5b
+    and 7).  A cut at index [k] places the first [k] operators (in
+    pipeline order) on the node. *)
+
+type cut = {
+  index : int;  (** operators on the node side *)
+  label : string;  (** name of the last node-side operator *)
+  node_us_per_input : float;
+      (** node CPU microseconds consumed per input window *)
+  cut_bytes_per_input : float;  (** bytes crossing per input window *)
+  cut_bandwidth : float;  (** bytes/s at the profiled rate *)
+  cpu_fraction : float;  (** node CPU fraction at the profiled rate *)
+  max_rate_compute : float;
+      (** highest input-rate multiple the node CPU sustains *)
+  max_rate_network : float;
+      (** highest input-rate multiple the radio budget sustains *)
+  viable : bool;
+      (** strictly data-reducing relative to shallower viable cuts —
+          the only cuts §4.1 preprocessing keeps *)
+}
+
+val pipeline_order : Profiler.Profile.raw -> int array
+(** Topological order of a linear pipeline.
+    @raise Invalid_argument when the graph is not a pipeline. *)
+
+val enumerate :
+  ?net_budget:float ->
+  Profiler.Profile.raw ->
+  Profiler.Platform.t ->
+  cut list
+(** One entry per cut index 1..n-1 (the source always stays on the
+    node, the sink on the server).  [net_budget] defaults to the
+    platform radio goodput. *)
+
+val best_by_rate : cut list -> cut option
+(** The viable cut admitting the highest min(compute, network)
+    sustainable rate — the throughput-optimal split. *)
+
+val pp : Format.formatter -> cut list -> unit

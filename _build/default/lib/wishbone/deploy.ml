@@ -1,0 +1,22 @@
+type comparison = {
+  predicted_cpu : float;
+  measured_cpu : float;
+  predicted_net : float;
+  measured_net : float;
+  result : Netsim.Testbed.result;
+}
+
+let run ~config ~sources ~spec ~assignment =
+  let predicted_cpu, predicted_net = Spec.cut_stats spec ~node_side:assignment in
+  let result =
+    Netsim.Testbed.run config ~graph:spec.Spec.graph
+      ~node_of:(fun i -> assignment.(i))
+      ~sources
+  in
+  {
+    predicted_cpu;
+    measured_cpu = result.node_busy_fraction;
+    predicted_net;
+    measured_net = result.offered_bytes_per_sec;
+    result;
+  }

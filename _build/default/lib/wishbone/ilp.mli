@@ -1,0 +1,38 @@
+(** ILP encodings of the partitioning problem (§4.2.1).
+
+    {!General} is the bidirectional formulation, eqs. (1)–(5): one
+    binary [f_v] per supernode plus two continuous edge variables
+    [e_uv], [e'_uv] linearizing the quadratic cut indicator.
+
+    {!Restricted} exploits the single-crossing restriction of §2.1.2,
+    eqs. (6)–(7): data flows only node→server, so [f_u >= f_v] along
+    every edge and the edge variables disappear — [|V|] variables and
+    at most [|E| + |V| + 1] constraints.  This is the formulation the
+    prototype uses. *)
+
+type encoding = General | Restricted
+
+type encoded = {
+  problem : Lp.Problem.t;
+  f_var : int array;  (** supernode id -> ILP variable index *)
+  encoding : encoding;
+}
+
+(** An additional per-operator resource consumed only by node-resident
+    operators — RAM under static allocation, or code storage.  §4.2.1:
+    "adding additional constraints for RAM usage (assuming static
+    allocation) or code storage is straightforward in this
+    formulation". *)
+type resource = {
+  rname : string;
+  per_op : float array;  (** indexed by original operator id *)
+  budget : float;
+}
+
+val encode :
+  ?resources:resource list -> encoding -> Preprocess.contracted -> encoded
+(** @raise Invalid_argument when a resource array has the wrong
+    length. *)
+
+val assignment_of_solution : encoded -> Lp.Solution.t -> bool array
+(** Supernode assignment (true = node) from a solved instance. *)

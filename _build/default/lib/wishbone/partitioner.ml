@@ -1,0 +1,112 @@
+type report = {
+  assignment : bool array;
+  cpu : float;
+  net : float;
+  objective : float;
+  solver : Lp.Branch_bound.stats;
+  supernodes : int;
+  movable_supernodes : int;
+  encoding : Ilp.encoding;
+  preprocessed : bool;
+}
+
+type outcome =
+  | Partitioned of report
+  | No_feasible_partition
+  | Solver_failure of string
+
+let solve ?(encoding = Ilp.Restricted) ?(preprocess = true) ?options
+    ?(resources = []) spec =
+  let contracted =
+    if preprocess then Preprocess.contract spec else Preprocess.identity spec
+  in
+  let encoded = Ilp.encode ~resources encoding contracted in
+  let status, stats = Lp.Branch_bound.solve ?options encoded.problem in
+  match status with
+  | Lp.Solution.Optimal sol ->
+      let super_assign = Ilp.assignment_of_solution encoded sol in
+      let assignment = Preprocess.expand contracted super_assign in
+      let cpu, net = Spec.cut_stats spec ~node_side:assignment in
+      let require_single_crossing = encoding = Ilp.Restricted in
+      if not (Spec.feasible ~require_single_crossing spec ~node_side:assignment)
+      then
+        Solver_failure
+          "internal error: ILP solution violates the original constraints"
+      else
+        Partitioned
+          {
+            assignment;
+            cpu;
+            net;
+            objective = Spec.objective_value spec ~node_side:assignment;
+            solver = stats;
+            supernodes = contracted.n_super;
+            movable_supernodes = Movable.movable_count contracted.placement;
+            encoding;
+            preprocessed = preprocess;
+          }
+  | Lp.Solution.Infeasible -> No_feasible_partition
+  | Lp.Solution.Unbounded ->
+      Solver_failure "partitioning ILP unbounded (bad cost data?)"
+  | Lp.Solution.Iteration_limit -> Solver_failure "solver budget exhausted"
+
+let brute_force ?(max_movable = 20) spec =
+  let n = Array.length spec.Spec.placement in
+  let movable =
+    List.filter
+      (fun i -> spec.Spec.placement.(i) = Movable.Movable)
+      (List.init n Fun.id)
+  in
+  let m = List.length movable in
+  if m > max_movable then
+    invalid_arg "Partitioner.brute_force: too many movable operators";
+  let movable = Array.of_list movable in
+  let best = ref None in
+  let assignment = Array.make n false in
+  Array.iteri
+    (fun i p -> assignment.(i) <- p = Movable.Pin_node)
+    spec.Spec.placement;
+  for mask = 0 to (1 lsl m) - 1 do
+    Array.iteri
+      (fun bit op -> assignment.(op) <- mask land (1 lsl bit) <> 0)
+      movable;
+    if Spec.feasible spec ~node_side:assignment then begin
+      let obj = Spec.objective_value spec ~node_side:assignment in
+      match !best with
+      | Some (_, b) when b <= obj -> ()
+      | _ -> best := Some (Array.copy assignment, obj)
+    end
+  done;
+  !best
+
+let node_ops r =
+  let acc = ref [] in
+  for i = Array.length r.assignment - 1 downto 0 do
+    if r.assignment.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let pp_report graph ppf r =
+  let enc =
+    match r.encoding with
+    | Ilp.Restricted -> "restricted"
+    | Ilp.General -> "general"
+  in
+  Format.fprintf ppf
+    "@[<v>partition: %d operators on node, %d on server@,\
+     node CPU %.1f%%, cut bandwidth %.1f B/s, objective %g@,\
+     %d supernodes (%d movable), %s encoding%s@,\
+     solver: %d nodes, %d LPs, %.3fs (optimal found at %.3fs, proved=%b)@,\
+     node ops: %s@]"
+    (List.length (node_ops r))
+    (Dataflow.Graph.n_ops graph - List.length (node_ops r))
+    (100. *. r.cpu) r.net r.objective r.supernodes r.movable_supernodes enc
+    (if r.preprocessed then " (preprocessed)" else "")
+    r.solver.Lp.Branch_bound.nodes_explored r.solver.Lp.Branch_bound.lp_solves
+    r.solver.Lp.Branch_bound.time_total
+    r.solver.Lp.Branch_bound.time_to_incumbent
+    r.solver.Lp.Branch_bound.proved_optimal
+    (String.concat ","
+       (List.map
+          (fun i -> (Dataflow.Graph.op graph i).Dataflow.Op.name)
+          (node_ops r)))

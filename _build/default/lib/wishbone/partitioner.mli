@@ -1,0 +1,49 @@
+(** The Wishbone partitioner: profile → preprocess → ILP → optimal
+    node/server assignment (§3–§4).
+
+    [solve] finds the minimum-cost single cut of the operator graph
+    subject to the CPU and network budgets, or reports that no
+    feasible partition exists (in which case §4.3's {!Rate_search}
+    can find the highest sustainable input rate). *)
+
+type report = {
+  assignment : bool array;
+      (** per original operator: [true] = embedded node *)
+  cpu : float;  (** node CPU fraction consumed by the cut *)
+  net : float;  (** cut bandwidth, bytes/s *)
+  objective : float;  (** alpha*cpu + beta*net *)
+  solver : Lp.Branch_bound.stats;
+  supernodes : int;  (** problem size after preprocessing *)
+  movable_supernodes : int;
+  encoding : Ilp.encoding;
+  preprocessed : bool;
+}
+
+type outcome =
+  | Partitioned of report
+  | No_feasible_partition
+  | Solver_failure of string
+
+val solve :
+  ?encoding:Ilp.encoding ->
+  ?preprocess:bool ->
+  ?options:Lp.Branch_bound.options ->
+  ?resources:Ilp.resource list ->
+  Spec.t ->
+  outcome
+(** Defaults: [Restricted] encoding with preprocessing on — the
+    configuration of the paper's prototype.  [resources] adds §4.2.1's
+    optional RAM / code-storage rows; the returned report's assignment
+    respects them (they are checked by the ILP, not by
+    {!Spec.feasible}). *)
+
+val brute_force : ?max_movable:int -> Spec.t -> (bool array * float) option
+(** Exhaustive search over all assignments of the movable operators
+    (test oracle; refuses more than [max_movable] (default 20)
+    movable ops).  Returns the best feasible assignment and its
+    objective, or [None] when no assignment is feasible. *)
+
+val node_ops : report -> int list
+(** Original operator ids assigned to the node, ascending. *)
+
+val pp_report : Dataflow.Graph.t -> Format.formatter -> report -> unit

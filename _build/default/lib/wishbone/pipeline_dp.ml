@@ -1,0 +1,21 @@
+open Dataflow
+
+let solve (spec : Spec.t) =
+  let g = spec.Spec.graph in
+  if not (Graph.is_linear_pipeline g) then
+    invalid_arg "Pipeline_dp.solve: not a linear pipeline";
+  let order = Graph.topo_order g in
+  let n = Array.length order in
+  let best = ref None in
+  let assignment = Array.make n false in
+  (* prefix of length k on the node, k = 1 .. n-1 *)
+  for k = 1 to n - 1 do
+    Array.iteri (fun pos op -> assignment.(op) <- pos < k) order;
+    if Spec.feasible spec ~node_side:assignment then begin
+      let obj = Spec.objective_value spec ~node_side:assignment in
+      match !best with
+      | Some (_, b) when b <= obj -> ()
+      | _ -> best := Some (Array.copy assignment, obj)
+    end
+  done;
+  !best

@@ -1,0 +1,14 @@
+(** Exact partitioning of linear pipelines by direct enumeration.
+
+    For a pipeline, single-crossing assignments are exactly the
+    prefixes of the topological order, so the optimum is found in
+    O(n) — no solver needed.  Used as a fast path and as an
+    independent oracle for the ILP in tests (the paper makes the same
+    observation: "the optimization process for picking a cut point
+    should be trivial — a brute force testing of all cut points will
+    suffice", §7.2). *)
+
+val solve : Spec.t -> (bool array * float) option
+(** The best feasible prefix cut and its objective, or [None] if no
+    prefix is feasible.
+    @raise Invalid_argument when the graph is not a linear pipeline. *)

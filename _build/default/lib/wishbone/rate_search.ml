@@ -1,0 +1,60 @@
+type result = { rate_multiplier : float; report : Partitioner.report }
+
+(* Near the feasibility boundary the CPU constraint becomes a tight
+   knapsack and exact branch & bound can take minutes (the paper saw
+   12-minute proof tails, §7.1, and suggests terminating on an
+   approximate bound).  The search therefore defaults to a small
+   optimality gap and a per-solve budget: the returned partition may
+   be marginally suboptimal at the boundary but the found rate is
+   always feasible. *)
+let default_search_options =
+  {
+    Lp.Branch_bound.default_options with
+    Lp.Branch_bound.gap_tol = 0.005;
+    max_nodes = 5_000;
+    time_limit = 10.;
+  }
+
+let feasible_at ?encoding ?preprocess ?(options = default_search_options) spec
+    factor =
+  Partitioner.solve ?encoding ?preprocess ~options
+    (Spec.scale_rate spec factor)
+
+let search ?encoding ?preprocess ?(options = default_search_options)
+    ?(tol = 0.01) ?(max_multiplier = 65536.) spec =
+  let attempt factor =
+    match feasible_at ?encoding ?preprocess ~options spec factor with
+    | Partitioner.Partitioned r -> Some r
+    | Partitioner.No_feasible_partition | Partitioner.Solver_failure _ -> None
+  in
+  (* establish a feasible lower bracket *)
+  let rec find_lo factor =
+    if factor < 1e-9 then None
+    else
+      match attempt factor with
+      | Some r -> Some (factor, r)
+      | None -> find_lo (factor /. 4.)
+  in
+  match find_lo 1.0 with
+  | None -> None
+  | Some (lo0, r0) ->
+      (* grow the upper bracket while feasible *)
+      let rec find_hi lo best =
+        let hi = lo *. 2. in
+        if hi > max_multiplier then (lo, best, lo *. 2.)
+        else
+          match attempt hi with
+          | Some r -> find_hi hi r
+          | None -> (lo, best, hi)
+      in
+      let lo, best, hi = find_hi lo0 r0 in
+      let lo = ref lo and hi = ref hi and best = ref best in
+      while (!hi -. !lo) /. !lo > tol do
+        let mid = Float.sqrt (!lo *. !hi) in
+        match attempt mid with
+        | Some r ->
+            best := r;
+            lo := mid
+        | None -> hi := mid
+      done;
+      Some { rate_multiplier = !lo; report = !best }

@@ -1,0 +1,40 @@
+(** Data rate as a free variable (§4.3).
+
+    When no partition satisfies the budgets at the requested input
+    rate, Wishbone binary-searches for the maximum rate multiplier
+    that still admits a feasible partition.  Because CPU and network
+    load grow monotonically with input rate, feasibility is monotone
+    and binary search is exact (up to [tol]). *)
+
+type result = {
+  rate_multiplier : float;
+      (** highest feasible multiple of the profiled input rate *)
+  report : Partitioner.report;  (** the partition at that rate *)
+}
+
+val default_search_options : Lp.Branch_bound.options
+(** A small optimality gap (0.5%) and a per-solve node/time budget.
+    Near the feasibility boundary the CPU constraint is a tight
+    knapsack and exact proofs can take minutes (the paper's §7.1 tail);
+    the search trades marginal optimality for bounded runtime, as the
+    paper itself suggests ("use an approximate lower bound to establish
+    a termination condition"). *)
+
+val search :
+  ?encoding:Ilp.encoding ->
+  ?preprocess:bool ->
+  ?options:Lp.Branch_bound.options ->
+  ?tol:float ->
+  ?max_multiplier:float ->
+  Spec.t ->
+  result option
+(** [None] when even a vanishing input rate has no feasible partition
+    (contradictory pinning or zero budgets).  [tol] is the relative
+    precision of the search (default 0.01); [max_multiplier] caps the
+    upward bracket (default 65536).  [options] defaults to
+    {!default_search_options}. *)
+
+val feasible_at : ?encoding:Ilp.encoding -> ?preprocess:bool ->
+  ?options:Lp.Branch_bound.options -> Spec.t -> float ->
+  Partitioner.outcome
+(** Partition the problem with all rates scaled by the given factor. *)

@@ -1,0 +1,189 @@
+open Dataflow
+
+type tier = Mote | Microserver | Central
+
+type t = {
+  contracted : Preprocess.contracted;
+  micro_cpu : float array;  (* per supernode, on the microserver *)
+  mote_cpu_budget : float;
+  micro_cpu_budget : float;
+  mote_net_budget : float;
+  micro_net_budget : float;
+  beta_mote : float;
+  beta_micro : float;
+}
+
+let of_profile ?(mode = Movable.Conservative) ?mote_cpu_budget
+    ?micro_cpu_budget ?mote_net_budget ?micro_net_budget ?(beta_mote = 1.)
+    ?(beta_micro = 0.3) ~mote ~micro raw =
+  match Spec.of_profile ~mode ~node_platform:mote raw with
+  | Error _ as e -> e
+  | Ok spec ->
+      let contracted = Preprocess.contract spec in
+      let micro_costed = Profiler.Profile.cost raw micro in
+      let micro_cpu =
+        Array.map
+          (fun members ->
+            List.fold_left
+              (fun acc i ->
+                acc +. micro_costed.Profiler.Profile.cpu_fraction.(i))
+              0. members)
+          contracted.Preprocess.members
+      in
+      let dflt o v = match o with Some x -> x | None -> v in
+      Ok
+        {
+          contracted;
+          micro_cpu;
+          mote_cpu_budget =
+            dflt mote_cpu_budget mote.Profiler.Platform.cpu_budget;
+          micro_cpu_budget =
+            dflt micro_cpu_budget micro.Profiler.Platform.cpu_budget;
+          mote_net_budget =
+            dflt mote_net_budget mote.Profiler.Platform.radio_bytes_per_sec;
+          micro_net_budget =
+            dflt micro_net_budget micro.Profiler.Platform.radio_bytes_per_sec;
+          beta_mote;
+          beta_micro;
+        }
+
+type report = {
+  tiers : tier array;
+  mote_cpu : float;
+  micro_cpu : float;
+  mote_net : float;
+  micro_net : float;
+  objective : float;
+  solver : Lp.Branch_bound.stats;
+}
+
+type outcome =
+  | Partitioned of report
+  | No_feasible_partition
+  | Solver_failure of string
+
+let solve ?options t =
+  let c = t.contracted in
+  let p = Lp.Problem.create () in
+  let bounds s =
+    match c.Preprocess.placement.(s) with
+    | Movable.Pin_node -> (1., 1.)
+    | Movable.Pin_server -> (0., 0.)
+    | Movable.Movable -> (0., 1.)
+  in
+  let x =
+    Array.init c.Preprocess.n_super (fun s ->
+        let lo, hi = bounds s in
+        Lp.Problem.add_var ~name:(Printf.sprintf "x%d" s) ~lo ~hi
+          ~integer:true p)
+  in
+  let y =
+    Array.init c.Preprocess.n_super (fun s ->
+        let lo, hi = bounds s in
+        Lp.Problem.add_var ~name:(Printf.sprintf "y%d" s) ~lo ~hi
+          ~integer:true p)
+  in
+  (* tier ordering: on the mote implies at least microserver depth *)
+  for s = 0 to c.Preprocess.n_super - 1 do
+    Lp.Problem.add_constr p [ (y.(s), 1.); (x.(s), -1.) ] Lp.Problem.Ge 0.
+  done;
+  (* monotone descent along edges, both levels *)
+  Array.iter
+    (fun (u, v, _) ->
+      Lp.Problem.add_constr p [ (x.(u), 1.); (x.(v), -1.) ] Lp.Problem.Ge 0.;
+      Lp.Problem.add_constr p [ (y.(u), 1.); (y.(v), -1.) ] Lp.Problem.Ge 0.)
+    c.Preprocess.edges;
+  (* CPU budgets: mote runs x, microserver runs y - x *)
+  let clamp budget costs =
+    Float.min budget (Array.fold_left ( +. ) 1. costs)
+  in
+  Lp.Problem.add_constr ~name:"mote_cpu" p
+    (Array.to_list (Array.mapi (fun s cost -> (x.(s), cost)) c.Preprocess.cpu))
+    Lp.Problem.Le
+    (clamp t.mote_cpu_budget c.Preprocess.cpu);
+  Lp.Problem.add_constr ~name:"micro_cpu" p
+    (List.concat
+       (Array.to_list
+          (Array.mapi
+             (fun s cost -> [ (y.(s), cost); (x.(s), -.cost) ])
+             t.micro_cpu)))
+    Lp.Problem.Le
+    (clamp t.micro_cpu_budget t.micro_cpu);
+  (* bandwidth budgets and objective *)
+  let total_bw =
+    Array.fold_left (fun acc (_, _, r) -> acc +. r) 1. c.Preprocess.edges
+  in
+  let mote_net_terms = ref [] and micro_net_terms = ref [] in
+  let obj = Hashtbl.create 64 in
+  let add_obj v coef =
+    Hashtbl.replace obj v (coef +. Option.value ~default:0. (Hashtbl.find_opt obj v))
+  in
+  Array.iter
+    (fun (u, v, r) ->
+      mote_net_terms := (x.(u), r) :: (x.(v), -.r) :: !mote_net_terms;
+      micro_net_terms := (y.(u), r) :: (y.(v), -.r) :: !micro_net_terms;
+      add_obj x.(u) (t.beta_mote *. r);
+      add_obj x.(v) (-.t.beta_mote *. r);
+      add_obj y.(u) (t.beta_micro *. r);
+      add_obj y.(v) (-.t.beta_micro *. r))
+    c.Preprocess.edges;
+  Lp.Problem.add_constr ~name:"mote_net" p !mote_net_terms Lp.Problem.Le
+    (Float.min t.mote_net_budget total_bw);
+  Lp.Problem.add_constr ~name:"micro_net" p !micro_net_terms Lp.Problem.Le
+    (Float.min t.micro_net_budget total_bw);
+  Lp.Problem.set_objective p Lp.Problem.Minimize
+    (Hashtbl.fold (fun v coef acc -> (v, coef) :: acc) obj []);
+  match Lp.Branch_bound.solve ?options p with
+  | Lp.Solution.Optimal sol, stats ->
+      let n = Graph.n_ops c.Preprocess.spec.Spec.graph in
+      let tiers =
+        Array.init n (fun i ->
+            let s = c.Preprocess.super_of.(i) in
+            if sol.x.(x.(s)) >= 0.5 then Mote
+            else if sol.x.(y.(s)) >= 0.5 then Microserver
+            else Central)
+      in
+      let spec = c.Preprocess.spec in
+      let mote_cpu = ref 0. and micro_cpu = ref 0. in
+      Array.iteri
+        (fun s members ->
+          ignore members;
+          if sol.x.(x.(s)) >= 0.5 then
+            mote_cpu := !mote_cpu +. c.Preprocess.cpu.(s)
+          else if sol.x.(y.(s)) >= 0.5 then
+            micro_cpu := !micro_cpu +. t.micro_cpu.(s))
+        c.Preprocess.members;
+      let mote_net = ref 0. and micro_net = ref 0. in
+      Array.iter
+        (fun (e : Graph.edge) ->
+          let tu = tiers.(e.src) and tv = tiers.(e.dst) in
+          let r = spec.Spec.bandwidth.(e.eid) in
+          (match (tu, tv) with
+          | Mote, (Microserver | Central) -> mote_net := !mote_net +. r
+          | _ -> ());
+          match (tu, tv) with
+          | (Mote | Microserver), Central -> micro_net := !micro_net +. r
+          | _ -> ())
+        (Graph.edges spec.Spec.graph);
+      Partitioned
+        {
+          tiers;
+          mote_cpu = !mote_cpu;
+          micro_cpu = !micro_cpu;
+          mote_net = !mote_net;
+          micro_net = !micro_net;
+          objective = sol.objective;
+          solver = stats;
+        }
+  | Lp.Solution.Infeasible, _ -> No_feasible_partition
+  | Lp.Solution.Unbounded, _ -> Solver_failure "three-tier ILP unbounded"
+  | Lp.Solution.Iteration_limit, _ -> Solver_failure "solver budget exhausted"
+
+let tier_counts r =
+  Array.fold_left
+    (fun (m, mi, c) t ->
+      match t with
+      | Mote -> (m + 1, mi, c)
+      | Microserver -> (m, mi + 1, c)
+      | Central -> (m, mi, c + 1))
+    (0, 0, 0) r.tiers

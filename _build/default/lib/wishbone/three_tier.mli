@@ -1,0 +1,53 @@
+(** Restricted three-tier partitioning (§9, future work).
+
+    Motes communicate only with microservers and microservers only
+    with the central server.  Each operator is assigned one of three
+    tiers, monotonically descending along the dataflow (a stream may
+    cross mote→microserver once and microserver→server once).
+
+    ILP: two ordered binaries per supernode, [x_v] ("at least as deep
+    as the mote") and [y_v] ("at least as deep as a microserver"),
+    with [x_v <= y_v]; per-edge monotonicity [x_u >= x_v],
+    [y_u >= y_v]; CPU budgets per tier and bandwidth budgets per link
+    layer; objective a weighted sum of the two cut bandwidths. *)
+
+type tier = Mote | Microserver | Central
+
+type t
+
+val of_profile :
+  ?mode:Movable.mode ->
+  ?mote_cpu_budget:float ->
+  ?micro_cpu_budget:float ->
+  ?mote_net_budget:float ->
+  ?micro_net_budget:float ->
+  ?beta_mote:float ->
+  ?beta_micro:float ->
+  mote:Profiler.Platform.t ->
+  micro:Profiler.Platform.t ->
+  Profiler.Profile.raw ->
+  (t, string) result
+(** Budgets default to each platform's descriptor.  [beta_mote]
+    (default 1) and [beta_micro] (default 0.3) weight the two radio
+    layers in the objective — mote radio bytes are usually the scarce
+    resource. *)
+
+type report = {
+  tiers : tier array;  (** per original operator *)
+  mote_cpu : float;
+  micro_cpu : float;
+  mote_net : float;  (** mote→microserver cut bandwidth, bytes/s *)
+  micro_net : float;  (** microserver→server cut bandwidth *)
+  objective : float;
+  solver : Lp.Branch_bound.stats;
+}
+
+type outcome =
+  | Partitioned of report
+  | No_feasible_partition
+  | Solver_failure of string
+
+val solve : ?options:Lp.Branch_bound.options -> t -> outcome
+
+val tier_counts : report -> int * int * int
+(** (mote, microserver, central) operator counts. *)

@@ -1,0 +1,38 @@
+open Dataflow
+
+let render ?assignment ?costed raw =
+  let g = Profiler.Profile.graph raw in
+  let max_cost =
+    match costed with
+    | None -> 1.
+    | Some c ->
+        Array.fold_left Float.max 1e-12 c.Profiler.Profile.seconds_per_fire
+  in
+  let vertex_attrs i =
+    let heat =
+      match costed with
+      | None -> 0.
+      | Some c -> c.Profiler.Profile.seconds_per_fire.(i) /. max_cost
+    in
+    let shape =
+      match assignment with
+      | Some a when a.(i) -> "box"
+      | Some _ -> "ellipse"
+      | None -> "ellipse"
+    in
+    [ ("fillcolor", Dot.heat_color heat); ("shape", shape) ]
+  in
+  let edge_attrs (e : Graph.edge) =
+    let bw = Profiler.Profile.edge_bytes_per_sec raw e.eid in
+    let cut =
+      match assignment with
+      | Some a -> a.(e.src) && not a.(e.dst)
+      | None -> false
+    in
+    [ ("label", Printf.sprintf "%.0f B/s" bw) ]
+    @ if cut then [ ("style", "dashed"); ("color", "red") ] else []
+  in
+  Dot.render ~graph_name:"wishbone_partition" ~vertex_attrs ~edge_attrs g
+
+let save ~path ?assignment ?costed raw =
+  Dot.write_file path (render ?assignment ?costed raw)

@@ -1,0 +1,18 @@
+(** Partition visualisation (§3): GraphViz output where color encodes
+    profiling heat (cool blue to hot red, by CPU cost) and shape
+    encodes the partition (boxes on the node, ellipses on the
+    server). *)
+
+val render :
+  ?assignment:bool array ->
+  ?costed:Profiler.Profile.costed ->
+  Profiler.Profile.raw ->
+  string
+(** Dot source for the profiled graph; edge labels carry bandwidth. *)
+
+val save :
+  path:string ->
+  ?assignment:bool array ->
+  ?costed:Profiler.Profile.costed ->
+  Profiler.Profile.raw ->
+  unit

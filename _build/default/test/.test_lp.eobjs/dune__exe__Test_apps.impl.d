@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Char Dataflow Dsp Float Graph List Op Profiler Runtime String Value Wishbone

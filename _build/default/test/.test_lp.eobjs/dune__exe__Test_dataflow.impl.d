@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Array Builder Dataflow Dot Float Graph List Op Printf Prng QCheck QCheck_alcotest Runtime String Value Workload

@@ -1,0 +1,1 @@
+test/test_dsp.ml: Alcotest Array Dsp Float List Prng QCheck QCheck_alcotest

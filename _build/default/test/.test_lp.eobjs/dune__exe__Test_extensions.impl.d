@@ -1,0 +1,1 @@
+test/test_extensions.ml: Aggregation Alcotest Apps Array Builder Dataflow Float Graph List Mixed Movable Partitioner Printf Profiler Runtime Spec Three_tier Value Wishbone Workload

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Apps Array Cutpoints Dataflow Deploy Float Lazy List Lp Movable Netsim Partitioner Preprocess Printf Profiler Rate_search Spec Wishbone

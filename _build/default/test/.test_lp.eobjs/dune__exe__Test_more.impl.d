@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Apps Array Branch_bound Dataflow Float Format List Lp Netsim Printf Prng Problem Profiler QCheck QCheck_alcotest Simplex Solution String Unix Wishbone

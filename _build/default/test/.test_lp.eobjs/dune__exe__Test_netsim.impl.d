@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Builder Dataflow Float Graph Int Netsim Profiler Value Workload

@@ -1,0 +1,1 @@
+test/test_profiler.ml: Alcotest Array Builder Dataflow Float Graph List Op Profiler Value Workload

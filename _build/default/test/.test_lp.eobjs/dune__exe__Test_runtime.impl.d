@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Builder Dataflow Graph List Op Printf Prng QCheck QCheck_alcotest Runtime Value Workload

@@ -1,0 +1,287 @@
+(* Dataflow IR tests: values, workloads, graph construction, builder
+   DSL, dot output. *)
+
+open Dataflow
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let passthrough () =
+  Op.stateless_instance (fun v -> ([ v ], Workload.make ~call_ops:1. ()))
+
+let mk_op ?(namespace = Op.Node) ?(stateful = false) ?(side_effect = Op.Pure)
+    id name =
+  { Op.id; name; kind = "t"; namespace; stateful; side_effect;
+    fresh = passthrough }
+
+(* ---- Value ---- *)
+
+let test_value_sizes () =
+  Alcotest.(check int) "unit" 0 (Value.size_bytes Value.Unit);
+  Alcotest.(check int) "bool" 1 (Value.size_bytes (Value.Bool true));
+  Alcotest.(check int) "int" 4 (Value.size_bytes (Value.Int 7));
+  Alcotest.(check int) "float" 4 (Value.size_bytes (Value.Float 1.5));
+  Alcotest.(check int) "string" 7 (Value.size_bytes (Value.String "hello"));
+  Alcotest.(check int) "int16 arr"
+    (2 + (2 * 200))
+    (Value.size_bytes (Value.Int16_arr (Array.make 200 0)));
+  Alcotest.(check int) "float arr"
+    (2 + (4 * 32))
+    (Value.size_bytes (Value.Float_arr (Array.make 32 0.)));
+  Alcotest.(check int) "tuple"
+    (1 + 4 + 1)
+    (Value.size_bytes (Value.Tuple [ Value.Float 0.; Value.Bool false ]))
+
+let test_value_equal () =
+  let a = Value.Tuple [ Value.Int 1; Value.Float_arr [| 1.; 2. |] ] in
+  let b = Value.Tuple [ Value.Int 1; Value.Float_arr [| 1.; 2. |] ] in
+  let c = Value.Tuple [ Value.Int 1; Value.Float_arr [| 1.; 2.1 |] ] in
+  Alcotest.(check bool) "equal" true (Value.equal a b);
+  Alcotest.(check bool) "not equal" false (Value.equal a c);
+  Alcotest.(check bool) "close" true (Value.close ~tol:0.2 a c);
+  Alcotest.(check bool) "not close" false (Value.close ~tol:0.01 a c)
+
+let test_value_coercions () =
+  let f = Value.float_arr (Value.Int16_arr [| 1; -2; 3 |]) in
+  Alcotest.(check (float 1e-9)) "coerced" (-2.) f.(1);
+  Alcotest.check_raises "bad coercion"
+    (Invalid_argument "Value.float_arr: not an array value") (fun () ->
+      ignore (Value.float_arr (Value.Int 3)))
+
+(* ---- Workload ---- *)
+
+let test_workload_algebra () =
+  let a = Workload.make ~int_ops:1. ~float_ops:2. () in
+  let b = Workload.make ~float_ops:3. ~mem_ops:4. () in
+  let s = Workload.add a b in
+  Alcotest.(check (float 0.)) "float add" 5. s.Workload.float_ops;
+  Alcotest.(check (float 0.)) "mem add" 4. s.Workload.mem_ops;
+  let d = Workload.scale 2. s in
+  Alcotest.(check (float 0.)) "scaled" 10. d.Workload.float_ops;
+  Alcotest.(check (float 0.)) "total" (Workload.total d)
+    (d.Workload.int_ops +. d.Workload.float_ops +. d.Workload.mem_ops);
+  let l = Workload.loop ~iters:10 ~body:a in
+  Alcotest.(check (float 0.)) "loop floats" 20. l.Workload.float_ops;
+  Alcotest.(check (float 0.)) "loop branches" 10. l.Workload.branch_ops
+
+(* ---- Graph ---- *)
+
+let diamond () =
+  (* 0 -> 1 -> 3, 0 -> 2 -> 3 *)
+  let ops = Array.init 4 (fun i -> mk_op i (Printf.sprintf "n%d" i)) in
+  Graph.make ops [ (0, 1, 0); (0, 2, 0); (1, 3, 0); (2, 3, 1) ]
+
+let test_graph_basic () =
+  let g = diamond () in
+  Alcotest.(check int) "ops" 4 (Graph.n_ops g);
+  Alcotest.(check int) "edges" 4 (Graph.n_edges g);
+  Alcotest.(check (list int)) "sources" [ 0 ] (Graph.sources g);
+  Alcotest.(check (list int)) "sinks" [ 3 ] (Graph.sinks g);
+  Alcotest.(check int) "out deg" 2 (Graph.out_degree g 0);
+  Alcotest.(check int) "in deg" 2 (Graph.in_degree g 3)
+
+let test_graph_topo () =
+  let g = diamond () in
+  let order = Graph.topo_order g in
+  let pos = Array.make 4 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) order;
+  Array.iter
+    (fun (e : Graph.edge) ->
+      Alcotest.(check bool) "topo respects edges" true (pos.(e.src) < pos.(e.dst)))
+    (Graph.edges g)
+
+let test_graph_cycle_rejected () =
+  let ops = Array.init 2 (fun i -> mk_op i (Printf.sprintf "n%d" i)) in
+  Alcotest.check_raises "cycle" (Invalid_argument "Graph.make: graph has a cycle")
+    (fun () -> ignore (Graph.make ops [ (0, 1, 0); (1, 0, 0) ]))
+
+let test_graph_bad_ports () =
+  let ops = Array.init 3 (fun i -> mk_op i (Printf.sprintf "n%d" i)) in
+  (* vertex 2's input ports are 0 and 2: not dense *)
+  Alcotest.check_raises "ports"
+    (Invalid_argument "Graph.make: vertex 2 input ports not dense") (fun () ->
+      ignore (Graph.make ops [ (0, 2, 0); (1, 2, 2) ]))
+
+let test_graph_reachability () =
+  let g = diamond () in
+  let desc = Graph.descendants g [ 1 ] in
+  Alcotest.(check bool) "1 reaches 3" true desc.(3);
+  Alcotest.(check bool) "1 not 2" false desc.(2);
+  let anc = Graph.ancestors g [ 3 ] in
+  Alcotest.(check bool) "3 from 0" true anc.(0);
+  Alcotest.(check bool) "all ancestors" true (anc.(1) && anc.(2))
+
+let test_graph_pipeline_detection () =
+  let ops = Array.init 3 (fun i -> mk_op i (Printf.sprintf "n%d" i)) in
+  let pipe = Graph.make ops [ (0, 1, 0); (1, 2, 0) ] in
+  Alcotest.(check bool) "pipeline" true (Graph.is_linear_pipeline pipe);
+  Alcotest.(check bool) "diamond is not" false
+    (Graph.is_linear_pipeline (diamond ()))
+
+let test_graph_edge_ids_dense () =
+  let g = diamond () in
+  Array.iteri
+    (fun i (e : Graph.edge) -> Alcotest.(check int) "eid" i e.eid)
+    (Graph.edges g)
+
+(* ---- Builder ---- *)
+
+let test_builder_namespace () =
+  let b = Builder.create () in
+  let src = Builder.in_node b (fun () -> Builder.source b ~name:"s" ()) in
+  let mapped = Builder.map b ~name:"m" (fun v -> (v, Workload.zero)) src in
+  Builder.sink b ~name:"out" mapped;
+  let g = Builder.build b in
+  Alcotest.(check int) "three ops" 3 (Graph.n_ops g);
+  Alcotest.(check bool) "source in node ns" true
+    ((Graph.op g (Builder.op_id src)).Op.namespace = Op.Node);
+  Alcotest.(check bool) "map in server ns" true
+    ((Graph.op g (Builder.op_id mapped)).Op.namespace = Op.Server);
+  Alcotest.(check bool) "source pinned" true
+    (Op.is_pinned (Graph.op g (Builder.op_id src)))
+
+let test_builder_namespace_restored_on_exception () =
+  let b = Builder.create () in
+  (try Builder.in_node b (fun () -> failwith "boom") with Failure _ -> ());
+  let s = Builder.source b ~name:"after" () in
+  Builder.sink b ~name:"k" s;
+  let g = Builder.build b in
+  Alcotest.(check bool) "namespace restored" true
+    ((Graph.op g (Builder.op_id s)).Op.namespace = Op.Server
+    || (Graph.op g (Builder.op_id s)).Op.side_effect = Op.Sensor_input)
+
+let test_builder_reuse_rejected () =
+  let b = Builder.create () in
+  let s = Builder.source b ~name:"s" () in
+  Builder.sink b ~name:"k" s;
+  ignore (Builder.build b);
+  Alcotest.check_raises "rebuild" (Invalid_argument "Builder: already built")
+    (fun () -> ignore (Builder.build b))
+
+let test_builder_unknown_stream () =
+  (* a stream handle from a bigger builder is rejected by a smaller one *)
+  let big = Builder.create () in
+  let s0 = Builder.source big ~name:"a" () in
+  let foreign = Builder.map big ~name:"b" (fun v -> (v, Workload.zero)) s0 in
+  let b = Builder.create () in
+  Alcotest.check_raises "foreign stream"
+    (Invalid_argument "Builder.iterate: unknown stream") (fun () ->
+      ignore (Builder.iterate b ~name:"bad" ~fresh:passthrough [ foreign ]))
+
+let test_builder_multi_input_ports () =
+  let b = Builder.create () in
+  let s1 = Builder.source b ~name:"a" () in
+  let s2 = Builder.source b ~name:"b" () in
+  let seen = ref [] in
+  let zip =
+    Builder.iterate b ~name:"zip"
+      ~fresh:(fun () ->
+        {
+          Op.work =
+            (fun ~port v ->
+              seen := (port, v) :: !seen;
+              ([], Workload.zero));
+          reset = (fun () -> ());
+        })
+      [ s1; s2 ]
+  in
+  let g = Builder.build b in
+  let exec = Runtime.Exec.full g in
+  ignore (Runtime.Exec.fire exec ~op:(Builder.op_id s1) ~port:0 (Value.Int 1));
+  ignore (Runtime.Exec.fire exec ~op:(Builder.op_id s2) ~port:0 (Value.Int 2));
+  ignore zip;
+  Alcotest.(check bool) "ports distinguish inputs" true
+    (List.mem (0, Value.Int 1) !seen && List.mem (1, Value.Int 2) !seen)
+
+(* ---- Dot ---- *)
+
+let test_dot_render () =
+  let g = diamond () in
+  let dot =
+    Dot.render
+      ~vertex_attrs:(fun i ->
+        [ ("fillcolor", Dot.heat_color (Float.of_int i /. 3.)) ])
+      ~edge_attrs:(fun e -> [ ("label", string_of_int e.Graph.eid) ])
+      g
+  in
+  Alcotest.(check bool) "digraph" true (contains dot "digraph");
+  Alcotest.(check bool) "has node" true (contains dot "n0");
+  Alcotest.(check bool) "has edge" true (contains dot "n0 -> n1")
+
+let test_dot_escaping () =
+  let ops = [| mk_op 0 "weird\"name" |] in
+  let g = Graph.make ops [] in
+  let dot = Dot.render g in
+  Alcotest.(check bool) "escaped quote" true (contains dot "\\\"")
+
+let test_heat_color_range () =
+  List.iter
+    (fun f ->
+      let c = Dot.heat_color f in
+      Alcotest.(check bool) "hsv triple" true (String.length c > 5))
+    [ -1.; 0.; 0.5; 1.; 2. ];
+  Alcotest.(check string) "hot is red hue" "0.000 0.8 0.95" (Dot.heat_color 1.)
+
+(* randomized: builder graphs are always valid DAGs *)
+let prop_builder_dag =
+  QCheck.Test.make ~count:100 ~name:"builder output is a valid DAG"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let b = Builder.create () in
+      let streams = ref [ Builder.source b ~name:"s" () ] in
+      let n = 3 + Prng.int rng 20 in
+      for i = 0 to n - 1 do
+        let input = List.nth !streams (Prng.int rng (List.length !streams)) in
+        let s =
+          Builder.map b ~name:(Printf.sprintf "m%d" i)
+            (fun v -> (v, Workload.zero))
+            input
+        in
+        streams := s :: !streams
+      done;
+      Builder.sink b ~name:"out" (List.hd !streams);
+      let g = Builder.build b in
+      let order = Graph.topo_order g in
+      Array.length order = Graph.n_ops g)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "dataflow"
+    [
+      ( "value",
+        [
+          tc "wire sizes" test_value_sizes;
+          tc "equality" test_value_equal;
+          tc "coercions" test_value_coercions;
+        ] );
+      ("workload", [ tc "algebra" test_workload_algebra ]);
+      ( "graph",
+        [
+          tc "basics" test_graph_basic;
+          tc "topological order" test_graph_topo;
+          tc "cycle rejected" test_graph_cycle_rejected;
+          tc "bad ports rejected" test_graph_bad_ports;
+          tc "reachability" test_graph_reachability;
+          tc "pipeline detection" test_graph_pipeline_detection;
+          tc "edge ids dense" test_graph_edge_ids_dense;
+        ] );
+      ( "builder",
+        [
+          tc "namespaces" test_builder_namespace;
+          tc "namespace restored on exception"
+            test_builder_namespace_restored_on_exception;
+          tc "reuse rejected" test_builder_reuse_rejected;
+          tc "unknown stream" test_builder_unknown_stream;
+          tc "multi-input ports" test_builder_multi_input_ports;
+          QCheck_alcotest.to_alcotest prop_builder_dag;
+        ] );
+      ( "dot",
+        [
+          tc "render" test_dot_render;
+          tc "escaping" test_dot_escaping;
+          tc "heat colors" test_heat_color_range;
+        ] );
+    ]

@@ -1,0 +1,432 @@
+(* DSP operator tests: FFT vs naive DFT, window/FIR/mel/DCT/wavelet
+   numerics, SVM training, signal generators. *)
+
+let feq ?(tol = 1e-6) = Alcotest.(check (float tol))
+
+let arr_close ?(tol = 1e-6) msg a b =
+  Alcotest.(check int) (msg ^ " length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if Float.abs (x -. b.(i)) > tol then
+        Alcotest.failf "%s[%d]: %g vs %g" msg i x b.(i))
+    a
+
+(* ---- FFT ---- *)
+
+let test_fft_vs_dft () =
+  let rng = Prng.create 3 in
+  let n = 64 in
+  let re = Array.init n (fun _ -> Prng.gaussian rng) in
+  let im = Array.init n (fun _ -> Prng.gaussian rng) in
+  let fre = Array.copy re and fim = Array.copy im in
+  Dsp.Fft.forward fre fim;
+  let dre, dim = Dsp.Fft.naive_dft re im in
+  arr_close ~tol:1e-8 "re" dre fre;
+  arr_close ~tol:1e-8 "im" dim fim
+
+let test_fft_roundtrip () =
+  let rng = Prng.create 4 in
+  let n = 128 in
+  let re = Array.init n (fun _ -> Prng.gaussian rng) in
+  let im = Array.init n (fun _ -> Prng.gaussian rng) in
+  let fre = Array.copy re and fim = Array.copy im in
+  Dsp.Fft.forward fre fim;
+  Dsp.Fft.inverse fre fim;
+  arr_close ~tol:1e-9 "roundtrip re" re fre;
+  arr_close ~tol:1e-9 "roundtrip im" im fim
+
+let test_fft_impulse () =
+  (* FFT of a unit impulse is all-ones *)
+  let n = 16 in
+  let re = Array.make n 0. and im = Array.make n 0. in
+  re.(0) <- 1.;
+  Dsp.Fft.forward re im;
+  Array.iter (fun x -> feq "re one" 1. x) re;
+  Array.iter (fun x -> feq "im zero" 0. x) im
+
+let test_fft_sine_peak () =
+  (* a pure tone concentrates power in one bin *)
+  let n = 256 in
+  let k = 13 in
+  let x =
+    Array.init n (fun i ->
+        Float.sin (2. *. Float.pi *. Float.of_int (k * i) /. Float.of_int n))
+  in
+  let power, _ = Dsp.Fft.power_spectrum x in
+  let best = ref 0 in
+  Array.iteri (fun i p -> if p > power.(!best) then best := i) power;
+  Alcotest.(check int) "peak bin" k !best
+
+let test_fft_rejects_bad_length () =
+  Alcotest.check_raises "non power of 2"
+    (Invalid_argument "Fft: length must be a power of two") (fun () ->
+      Dsp.Fft.forward (Array.make 3 0.) (Array.make 3 0.))
+
+let test_fft_parseval () =
+  (* energy is preserved (up to the 1/n convention) *)
+  let rng = Prng.create 6 in
+  let n = 64 in
+  let x = Array.init n (fun _ -> Prng.gaussian rng) in
+  let re = Array.copy x and im = Array.make n 0. in
+  Dsp.Fft.forward re im;
+  let time_e = Array.fold_left (fun a v -> a +. (v *. v)) 0. x in
+  let freq_e = ref 0. in
+  for i = 0 to n - 1 do
+    freq_e := !freq_e +. (re.(i) *. re.(i)) +. (im.(i) *. im.(i))
+  done;
+  feq ~tol:1e-6 "parseval" time_e (!freq_e /. Float.of_int n)
+
+let test_next_pow2 () =
+  Alcotest.(check int) "1" 1 (Dsp.Fft.next_pow2 1);
+  Alcotest.(check int) "200" 256 (Dsp.Fft.next_pow2 200);
+  Alcotest.(check int) "256" 256 (Dsp.Fft.next_pow2 256);
+  Alcotest.(check int) "257" 512 (Dsp.Fft.next_pow2 257)
+
+(* ---- windows / preemphasis ---- *)
+
+let test_hamming_shape () =
+  let w = Dsp.Window.hamming 100 in
+  feq ~tol:1e-9 "ends" 0.08 w.(0);
+  feq ~tol:1e-9 "symmetric" w.(0) w.(99);
+  feq ~tol:1e-3 "peak" 1.0 w.(50);
+  Alcotest.(check bool) "monotone to middle" true (w.(10) < w.(40))
+
+let test_window_apply () =
+  let w = [| 0.5; 1.0 |] in
+  let out, _ = Dsp.Window.apply w [| 4.; 3. |] in
+  arr_close "apply" [| 2.; 3. |] out;
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Window.apply: length mismatch") (fun () ->
+      ignore (Dsp.Window.apply w [| 1. |]))
+
+let test_preemphasis () =
+  let out, carry, _ =
+    Dsp.Window.preemphasis ~alpha:0.5 ~prev:2. [| 4.; 6. |]
+  in
+  arr_close "preemph" [| 3.; 4. |] out;
+  feq "carry" 6. carry
+
+let test_dc_remove () =
+  let out, _ = Dsp.Window.dc_remove [| 1.; 2.; 3. |] in
+  feq "mean zero" 0. (Array.fold_left ( +. ) 0. out)
+
+(* ---- FIR ---- *)
+
+let test_fir_impulse_response () =
+  let taps = [| 0.5; 0.3; 0.2 |] in
+  let f = Dsp.Fir.create taps in
+  let impulse = [| 1.; 0.; 0.; 0. |] in
+  let out, _ = Dsp.Fir.filter_frame f impulse in
+  arr_close "impulse response" [| 0.5; 0.3; 0.2; 0. |] out
+
+let test_fir_streaming_continuity () =
+  (* filtering frame-by-frame equals filtering the whole signal *)
+  let taps = Dsp.Fir.low_pass ~cutoff:0.2 ~taps:9 in
+  let rng = Prng.create 5 in
+  let x = Array.init 100 (fun _ -> Prng.gaussian rng) in
+  let whole, _ = Dsp.Fir.filter_frame (Dsp.Fir.create taps) x in
+  let f2 = Dsp.Fir.create taps in
+  let p1, _ = Dsp.Fir.filter_frame f2 (Array.sub x 0 37) in
+  let p2, _ = Dsp.Fir.filter_frame f2 (Array.sub x 37 63) in
+  arr_close ~tol:1e-9 "streaming" whole (Array.append p1 p2)
+
+let test_fir_reset () =
+  let f = Dsp.Fir.create [| 1.; 1. |] in
+  ignore (Dsp.Fir.push f 5.);
+  Dsp.Fir.reset f;
+  let y, _ = Dsp.Fir.push f 1. in
+  feq "after reset" 1. y
+
+let test_fir_decimate () =
+  let f = Dsp.Fir.create [| 1. |] in
+  let out, _ = Dsp.Fir.decimate f ~factor:4 (Array.init 32 Float.of_int) in
+  Alcotest.(check int) "length" 8 (Array.length out);
+  feq "first kept" 3. out.(0)
+
+let test_fir_low_pass_dc_gain () =
+  let taps = Dsp.Fir.low_pass ~cutoff:0.1 ~taps:21 in
+  feq ~tol:1e-9 "dc gain" 1. (Array.fold_left ( +. ) 0. taps)
+
+let test_moving_average () =
+  let taps = Dsp.Fir.moving_average 4 in
+  feq "uniform" 0.25 taps.(0);
+  feq ~tol:1e-12 "sums to one" 1. (Array.fold_left ( +. ) 0. taps)
+
+(* ---- Mel ---- *)
+
+let test_mel_scale_roundtrip () =
+  List.iter
+    (fun hz -> feq ~tol:1e-6 "roundtrip" hz (Dsp.Mel.mel_to_hz (Dsp.Mel.hz_to_mel hz)))
+    [ 0.; 100.; 1000.; 4000. ]
+
+let test_mel_bank_energies () =
+  let bank = Dsp.Mel.create ~n_filters:8 ~n_fft:256 ~sample_rate:8000. () in
+  Alcotest.(check int) "filters" 8 (Dsp.Mel.n_filters bank);
+  (* flat spectrum -> all energies positive *)
+  let power = Array.make 129 1. in
+  let e, _ = Dsp.Mel.apply bank power in
+  Array.iteri
+    (fun i v ->
+      if v <= 0. then Alcotest.failf "filter %d has nonpositive energy %g" i v)
+    e;
+  Alcotest.check_raises "length" (Invalid_argument "Mel.apply: power spectrum length mismatch")
+    (fun () -> ignore (Dsp.Mel.apply bank (Array.make 10 1.)))
+
+let test_mel_tone_selectivity () =
+  (* a 1 kHz tone at 8 kHz puts most mel energy in a middle filter *)
+  let n = 256 in
+  let x =
+    Array.init n (fun i -> Float.sin (2. *. Float.pi *. 1000. *. Float.of_int i /. 8000.))
+  in
+  let power, _ = Dsp.Fft.power_spectrum x in
+  let bank = Dsp.Mel.create ~n_filters:16 ~n_fft:256 ~sample_rate:8000. () in
+  let e, _ = Dsp.Mel.apply bank power in
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v > e.(!best) then best := i) e;
+  Alcotest.(check bool) "peak is interior" true (!best > 2 && !best < 14)
+
+let test_log_energies () =
+  let out, _ = Dsp.Mel.log_energies [| 1.; Float.exp 1.; 0. |] in
+  feq "log 1" 0. out.(0);
+  feq "log e" 1. out.(1);
+  Alcotest.(check bool) "log 0 clamped finite" true (Float.is_finite out.(2))
+
+(* ---- DCT ---- *)
+
+let test_dct_constant_signal () =
+  (* a constant signal has only the 0th DCT coefficient *)
+  let x = Array.make 16 2. in
+  let c, _ = Dsp.Dct.dct_ii x in
+  feq ~tol:1e-9 "dc coeff" (2. *. Float.sqrt 16.) c.(0);
+  for k = 1 to 15 do
+    feq ~tol:1e-9 "zero" 0. c.(k)
+  done
+
+let test_dct_orthonormal_roundtrip () =
+  let rng = Prng.create 8 in
+  let x = Array.init 32 (fun _ -> Prng.gaussian rng) in
+  let c, _ = Dsp.Dct.dct_ii x in
+  let back = Dsp.Dct.idct_ii c in
+  arr_close ~tol:1e-9 "idct(dct(x))" x back
+
+let test_dct_truncation () =
+  let x = Array.init 32 (fun i -> Float.of_int i) in
+  let c13, _ = Dsp.Dct.dct_ii ~n_out:13 x in
+  Alcotest.(check int) "13 coeffs" 13 (Array.length c13);
+  let full, _ = Dsp.Dct.dct_ii x in
+  arr_close ~tol:1e-12 "prefix" c13 (Array.sub full 0 13)
+
+(* ---- Wavelet ---- *)
+
+let test_qmf_properties () =
+  (* Daubechies-4: low-pass sums to sqrt 2, high-pass sums to 0 *)
+  feq ~tol:1e-9 "low sum" (Float.sqrt 2.)
+    (Array.fold_left ( +. ) 0. Dsp.Wavelet.qmf_low);
+  feq ~tol:1e-9 "high sum" 0.
+    (Array.fold_left ( +. ) 0. Dsp.Wavelet.qmf_high)
+
+let test_wavelet_halves_rate () =
+  let b = Dsp.Wavelet.create_branch Dsp.Wavelet.Low in
+  let out, _ = Dsp.Wavelet.apply b (Array.make 64 1.) in
+  Alcotest.(check int) "halved" 32 (Array.length out)
+
+let test_wavelet_odd_frame_carry () =
+  let b = Dsp.Wavelet.create_branch Dsp.Wavelet.Low in
+  let o1, _ = Dsp.Wavelet.apply b (Array.make 5 1.) in
+  let o2, _ = Dsp.Wavelet.apply b (Array.make 5 1.) in
+  Alcotest.(check int) "total conserved" 5 (Array.length o1 + Array.length o2)
+
+let test_wavelet_separates_bands () =
+  (* a slow sine has much more low-band than high-band energy *)
+  let n = 512 in
+  let slow = Dsp.Siggen.sine ~sample_rate:256. ~freq:3. n in
+  let lo_b = Dsp.Wavelet.create_branch Dsp.Wavelet.Low in
+  let hi_b = Dsp.Wavelet.create_branch Dsp.Wavelet.High in
+  let lo, _ = Dsp.Wavelet.apply lo_b slow in
+  let hi, _ = Dsp.Wavelet.apply hi_b slow in
+  let e a = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. a in
+  Alcotest.(check bool) "low band dominates" true (e lo > 50. *. e hi)
+
+let test_mag_with_scale () =
+  let e, _ = Dsp.Wavelet.mag_with_scale ~gain:0.5 [| 3.; 4. |] in
+  feq "scaled energy" 12.5 e
+
+(* ---- SVM ---- *)
+
+let test_svm_decision () =
+  let svm = { Dsp.Svm.weights = [| 1.; -2. |]; bias = 0.5 } in
+  let d, _ = Dsp.Svm.decision svm [| 2.; 1. |] in
+  feq "w.x+b" 0.5 d;
+  let c, _ = Dsp.Svm.classify svm [| 2.; 1. |] in
+  Alcotest.(check bool) "positive" true c;
+  Alcotest.check_raises "dim" (Invalid_argument "Svm.decision: dimension mismatch")
+    (fun () -> ignore (Dsp.Svm.decision svm [| 1. |]))
+
+let test_svm_train_separable () =
+  let rng = Prng.create 12 in
+  let sample label =
+    let base = if label then 2. else -2. in
+    (Array.init 4 (fun _ -> base +. (0.3 *. Prng.gaussian rng)), label)
+  in
+  let data = Array.init 200 (fun i -> sample (i mod 2 = 0)) in
+  let svm = Dsp.Svm.train data in
+  let errors =
+    Array.fold_left
+      (fun acc (x, label) ->
+        let c, _ = Dsp.Svm.classify svm x in
+        if c = label then acc else acc + 1)
+      0 data
+  in
+  Alcotest.(check bool) "separable data learned" true (errors < 10)
+
+let test_debounce () =
+  let d = Dsp.Svm.Debounce.create ~k:3 in
+  let fire = Dsp.Svm.Debounce.step d in
+  Alcotest.(check (list bool)) "fires once at 3rd consecutive"
+    [ false; false; true; false; false; false; false; true ]
+    (List.map fire [ true; true; true; true; false; true; true; true ])
+
+(* ---- signal generators ---- *)
+
+let test_speech_gen_deterministic () =
+  let g1 = Dsp.Siggen.Speech.create ~seed:42 () in
+  let g2 = Dsp.Siggen.Speech.create ~seed:42 () in
+  Alcotest.(check bool) "same frames" true
+    (Dsp.Siggen.Speech.frame g1 100 = Dsp.Siggen.Speech.frame g2 100)
+
+let test_speech_gen_range () =
+  let g = Dsp.Siggen.Speech.create ~seed:1 () in
+  let frame = Dsp.Siggen.Speech.frame g 8000 in
+  Array.iter
+    (fun s ->
+      if s < -2048 || s > 2047 then Alcotest.failf "sample %d out of 12-bit range" s)
+    frame
+
+let test_speech_gen_voiced_louder () =
+  let g = Dsp.Siggen.Speech.create ~seed:2 () in
+  let voiced_e = ref 0. and quiet_e = ref 0. in
+  let voiced_n = ref 0 and quiet_n = ref 0 in
+  for _ = 1 to 200 do
+    let f = Dsp.Siggen.Speech.frame g 200 in
+    let e =
+      Array.fold_left (fun a s -> a +. (Float.of_int s *. Float.of_int s)) 0. f
+    in
+    if Dsp.Siggen.Speech.is_voiced g then begin
+      voiced_e := !voiced_e +. e;
+      incr voiced_n
+    end
+    else begin
+      quiet_e := !quiet_e +. e;
+      incr quiet_n
+    end
+  done;
+  Alcotest.(check bool) "saw both" true (!voiced_n > 0 && !quiet_n > 0);
+  Alcotest.(check bool) "voiced louder" true
+    (!voiced_e /. Float.of_int !voiced_n > 10. *. (!quiet_e /. Float.of_int !quiet_n))
+
+let test_eeg_gen_seizure_energy () =
+  let g = Dsp.Siggen.Eeg.create ~seed:3 ~n_channels:2 () in
+  let ictal_e = ref 0. and normal_e = ref 0. in
+  let ictal_n = ref 0 and normal_n = ref 0 in
+  for _ = 1 to 40 do
+    let ictal = Dsp.Siggen.Eeg.in_seizure g in
+    let w = Dsp.Siggen.Eeg.window g 512 in
+    let e = Array.fold_left (fun a x -> a +. (x *. x)) 0. w.(0) in
+    if ictal then begin
+      ictal_e := !ictal_e +. e;
+      incr ictal_n
+    end
+    else begin
+      normal_e := !normal_e +. e;
+      incr normal_n
+    end
+  done;
+  Alcotest.(check bool) "saw both phases" true (!ictal_n > 0 && !normal_n > 0);
+  Alcotest.(check bool) "seizures carry extra energy" true
+    (!ictal_e /. Float.of_int !ictal_n > 1.5 *. (!normal_e /. Float.of_int !normal_n))
+
+(* property: FFT matches DFT on random sizes *)
+let prop_fft_dft =
+  QCheck.Test.make ~count:40 ~name:"fft = dft on random inputs"
+    QCheck.(pair (int_range 0 100000) (int_range 2 6))
+    (fun (seed, logn) ->
+      let n = 1 lsl logn in
+      let rng = Prng.create seed in
+      let re = Array.init n (fun _ -> Prng.gaussian rng) in
+      let im = Array.init n (fun _ -> Prng.gaussian rng) in
+      let fre = Array.copy re and fim = Array.copy im in
+      Dsp.Fft.forward fre fim;
+      let dre, dim = Dsp.Fft.naive_dft re im in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if Float.abs (fre.(i) -. dre.(i)) > 1e-7 then ok := false;
+        if Float.abs (fim.(i) -. dim.(i)) > 1e-7 then ok := false
+      done;
+      !ok)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "dsp"
+    [
+      ( "fft",
+        [
+          tc "matches naive dft" test_fft_vs_dft;
+          tc "roundtrip" test_fft_roundtrip;
+          tc "impulse" test_fft_impulse;
+          tc "sine peak bin" test_fft_sine_peak;
+          tc "rejects bad length" test_fft_rejects_bad_length;
+          tc "parseval" test_fft_parseval;
+          tc "next_pow2" test_next_pow2;
+          QCheck_alcotest.to_alcotest prop_fft_dft;
+        ] );
+      ( "window",
+        [
+          tc "hamming shape" test_hamming_shape;
+          tc "apply" test_window_apply;
+          tc "preemphasis" test_preemphasis;
+          tc "dc remove" test_dc_remove;
+        ] );
+      ( "fir",
+        [
+          tc "impulse response" test_fir_impulse_response;
+          tc "streaming continuity" test_fir_streaming_continuity;
+          tc "reset" test_fir_reset;
+          tc "decimate" test_fir_decimate;
+          tc "low-pass dc gain" test_fir_low_pass_dc_gain;
+          tc "moving average" test_moving_average;
+        ] );
+      ( "mel",
+        [
+          tc "scale roundtrip" test_mel_scale_roundtrip;
+          tc "bank energies" test_mel_bank_energies;
+          tc "tone selectivity" test_mel_tone_selectivity;
+          tc "log energies" test_log_energies;
+        ] );
+      ( "dct",
+        [
+          tc "constant signal" test_dct_constant_signal;
+          tc "orthonormal roundtrip" test_dct_orthonormal_roundtrip;
+          tc "truncation" test_dct_truncation;
+        ] );
+      ( "wavelet",
+        [
+          tc "qmf properties" test_qmf_properties;
+          tc "halves rate" test_wavelet_halves_rate;
+          tc "odd frame carry" test_wavelet_odd_frame_carry;
+          tc "band separation" test_wavelet_separates_bands;
+          tc "mag with scale" test_mag_with_scale;
+        ] );
+      ( "svm",
+        [
+          tc "decision" test_svm_decision;
+          tc "training" test_svm_train_separable;
+          tc "debounce" test_debounce;
+        ] );
+      ( "siggen",
+        [
+          tc "speech deterministic" test_speech_gen_deterministic;
+          tc "speech 12-bit range" test_speech_gen_range;
+          tc "voiced louder" test_speech_gen_voiced_louder;
+          tc "eeg seizure energy" test_eeg_gen_seizure_energy;
+        ] );
+    ]

@@ -1,0 +1,215 @@
+(* §9 extensions: in-network aggregation, mixed networks, three-tier
+   partitioning. *)
+
+open Dataflow
+open Wishbone
+
+(* a small averaging app: node sources -> reduce(mean of 4) -> sink *)
+let reduce_app () =
+  let b = Builder.create () in
+  let reduce = ref 0 in
+  let src = ref 0 in
+  Builder.in_node b (fun () ->
+      let s = Builder.source b ~name:"sample" () in
+      src := Builder.op_id s;
+      let r =
+        Aggregation.reduce_op b ~name:"mean4" ~window:4
+          ~combine:(fun vs ->
+            let total =
+              List.fold_left
+                (fun acc v ->
+                  match v with Value.Float f -> acc +. f | _ -> acc)
+                0. vs
+            in
+            ( Value.Float (total /. 4.),
+              Workload.make ~float_ops:5. ~call_ops:1. () ))
+          s
+      in
+      reduce := Builder.op_id r;
+      Builder.sink b ~name:"log" r);
+  (Builder.build b, !src, !reduce)
+
+let test_reduce_op_windows () =
+  let g, src, _ = reduce_app () in
+  let exec = Runtime.Exec.full g in
+  let outs = ref [] in
+  for i = 1 to 8 do
+    let fired =
+      Runtime.Exec.fire exec ~op:src ~port:0 (Value.Float (Float.of_int i))
+    in
+    outs := !outs @ fired.sink_values
+  done;
+  (* two windows: mean(1..4) = 2.5, mean(5..8) = 6.5 *)
+  Alcotest.(check bool) "two aggregates" true
+    (!outs = [ Value.Float 2.5; Value.Float 6.5 ])
+
+let test_aggregation_cost_annotation () =
+  let g, src, reduce = reduce_app () in
+  let events =
+    Profiler.Profile.Trace.periodic ~source:src ~rate:8. ~duration:10.
+      ~gen:(fun i -> Value.Float (Float.of_int i))
+  in
+  let raw = Profiler.Profile.collect ~duration:10. g events in
+  match
+    Spec.of_profile ~mode:Movable.Permissive
+      ~node_platform:Profiler.Platform.tmote_sky raw
+  with
+  | Error m -> Alcotest.fail m
+  | Ok spec ->
+      let fanned = Aggregation.annotate_fan_in spec ~op:reduce ~fan_in:5. in
+      Alcotest.(check (float 1e-12)) "cpu scaled by fan-in"
+        (5. *. spec.Spec.cpu.(reduce))
+        fanned.Spec.cpu.(reduce);
+      (* aggregation saves bandwidth in-network: 4 floats in, 1 out *)
+      Alcotest.(check bool) "positive in-network benefit" true
+        (Aggregation.in_network_benefit spec ~op:reduce > 0.);
+      Alcotest.check_raises "fan_in < 1"
+        (Invalid_argument "Aggregation.annotate_fan_in: fan_in < 1")
+        (fun () -> ignore (Aggregation.annotate_fan_in spec ~op:reduce ~fan_in:0.5))
+
+let test_aggregation_changes_partition () =
+  (* with high fan-in the reduce op becomes too expensive for the node
+     and moves to the server *)
+  let g, src, reduce = reduce_app () in
+  let events =
+    Profiler.Profile.Trace.periodic ~source:src ~rate:8. ~duration:10.
+      ~gen:(fun i -> Value.Float (Float.of_int i))
+  in
+  let raw = Profiler.Profile.collect ~duration:10. g events in
+  match
+    Spec.of_profile ~mode:Movable.Permissive
+      ~node_platform:Profiler.Platform.tmote_sky raw
+  with
+  | Error m -> Alcotest.fail m
+  | Ok spec -> (
+      (* make the reduce meaningfully expensive, then inflate by fan-in *)
+      let cpu = Array.copy spec.Spec.cpu in
+      cpu.(reduce) <- 0.3;
+      let spec = { spec with Spec.cpu } in
+      let in_network = Partitioner.solve spec in
+      let overloaded =
+        Partitioner.solve (Aggregation.annotate_fan_in spec ~op:reduce ~fan_in:5.)
+      in
+      match (in_network, overloaded) with
+      | Partitioner.Partitioned a, Partitioner.Partitioned b ->
+          Alcotest.(check bool) "cheap reduce runs in-network" true
+            a.assignment.(reduce);
+          Alcotest.(check bool) "overloaded reduce moves to the server" true
+            (not b.assignment.(reduce))
+      | _ -> Alcotest.fail "partitioning failed")
+
+let test_mixed_network_plans () =
+  let speech = Apps.Speech.build () in
+  let raw = Apps.Speech.profile ~duration:10. speech in
+  match
+    Mixed.plan raw
+      ~classes:
+        [
+          { Mixed.platform = Profiler.Platform.tmote_sky; n_nodes = 10;
+            net_share = None };
+          { Mixed.platform = Profiler.Platform.meraki; n_nodes = 1;
+            net_share = None };
+        ]
+  with
+  | Error m -> Alcotest.fail m
+  | Ok plans ->
+      Alcotest.(check int) "one plan per class" 2 (List.length plans);
+      let by name =
+        List.find
+          (fun p -> p.Mixed.platform.Profiler.Platform.name = name)
+          plans
+      in
+      let tmote_ops =
+        List.length (Partitioner.node_ops (by "tmote").Mixed.report)
+      in
+      let meraki_ops =
+        List.length (Partitioner.node_ops (by "meraki").Mixed.report)
+      in
+      (* the classes end up with different physical partitions *)
+      Alcotest.(check bool)
+        (Printf.sprintf "different cuts (tmote %d vs meraki %d)" tmote_ops
+           meraki_ops)
+        true
+        (tmote_ops <> meraki_ops)
+
+let test_three_tier_pipeline () =
+  let speech = Apps.Speech.build () in
+  let raw = Apps.Speech.profile ~duration:10. speech in
+  (* at 8% of the native rate the mote tier can run the front end *)
+  let raw = Profiler.Profile.scale_rate raw 0.08 in
+  match
+    Three_tier.of_profile ~mote:Profiler.Platform.tmote_sky
+      ~micro:Profiler.Platform.meraki raw
+  with
+  | Error m -> Alcotest.fail m
+  | Ok t -> (
+      match Three_tier.solve t with
+      | Three_tier.Partitioned r ->
+          let motes, micros, central = Three_tier.tier_counts r in
+          Alcotest.(check int) "all ops placed" 9 (motes + micros + central);
+          (* source on the mote, sink central *)
+          Alcotest.(check bool) "source on mote" true
+            (r.tiers.(speech.Apps.Speech.source) = Three_tier.Mote);
+          let sink = (Dataflow.Graph.sinks speech.Apps.Speech.graph) |> List.hd in
+          Alcotest.(check bool) "sink central" true
+            (r.tiers.(sink) = Three_tier.Central);
+          (* tiers descend monotonically along the pipeline *)
+          let rank = function
+            | Three_tier.Mote -> 2
+            | Three_tier.Microserver -> 1
+            | Three_tier.Central -> 0
+          in
+          Array.iter
+            (fun (e : Graph.edge) ->
+              Alcotest.(check bool) "monotone descent" true
+                (rank r.tiers.(e.src) >= rank r.tiers.(e.dst)))
+            (Graph.edges speech.Apps.Speech.graph);
+          (* budget respected on the mote radio *)
+          Alcotest.(check bool) "mote net within budget" true
+            (r.mote_net
+            <= Profiler.Platform.tmote_sky.Profiler.Platform
+               .radio_bytes_per_sec
+               +. 1e-6)
+      | Three_tier.No_feasible_partition ->
+          Alcotest.fail "expected a three-tier partition"
+      | Three_tier.Solver_failure m -> Alcotest.fail m)
+
+let test_three_tier_uses_middle () =
+  (* when the mote cannot afford a stage but the microserver can, the
+     middle tier must actually be used *)
+  let speech = Apps.Speech.build () in
+  let raw = Apps.Speech.profile ~duration:10. speech in
+  let raw = Profiler.Profile.scale_rate raw 0.08 in
+  match
+    Three_tier.of_profile ~mote:Profiler.Platform.tmote_sky
+      ~micro:Profiler.Platform.meraki
+      ~micro_net_budget:300.  (* tight uplink: push work into the middle *)
+      raw
+  with
+  | Error m -> Alcotest.fail m
+  | Ok t -> (
+      match Three_tier.solve t with
+      | Three_tier.Partitioned r ->
+          let _, micros, _ = Three_tier.tier_counts r in
+          Alcotest.(check bool) "microserver tier non-empty" true (micros > 0)
+      | Three_tier.No_feasible_partition ->
+          Alcotest.fail "expected a partition"
+      | Three_tier.Solver_failure m -> Alcotest.fail m)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "extensions"
+    [
+      ( "aggregation",
+        [
+          tc "windowed reduce" test_reduce_op_windows;
+          tc "fan-in cost annotation" test_aggregation_cost_annotation;
+          tc "fan-in changes the partition" test_aggregation_changes_partition;
+        ] );
+      ("mixed", [ tc "per-class plans" test_mixed_network_plans ]);
+      ( "three_tier",
+        [
+          tc "speech pipeline tiers" test_three_tier_pipeline;
+          tc "middle tier used" test_three_tier_uses_middle;
+        ] );
+    ]

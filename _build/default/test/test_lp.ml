@@ -1,0 +1,377 @@
+(* LP / ILP solver tests: hand-checked instances plus randomized
+   comparison against exhaustive oracles. *)
+
+open Lp
+
+let check_close ?(tol = 1e-6) msg expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.9g, got %.9g" msg expected actual
+
+let solve_lp p =
+  match Simplex.solve p with
+  | Solution.Optimal s -> s
+  | st -> Alcotest.failf "expected optimal, got %a" Solution.pp_status st
+
+(* ---- basic LPs ---- *)
+
+let test_lp_basic () =
+  (* max 3x + 2y st x+y<=4, x+3y<=6 -> (4,0), obj 12 *)
+  let p = Problem.create () in
+  let x = Problem.add_var p and y = Problem.add_var p in
+  Problem.add_constr p [ (x, 1.); (y, 1.) ] Problem.Le 4.;
+  Problem.add_constr p [ (x, 1.); (y, 3.) ] Problem.Le 6.;
+  Problem.set_objective p Problem.Maximize [ (x, 3.); (y, 2.) ];
+  let s = solve_lp p in
+  check_close "objective" 12. s.objective;
+  check_close "x" 4. s.x.(x);
+  check_close "y" 0. s.x.(y)
+
+let test_lp_degenerate () =
+  (* multiple optimal bases; classic degeneracy *)
+  let p = Problem.create () in
+  let x = Problem.add_var p and y = Problem.add_var p in
+  Problem.add_constr p [ (x, 1.); (y, 1.) ] Problem.Le 1.;
+  Problem.add_constr p [ (x, 1.) ] Problem.Le 1.;
+  Problem.add_constr p [ (x, 2.); (y, 2.) ] Problem.Le 2.;
+  Problem.set_objective p Problem.Maximize [ (x, 1.); (y, 1.) ];
+  let s = solve_lp p in
+  check_close "objective" 1. s.objective
+
+let test_lp_equality () =
+  (* min x + y st x + 2y = 3, x,y >= 0 -> y=1.5, obj 1.5 *)
+  let p = Problem.create () in
+  let x = Problem.add_var p and y = Problem.add_var p in
+  Problem.add_constr p [ (x, 1.); (y, 2.) ] Problem.Eq 3.;
+  Problem.set_objective p Problem.Minimize [ (x, 1.); (y, 1.) ];
+  let s = solve_lp p in
+  check_close "objective" 1.5 s.objective
+
+let test_lp_negative_rhs () =
+  (* constraints with negative rhs exercise the row-flip path *)
+  let p = Problem.create () in
+  let x = Problem.add_var ~lo:(-10.) ~hi:10. p in
+  Problem.add_constr p [ (x, -1.) ] Problem.Le 5.;  (* x >= -5 *)
+  Problem.set_objective p Problem.Minimize [ (x, 1.) ];
+  let s = solve_lp p in
+  check_close "x" (-5.) s.x.(x)
+
+let test_lp_upper_bounds () =
+  (* optimum at a variable's upper bound (bound-flip machinery) *)
+  let p = Problem.create () in
+  let x = Problem.add_var ~hi:3. p and y = Problem.add_var ~hi:2. p in
+  Problem.add_constr p [ (x, 1.); (y, 1.) ] Problem.Le 10.;
+  Problem.set_objective p Problem.Maximize [ (x, 1.); (y, 5.) ];
+  let s = solve_lp p in
+  check_close "objective" 13. s.objective;
+  check_close "x" 3. s.x.(x);
+  check_close "y" 2. s.x.(y)
+
+let test_lp_free_negative_lo () =
+  let p = Problem.create () in
+  let x = Problem.add_var ~lo:(-4.) ~hi:(-1.) p in
+  Problem.set_objective p Problem.Maximize [ (x, 1.) ];
+  let s = solve_lp p in
+  check_close "x" (-1.) s.x.(x)
+
+let test_lp_infeasible () =
+  let p = Problem.create () in
+  let x = Problem.add_var ~hi:1. p in
+  Problem.add_constr p [ (x, 1.) ] Problem.Ge 2.;
+  match Simplex.solve p with
+  | Solution.Infeasible -> ()
+  | st -> Alcotest.failf "expected infeasible, got %a" Solution.pp_status st
+
+let test_lp_unbounded () =
+  let p = Problem.create () in
+  let x = Problem.add_var p in
+  Problem.set_objective p Problem.Maximize [ (x, 1.) ];
+  match Simplex.solve p with
+  | Solution.Unbounded -> ()
+  | st -> Alcotest.failf "expected unbounded, got %a" Solution.pp_status st
+
+let test_lp_no_constraints () =
+  (* optimum determined purely by bounds *)
+  let p = Problem.create () in
+  let x = Problem.add_var ~lo:2. ~hi:7. p in
+  Problem.set_objective p Problem.Minimize [ (x, 3.) ];
+  let s = solve_lp p in
+  check_close "objective" 6. s.objective
+
+let test_lp_fixed_var () =
+  let p = Problem.create () in
+  let x = Problem.add_var ~lo:2. ~hi:2. p in
+  let y = Problem.add_var ~hi:5. p in
+  Problem.add_constr p [ (x, 1.); (y, 1.) ] Problem.Le 6.;
+  Problem.set_objective p Problem.Maximize [ (y, 1.) ];
+  let s = solve_lp p in
+  check_close "y" 4. s.x.(y)
+
+let test_lp_duplicate_terms () =
+  (* duplicate variable indices in a constraint must be summed *)
+  let p = Problem.create () in
+  let x = Problem.add_var p in
+  Problem.add_constr p [ (x, 1.); (x, 1.) ] Problem.Le 4.;  (* 2x <= 4 *)
+  Problem.set_objective p Problem.Maximize [ (x, 1.) ];
+  let s = solve_lp p in
+  check_close "x" 2. s.x.(x)
+
+let test_lp_bound_override () =
+  let p = Problem.create () in
+  let x = Problem.add_var ~hi:10. p in
+  Problem.set_objective p Problem.Maximize [ (x, 1.) ];
+  let s =
+    match Simplex.solve ~lo:[| 0. |] ~hi:[| 3. |] p with
+    | Solution.Optimal s -> s
+    | st -> Alcotest.failf "expected optimal, got %a" Solution.pp_status st
+  in
+  check_close "x" 3. s.x.(0);
+  (* the original problem is untouched *)
+  let s2 = solve_lp p in
+  check_close "x orig" 10. s2.x.(0)
+
+let test_lp_conflicting_override () =
+  let p = Problem.create () in
+  let _ = Problem.add_var ~hi:10. p in
+  match Simplex.solve ~lo:[| 5. |] ~hi:[| 3. |] p with
+  | Solution.Infeasible -> ()
+  | st -> Alcotest.failf "expected infeasible, got %a" Solution.pp_status st
+
+let test_lp_mixed_scale () =
+  (* a vacuous huge budget next to a tight small one: the regression
+     that once let infeasible branch-and-bound children pass *)
+  let p = Problem.create () in
+  let x = Problem.add_var ~hi:1. p and y = Problem.add_var ~hi:1. p in
+  Problem.add_constr p [ (x, 2.); (y, 2.) ] Problem.Le 2.;
+  Problem.add_constr p [ (x, 8.); (y, 4.) ] Problem.Le 1e9;
+  Problem.set_objective p Problem.Maximize [ (x, 1.); (y, 1.) ];
+  let s = solve_lp p in
+  check_close "objective" 1. s.objective;
+  match Simplex.solve ~lo:[| 1.; 1. |] ~hi:[| 1.; 1. |] p with
+  | Solution.Infeasible -> ()
+  | st -> Alcotest.failf "expected infeasible, got %a" Solution.pp_status st
+
+(* ---- ILP ---- *)
+
+let solve_ilp p =
+  match Branch_bound.solve p with
+  | Solution.Optimal s, stats -> (s, stats)
+  | st, _ -> Alcotest.failf "expected optimal, got %a" Solution.pp_status st
+
+let test_ilp_knapsack () =
+  let p = Problem.create () in
+  let a = Problem.add_var ~hi:1. ~integer:true p in
+  let b = Problem.add_var ~hi:1. ~integer:true p in
+  let c = Problem.add_var ~hi:1. ~integer:true p in
+  Problem.add_constr p [ (a, 5.); (b, 4.); (c, 3.) ] Problem.Le 8.;
+  Problem.set_objective p Problem.Maximize [ (a, 10.); (b, 6.); (c, 4.) ];
+  let s, stats = solve_ilp p in
+  check_close "objective" 14. s.objective;
+  Alcotest.(check bool) "proved" true stats.proved_optimal
+
+let test_ilp_integrality_matters () =
+  (* LP relaxation is 2.5; integer optimum is 2 *)
+  let p = Problem.create () in
+  let x = Problem.add_var ~hi:10. ~integer:true p in
+  Problem.add_constr p [ (x, 2.) ] Problem.Le 5.;
+  Problem.set_objective p Problem.Maximize [ (x, 1.) ];
+  let s, _ = solve_ilp p in
+  check_close "x" 2. s.x.(x)
+
+let test_ilp_infeasible () =
+  let p = Problem.create () in
+  let x = Problem.add_var ~hi:1. ~integer:true p in
+  let y = Problem.add_var ~hi:1. ~integer:true p in
+  Problem.add_constr p [ (x, 1.); (y, 1.) ] Problem.Ge 3.;
+  match Branch_bound.solve p with
+  | Solution.Infeasible, _ -> ()
+  | st, _ -> Alcotest.failf "expected infeasible, got %a" Solution.pp_status st
+
+let test_ilp_gap_between_lp_and_ip () =
+  (* equality forcing x + 2y = 3 with binaries: only (1,1) works *)
+  let p = Problem.create () in
+  let x = Problem.add_var ~hi:1. ~integer:true p in
+  let y = Problem.add_var ~hi:1. ~integer:true p in
+  Problem.add_constr p [ (x, 1.); (y, 2.) ] Problem.Eq 3.;
+  Problem.set_objective p Problem.Minimize [ (x, 1.); (y, 1.) ];
+  let s, _ = solve_ilp p in
+  check_close "x" 1. s.x.(x);
+  check_close "y" 1. s.x.(y)
+
+let test_ilp_mixed_integer () =
+  (* one integer, one continuous *)
+  let p = Problem.create () in
+  let x = Problem.add_var ~hi:10. ~integer:true p in
+  let y = Problem.add_var ~hi:10. p in
+  Problem.add_constr p [ (x, 1.); (y, 1.) ] Problem.Le 4.5;
+  Problem.set_objective p Problem.Maximize [ (x, 2.); (y, 1.) ];
+  let s, _ = solve_ilp p in
+  check_close "objective" 8.5 s.objective;
+  check_close "x" 4. s.x.(x)
+
+let test_ilp_incumbent_trace () =
+  let p = Problem.create () in
+  let vars = Array.init 8 (fun _ -> Problem.add_var ~hi:1. ~integer:true p) in
+  Problem.add_constr p
+    (Array.to_list (Array.map (fun v -> (v, 1.)) vars))
+    Problem.Le 4.;
+  Problem.set_objective p Problem.Maximize
+    (Array.to_list (Array.mapi (fun i v -> (v, Float.of_int (i + 1))) vars));
+  let s, stats = solve_ilp p in
+  check_close "objective" 26. s.objective;
+  Alcotest.(check bool) "trace nonempty" true (stats.incumbent_trace <> []);
+  Alcotest.(check bool)
+    "incumbent time <= total" true
+    (stats.time_to_incumbent <= stats.time_total +. 1e-9)
+
+(* ---- randomized: B&B vs brute force ---- *)
+
+let random_problem seed =
+  let rng = Prng.create seed in
+  let p = Problem.create () in
+  let n = 3 + Prng.int rng 6 in
+  let vars =
+    Array.init n (fun _ ->
+        Problem.add_var ~hi:(Float.of_int (1 + Prng.int rng 3)) ~integer:true p)
+  in
+  let m = 1 + Prng.int rng 4 in
+  for _ = 1 to m do
+    let terms =
+      Array.to_list
+        (Array.map (fun v -> (v, Float.of_int (Prng.int rng 7 - 3))) vars)
+    in
+    let sense = if Prng.bool rng 0.8 then Problem.Le else Problem.Ge in
+    let rhs = Float.of_int (Prng.int rng 10 - 2) in
+    Problem.add_constr p terms sense rhs
+  done;
+  let dir = if Prng.bool rng 0.5 then Problem.Maximize else Problem.Minimize in
+  Problem.set_objective p dir
+    (Array.to_list
+       (Array.map (fun v -> (v, Float.of_int (Prng.int rng 11 - 5))) vars));
+  p
+
+let prop_bb_matches_brute =
+  QCheck.Test.make ~count:300 ~name:"branch&bound matches brute force"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let p = random_problem seed in
+      let bb, _ = Branch_bound.solve p in
+      let brute = Brute.solve p in
+      match (bb, brute) with
+      | Solution.Optimal a, Solution.Optimal b ->
+          if Float.abs (a.objective -. b.objective) > 1e-5 then
+            QCheck.Test.fail_reportf "seed %d: bb=%.9g brute=%.9g" seed
+              a.objective b.objective
+          else if Problem.constraint_violation p a.x > 1e-5 then
+            QCheck.Test.fail_reportf "seed %d: bb solution infeasible" seed
+          else true
+      | Solution.Infeasible, Solution.Infeasible -> true
+      | Solution.Unbounded, Solution.Unbounded -> true
+      | a, b ->
+          QCheck.Test.fail_reportf "seed %d: bb=%a brute=%a" seed
+            Solution.pp_status a Solution.pp_status b)
+
+let random_lp seed =
+  let rng = Prng.create seed in
+  let p = Problem.create () in
+  let n = 2 + Prng.int rng 5 in
+  let vars =
+    Array.init n (fun _ -> Problem.add_var ~hi:(Prng.uniform rng 1. 10.) p)
+  in
+  for _ = 1 to 1 + Prng.int rng 4 do
+    let terms =
+      Array.to_list (Array.map (fun v -> (v, Prng.uniform rng (-3.) 3.)) vars)
+    in
+    Problem.add_constr p terms Problem.Le (Prng.uniform rng 0. 10.)
+  done;
+  Problem.set_objective p Problem.Maximize
+    (Array.to_list (Array.map (fun v -> (v, Prng.uniform rng (-2.) 5.)) vars));
+  p
+
+let prop_lp_feasible_optimal =
+  QCheck.Test.make ~count:300 ~name:"simplex returns feasible points"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let p = random_lp seed in
+      match Simplex.solve p with
+      | Solution.Optimal s ->
+          if Problem.constraint_violation p s.x > 1e-5 then
+            QCheck.Test.fail_reportf "seed %d: violation %g" seed
+              (Problem.constraint_violation p s.x)
+          else Float.abs (Problem.objective_value p s.x -. s.objective) < 1e-5
+      | Solution.Infeasible -> true
+      | Solution.Unbounded | Solution.Iteration_limit -> true)
+
+let prop_lp_relaxation_bounds_ilp =
+  QCheck.Test.make ~count:200 ~name:"LP relaxation bounds the ILP optimum"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let p = random_problem seed in
+      match (Simplex.solve p, Branch_bound.solve p) with
+      | Solution.Optimal lp, (Solution.Optimal ip, _) -> (
+          match Problem.direction p with
+          | Problem.Maximize -> lp.objective >= ip.objective -. 1e-5
+          | Problem.Minimize -> lp.objective <= ip.objective +. 1e-5)
+      | _ -> true)
+
+(* ---- pqueue ---- *)
+
+let test_pqueue_order () =
+  let q = Heap.Pqueue.create () in
+  let rng = Prng.create 9 in
+  let items = List.init 500 (fun i -> (Prng.float rng, i)) in
+  List.iter (fun (k, v) -> Heap.Pqueue.push q k v) items;
+  Alcotest.(check int) "length" 500 (Heap.Pqueue.length q);
+  let rec drain last acc =
+    match Heap.Pqueue.pop q with
+    | None -> acc
+    | Some (k, _) ->
+        if k < last then Alcotest.fail "heap order violated";
+        drain k (acc + 1)
+  in
+  Alcotest.(check int) "drained" 500 (drain neg_infinity 0)
+
+let test_pqueue_empty () =
+  let q = Heap.Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Heap.Pqueue.is_empty q);
+  Alcotest.(check bool) "pop none" true (Heap.Pqueue.pop q = None);
+  Alcotest.(check bool) "min none" true (Heap.Pqueue.min_key q = None)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "lp"
+    [
+      ( "simplex",
+        [
+          tc "basic max" test_lp_basic;
+          tc "degenerate" test_lp_degenerate;
+          tc "equality" test_lp_equality;
+          tc "negative rhs" test_lp_negative_rhs;
+          tc "upper bounds" test_lp_upper_bounds;
+          tc "negative domain" test_lp_free_negative_lo;
+          tc "infeasible" test_lp_infeasible;
+          tc "unbounded" test_lp_unbounded;
+          tc "no constraints" test_lp_no_constraints;
+          tc "fixed variable" test_lp_fixed_var;
+          tc "duplicate terms" test_lp_duplicate_terms;
+          tc "bound override" test_lp_bound_override;
+          tc "conflicting override" test_lp_conflicting_override;
+          tc "mixed scale budgets" test_lp_mixed_scale;
+        ] );
+      ( "branch_bound",
+        [
+          tc "knapsack" test_ilp_knapsack;
+          tc "integrality matters" test_ilp_integrality_matters;
+          tc "infeasible" test_ilp_infeasible;
+          tc "equality binaries" test_ilp_gap_between_lp_and_ip;
+          tc "mixed integer" test_ilp_mixed_integer;
+          tc "incumbent trace" test_ilp_incumbent_trace;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_bb_matches_brute;
+          QCheck_alcotest.to_alcotest prop_lp_feasible_optimal;
+          QCheck_alcotest.to_alcotest prop_lp_relaxation_bounds_ilp;
+        ] );
+      ( "pqueue",
+        [ tc "heap order" test_pqueue_order; tc "empty" test_pqueue_empty ] );
+    ]

@@ -1,0 +1,232 @@
+(* Profiler tests: platform cost model, trace collection, rate
+   scaling, peak vs mean, reports. *)
+
+open Dataflow
+
+let feq ?(tol = 1e-9) = Alcotest.(check (float tol))
+
+(* a pipeline where each stage does a known workload and known data
+   reduction *)
+let build_known () =
+  let b = Builder.create () in
+  let src = ref 0 in
+  Builder.in_node b (fun () ->
+      let s0 = Builder.source b ~name:"src" () in
+      src := Builder.op_id s0;
+      let heavy =
+        Builder.map b ~name:"heavy"
+          (fun v ->
+            (* emits half the input array, 1000 float ops *)
+            let x = Value.float_arr v in
+            let out = Array.sub x 0 (Array.length x / 2) in
+            (Value.Float_arr out, Workload.make ~float_ops:1000. ()))
+          s0
+      in
+      let light =
+        Builder.map b ~name:"light"
+          (fun v -> (v, Workload.make ~int_ops:10. ()))
+          heavy
+      in
+      Builder.sink b ~name:"sink" light);
+  (Builder.build b, !src)
+
+let profile_known ?(rate = 10.) ?(duration = 10.) () =
+  let g, src = build_known () in
+  let events =
+    Profiler.Profile.Trace.periodic ~source:src ~rate ~duration ~gen:(fun _ ->
+        Value.Float_arr (Array.make 64 1.))
+  in
+  (g, src, Profiler.Profile.collect ~duration g events)
+
+(* ---- platform model ---- *)
+
+let test_platform_cycles () =
+  let w = Workload.make ~int_ops:10. ~float_ops:5. ~trans_ops:1. () in
+  let p = Profiler.Platform.tmote_sky in
+  feq "cycles"
+    ((10. *. p.cycles_int) +. (5. *. p.cycles_float) +. (1. *. p.cycles_trans))
+    (Profiler.Platform.cycles p w);
+  feq "seconds"
+    (Profiler.Platform.cycles p w *. p.overhead /. p.clock_hz)
+    (Profiler.Platform.seconds p w)
+
+let test_platform_float_penalty_ordering () =
+  (* the mote pays far more for float work than the server; int work
+     is much closer - Figure 8's premise *)
+  let floats = Workload.make ~float_ops:1000. () in
+  let ints = Workload.make ~int_ops:1000. () in
+  let ratio p w =
+    Profiler.Platform.seconds p w
+    /. Profiler.Platform.seconds Profiler.Platform.xeon_server w
+  in
+  Alcotest.(check bool) "float gap >> int gap" true
+    (ratio Profiler.Platform.tmote_sky floats
+    > 10. *. ratio Profiler.Platform.tmote_sky ints /. 10.
+    && ratio Profiler.Platform.tmote_sky floats
+       > ratio Profiler.Platform.tmote_sky ints)
+
+let test_platform_catalog () =
+  Alcotest.(check int) "8 platforms" 8 (List.length Profiler.Platform.all);
+  let p = Profiler.Platform.find "TMote" in
+  Alcotest.(check string) "case-insensitive find" "tmote" p.name;
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Profiler.Platform.find "z80"))
+
+(* ---- profile collection ---- *)
+
+let test_profile_rates () =
+  let g, src, raw = profile_known () in
+  ignore g;
+  (* 10 events/s for 10 s -> 100 firings of each op *)
+  feq ~tol:1e-6 "source rate" 10. (Profiler.Profile.op_fires_per_sec raw src);
+  Alcotest.(check int) "fires" 100 (Profiler.Profile.op_fires raw src)
+
+let test_profile_edge_bandwidth () =
+  let g, _, raw = profile_known () in
+  (* src->heavy carries 64 floats (258 B) at 10/s; heavy->light 32
+     floats (130 B) *)
+  let edge_between a b =
+    let e =
+      Array.to_list (Graph.edges g)
+      |> List.find (fun (e : Graph.edge) ->
+             (Graph.op g e.src).Op.name = a && (Graph.op g e.dst).Op.name = b)
+    in
+    e.Graph.eid
+  in
+  feq ~tol:1e-6 "src->heavy" 2580. (Profiler.Profile.edge_bytes_per_sec raw (edge_between "src" "heavy"));
+  feq ~tol:1e-6 "heavy->light" 1300. (Profiler.Profile.edge_bytes_per_sec raw (edge_between "heavy" "light"));
+  feq ~tol:1e-6 "elements" 10. (Profiler.Profile.edge_elements_per_sec raw (edge_between "src" "heavy"))
+
+let test_profile_workload_per_fire () =
+  let g, _, raw = profile_known () in
+  let heavy =
+    Array.to_list (Graph.ops g)
+    |> List.find (fun (o : Op.t) -> o.name = "heavy")
+  in
+  let w = Profiler.Profile.op_workload_per_fire raw heavy.id in
+  feq "1000 floats per fire" 1000. w.Workload.float_ops
+
+let test_profile_cpu_fraction () =
+  let g, _, raw = profile_known () in
+  let heavy =
+    Array.to_list (Graph.ops g)
+    |> List.find (fun (o : Op.t) -> o.name = "heavy")
+  in
+  let p = Profiler.Platform.gumstix in
+  let c = Profiler.Profile.cost raw p in
+  (* 1000 float ops at 10 Hz *)
+  let expect = Profiler.Platform.seconds p (Workload.make ~float_ops:1000. ()) *. 10. in
+  feq ~tol:1e-9 "cpu fraction" expect c.cpu_fraction.(heavy.id);
+  feq ~tol:1e-9 "sec/fire"
+    (Profiler.Platform.seconds p (Workload.make ~float_ops:1000. ()))
+    c.seconds_per_fire.(heavy.id)
+
+let test_scale_rate () =
+  let _, src, raw = profile_known () in
+  let doubled = Profiler.Profile.scale_rate raw 2. in
+  feq ~tol:1e-6 "rate doubles" 20.
+    (Profiler.Profile.op_fires_per_sec doubled src);
+  feq ~tol:1e-6 "original untouched" 10.
+    (Profiler.Profile.op_fires_per_sec raw src);
+  let c1 = Profiler.Profile.cost raw Profiler.Platform.tmote_sky in
+  let c2 = Profiler.Profile.cost doubled Profiler.Platform.tmote_sky in
+  feq ~tol:1e-12 "cpu fraction scales" (2. *. c1.cpu_fraction.(src)) c2.cpu_fraction.(src);
+  feq ~tol:1e-12 "sec/fire invariant" c1.seconds_per_fire.(src) c2.seconds_per_fire.(src)
+
+let test_peak_vs_mean () =
+  (* bursty trace: everything in the first second of a 10 s window *)
+  let g, src = build_known () in
+  let events =
+    List.init 10 (fun i ->
+        {
+          Profiler.Profile.Trace.time = 0.05 +. (Float.of_int i *. 0.05);
+          source = src;
+          value = Value.Float_arr (Array.make 64 1.);
+        })
+  in
+  let raw = Profiler.Profile.collect ~window:1. ~duration:10. g events in
+  let e0 = (List.hd (Graph.succs g src)).Graph.eid in
+  let mean = Profiler.Profile.edge_bytes_per_sec raw e0 in
+  let peak = Profiler.Profile.edge_peak_bytes_per_sec raw e0 in
+  Alcotest.(check bool) "peak ~10x mean for 10%% duty cycle" true
+    (peak > 8. *. mean)
+
+let test_trace_merge_sorted () =
+  let a =
+    List.init 5 (fun i ->
+        { Profiler.Profile.Trace.time = Float.of_int i; source = 0; value = Value.Unit })
+  in
+  let b =
+    List.init 5 (fun i ->
+        { Profiler.Profile.Trace.time = Float.of_int i +. 0.5; source = 1; value = Value.Unit })
+  in
+  let merged = Profiler.Profile.Trace.merge [ a; b ] in
+  let times = List.map (fun e -> e.Profiler.Profile.Trace.time) merged in
+  Alcotest.(check bool) "sorted" true (times = List.sort compare times)
+
+let test_collect_validates_events () =
+  let g, src = build_known () in
+  let bad =
+    [ { Profiler.Profile.Trace.time = 11.; source = src; value = Value.Unit } ]
+  in
+  Alcotest.check_raises "outside duration"
+    (Invalid_argument "Profile.collect: event outside [0, duration)") (fun () ->
+      ignore (Profiler.Profile.collect ~duration:10. g bad))
+
+(* ---- reports ---- *)
+
+let test_normalized_cumulative () =
+  let g, _, raw = profile_known () in
+  let order = Graph.topo_order g in
+  let cum =
+    Profiler.Report.normalized_cumulative_cpu raw Profiler.Platform.tmote_sky
+      ~order
+  in
+  feq ~tol:1e-9 "ends at 1" 1. cum.(Array.length cum - 1);
+  Array.iteri
+    (fun i v ->
+      if i > 0 && v < cum.(i - 1) -. 1e-12 then
+        Alcotest.fail "cumulative not monotone")
+    cum
+
+let test_per_op_table () =
+  let g, _, raw = profile_known () in
+  let order = Graph.topo_order g in
+  let table = Profiler.Report.per_op_table raw Profiler.Platform.gumstix ~order in
+  Alcotest.(check int) "rows" (Graph.n_ops g) (List.length table);
+  (* cumulative column is monotone *)
+  let rec check last = function
+    | [] -> ()
+    | (_, _, cum, _) :: rest ->
+        Alcotest.(check bool) "monotone" true (cum >= last);
+        check cum rest
+  in
+  check 0. table
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "profiler"
+    [
+      ( "platform",
+        [
+          tc "cycle accounting" test_platform_cycles;
+          tc "float penalty ordering" test_platform_float_penalty_ordering;
+          tc "catalog" test_platform_catalog;
+        ] );
+      ( "profile",
+        [
+          tc "firing rates" test_profile_rates;
+          tc "edge bandwidth" test_profile_edge_bandwidth;
+          tc "workload per fire" test_profile_workload_per_fire;
+          tc "cpu fraction" test_profile_cpu_fraction;
+          tc "rate scaling" test_scale_rate;
+          tc "peak vs mean" test_peak_vs_mean;
+          tc "trace merge" test_trace_merge_sorted;
+          tc "event validation" test_collect_validates_events;
+        ] );
+      ( "report",
+        [
+          tc "normalized cumulative" test_normalized_cumulative;
+          tc "per-op table" test_per_op_table;
+        ] );
+    ]
