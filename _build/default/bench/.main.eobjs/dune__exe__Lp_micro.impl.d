@@ -1,0 +1,1 @@
+bench/lp_micro.ml: Apps Bench_util Float Lp Printf Profiler Unix Wishbone

@@ -1,1 +1,1 @@
-bench/main.ml: Ablations Array Fig3 Fig5a Fig5b Fig6 Fig7 Fig8 Fig9_10 Headline List Micro Printf String Sys
+bench/main.ml: Ablations Array Fig3 Fig5a Fig5b Fig6 Fig7 Fig8 Fig9_10 Headline List Lp_micro Micro Printf String Sys

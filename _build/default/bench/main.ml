@@ -19,18 +19,32 @@ let experiments =
     ("headline", fun () -> Headline.run ());
     ("ablations", fun () -> Ablations.run ());
     ("micro", fun () -> Micro.run ());
+    ("lp", fun () -> Lp_micro.run ());
   ]
 
 let default_order =
   [ "fig3"; "fig5a"; "fig5b"; "fig6"; "fig7"; "fig8"; "fig9"; "headline";
-    "ablations"; "micro" ]
+    "ablations"; "micro"; "lp" ]
 
 let () =
   match Array.to_list Sys.argv with
   | [ _ ] ->
       print_endline "Wishbone reproduction: all evaluation experiments";
       List.iter (fun name -> (List.assoc name experiments) ()) default_order
-  | [ _; "fig6"; count ] -> Fig6.run ~count:(int_of_string count) ()
+  | [ _; "fig6"; count ] -> (
+      match int_of_string_opt count with
+      | Some count -> Fig6.run ~count ()
+      | None ->
+          Printf.eprintf "fig6: operator count must be an integer, got %s\n"
+            count;
+          exit 1)
+  | [ _; "lp"; channels ] -> (
+      match int_of_string_opt channels with
+      | Some n_channels -> Lp_micro.run ~n_channels ()
+      | None ->
+          Printf.eprintf "lp: channel count must be an integer, got %s\n"
+            channels;
+          exit 1)
   | [ _; name ] -> (
       match List.assoc_opt name experiments with
       | Some f -> f ()

@@ -1,0 +1,1 @@
+lib/lp/basis.ml: Array

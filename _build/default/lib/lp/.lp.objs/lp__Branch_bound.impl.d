@@ -1,1 +1,1 @@
-lib/lp/branch_bound.ml: Array Float Heap List Problem Simplex Solution Unix
+lib/lp/branch_bound.ml: Array Basis Float Heap List Problem Simplex Solution Unix

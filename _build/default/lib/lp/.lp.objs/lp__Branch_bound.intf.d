@@ -1,1 +1,1 @@
-lib/lp/branch_bound.mli: Problem Simplex Solution
+lib/lp/branch_bound.mli: Basis Problem Simplex Solution

@@ -1,1 +1,1 @@
-lib/lp/simplex.ml: Array Float List Problem Solution
+lib/lp/simplex.ml: Array Basis Float List Problem Solution

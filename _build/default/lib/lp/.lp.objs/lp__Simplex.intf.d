@@ -1,1 +1,1 @@
-lib/lp/simplex.mli: Problem Solution
+lib/lp/simplex.mli: Basis Problem Solution

@@ -1,0 +1,12 @@
+type cstat = At_lower | At_upper | Basic
+
+type t = { rows : int array; stat : cstat array }
+
+let n_rows b = Array.length b.rows
+let n_cols b = Array.length b.stat
+let copy b = { rows = Array.copy b.rows; stat = Array.copy b.stat }
+
+let compatible b ~rows ~cols =
+  Array.length b.rows = rows
+  && Array.length b.stat = cols
+  && Array.for_all (fun j -> j >= 0 && j < cols) b.rows

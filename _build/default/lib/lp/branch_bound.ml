@@ -3,6 +3,7 @@ type options = {
   int_tol : float;
   gap_tol : float;
   time_limit : float;
+  warm_start : bool;
   simplex : Simplex.options;
 }
 
@@ -12,32 +13,54 @@ let default_options =
     int_tol = 1e-6;
     gap_tol = 0.;
     time_limit = infinity;
+    warm_start = true;
     simplex = Simplex.default_options;
   }
 
 type stats = {
   nodes_explored : int;
   lp_solves : int;
+  hot_solves : int;
+  total_pivots : int;
   time_to_incumbent : float;
   time_total : float;
   proved_optimal : bool;
   best_bound : float;
   incumbent_trace : (float * float) list;
+  root_basis : Basis.t option;
 }
 
-type node = { lo : float array; hi : float array; relax : Solution.t }
+type node = {
+  lo : float array;
+  hi : float array;
+  relax : Solution.t;
+  basis : Basis.t option;  (* optimal basis of this node's relaxation *)
+  mutable hot : Simplex.hot option;
+      (* final tableau of this node's relaxation, kept for at most
+         [hot_cache] recent nodes so child LPs can skip
+         refactorisation; dropped tableaus degrade to [basis] *)
+}
 
-(* Most fractional integer variable, or None when integral. *)
+(* How many recent nodes keep their full tableau alive.  Each costs
+   O(rows * cols) floats, so this bounds warm-start memory while still
+   covering best-first search's common case of popping a just-pushed
+   child. *)
+let hot_cache = 4
+
+(* Most fractional integer variable, or [None] when integral within
+   [int_tol]: score each candidate by its distance to the nearest
+   integer (so a fractional part of .5 scores highest) and take the
+   maximum, breaking ties towards the lowest index so the branching
+   choice is deterministic. *)
 let fractional_var ~int_tol int_vars (x : float array) =
   let best = ref None in
   let best_score = ref int_tol in
   List.iter
     (fun v ->
-      let f = x.(v) -. Float.round x.(v) in
-      let dist = Float.abs f in
-      if dist > !best_score then begin
-        (* prefer the variable closest to .5 *)
-        best_score := dist;
+      let f = x.(v) -. Float.floor x.(v) in
+      let score = Float.min f (1. -. f) in
+      if score > !best_score then begin
+        best_score := score;
         best := Some v
       end)
     int_vars;
@@ -52,7 +75,7 @@ let snap ~int_tol int_vars (x : float array) =
     int_vars;
   x
 
-let solve ?(options = default_options) problem =
+let solve ?(options = default_options) ?initial ?root_basis problem =
   let t0 = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. t0 in
   let minimize = Problem.direction problem = Problem.Minimize in
@@ -61,9 +84,48 @@ let solve ?(options = default_options) problem =
   let obj_of_key key = if minimize then key else -.key in
   let int_vars = Problem.integer_vars problem in
   let lp_solves = ref 0 in
-  let relaxation ~lo ~hi =
+  let hot_solves = ref 0 in
+  let pivots = ref 0 in
+  let root_b = ref None in
+  let relaxation ?hot ~warm ~lo ~hi () =
     incr lp_solves;
-    Simplex.solve ~options:options.simplex ~lo ~hi problem
+    let warm, hot =
+      if options.warm_start then (warm, hot) else (None, None)
+    in
+    let r =
+      Simplex.solve_warm ~options:options.simplex ?warm ?hot
+        ~keep_hot:options.warm_start ~lo ~hi problem
+    in
+    if r.Simplex.hot_used then incr hot_solves;
+    pivots := !pivots + r.Simplex.pivots;
+    r
+  in
+  (* ring of nodes currently holding a hot tableau, newest first *)
+  let hot_nodes = ref [] in
+  let retain_hot node =
+    if node.hot <> None then begin
+      let rest = List.filter (fun o -> o != node) !hot_nodes in
+      let keep, drop =
+        let rec split i = function
+          | [] -> ([], [])
+          | l when i = 0 -> ([], l)
+          | x :: tl ->
+              let k, d = split (i - 1) tl in
+              (x :: k, d)
+        in
+        split (hot_cache - 1) rest
+      in
+      List.iter (fun o -> o.hot <- None) drop;
+      hot_nodes := node :: keep
+    end
+  in
+  (* a node that has been expanded or pruned never needs its tableau
+     again; free the slot for live nodes *)
+  let release_hot node =
+    if node.hot <> None then begin
+      node.hot <- None;
+      hot_nodes := List.filter (fun o -> o != node) !hot_nodes
+    end
   in
   let vars = Problem.vars problem in
   let lo0 = Array.map (fun (v : Problem.var_info) -> v.lo) vars in
@@ -73,14 +135,19 @@ let solve ?(options = default_options) problem =
       {
         nodes_explored = nodes;
         lp_solves = !lp_solves;
+        hot_solves = !hot_solves;
+        total_pivots = !pivots;
         time_to_incumbent = t_inc;
         time_total = elapsed ();
         proved_optimal = proved;
         best_bound;
         incumbent_trace = List.rev trace;
+        root_basis = !root_b;
       } )
   in
-  match relaxation ~lo:lo0 ~hi:hi0 with
+  let root = relaxation ~warm:root_basis ~lo:lo0 ~hi:hi0 () in
+  root_b := root.Simplex.basis;
+  match root.Simplex.status with
   | Solution.Infeasible ->
       finish Solution.Infeasible ~proved:true ~best_bound:nan ~t_inc:0.
         ~nodes:0 ~trace:[]
@@ -92,9 +159,12 @@ let solve ?(options = default_options) problem =
         ~nodes:0 ~trace:[]
   | Solution.Optimal root_relax -> (
       let open_nodes : node Heap.Pqueue.t = Heap.Pqueue.create () in
-      Heap.Pqueue.push open_nodes
-        (key_of_obj root_relax.objective)
-        { lo = lo0; hi = hi0; relax = root_relax };
+      let root_node =
+        { lo = lo0; hi = hi0; relax = root_relax; basis = root.Simplex.basis;
+          hot = root.Simplex.hot }
+      in
+      retain_hot root_node;
+      Heap.Pqueue.push open_nodes (key_of_obj root_relax.objective) root_node;
       let incumbent = ref None in
       let incumbent_key = ref infinity in
       let t_incumbent = ref 0. in
@@ -115,6 +185,14 @@ let solve ?(options = default_options) problem =
           trace := (!t_incumbent, obj) :: !trace
         end
       in
+      (* incremental callers (rate search) seed the incumbent with the
+         previous step's feasible point: a valid primal bound that lets
+         best-first search prune most of the tree immediately *)
+      (match initial with
+      | Some x0 when Array.length x0 = Array.length lo0 ->
+          try_incumbent
+            { Solution.x = x0; objective = Problem.objective_value problem x0 }
+      | _ -> ());
       let gap_closed bound_key =
         match !incumbent with
         | None -> false
@@ -137,36 +215,80 @@ let solve ?(options = default_options) problem =
             else begin
               match Heap.Pqueue.pop open_nodes with
               | None -> continue := false
-              | Some (_, node) -> (
-                  incr nodes;
-                  match
-                    fractional_var ~int_tol:options.int_tol int_vars
-                      node.relax.x
-                  with
-                  | None -> try_incumbent node.relax
-                  | Some v ->
-                      let xv = node.relax.x.(v) in
-                      let expand ~lo ~hi =
-                        match relaxation ~lo ~hi with
-                        | Solution.Optimal relax ->
-                            let key = key_of_obj relax.objective in
-                            if key < !incumbent_key -. 1e-12 then
-                              Heap.Pqueue.push open_nodes key { lo; hi; relax }
-                        | Solution.Infeasible -> ()
-                        | Solution.Unbounded ->
-                            (* a bounded parent cannot have an unbounded
-                               child; treat as numerical noise *)
-                            ()
-                        | Solution.Iteration_limit -> hit_budget := true
-                      in
-                      (* down child: x_v <= floor *)
-                      let hi_down = Array.copy node.hi in
-                      hi_down.(v) <- Float.of_int (int_of_float (Float.floor xv));
-                      expand ~lo:node.lo ~hi:hi_down;
-                      (* up child: x_v >= ceil *)
-                      let lo_up = Array.copy node.lo in
-                      lo_up.(v) <- Float.of_int (int_of_float (Float.ceil xv));
-                      expand ~lo:lo_up ~hi:node.hi)
+              | Some (key, node) ->
+                  (* stale-node pruning: the bound was checked when the
+                     node was pushed, but the incumbent may have
+                     improved since; discard without branching.  (With
+                     best-first order the loop-head gap check usually
+                     fires first — this is the safety net for any
+                     other exploration order and for nodes pushed
+                     within one expansion batch.) *)
+                  if key >= !incumbent_key -. 1e-12 || gap_closed key then
+                    release_hot node
+                  else begin
+                    incr nodes;
+                    match
+                      fractional_var ~int_tol:options.int_tol int_vars
+                        node.relax.x
+                    with
+                    | None ->
+                        release_hot node;
+                        try_incumbent node.relax
+                    | Some v ->
+                        let xv = node.relax.x.(v) in
+                        (* one refactorisation per expansion at most:
+                           if the node's tableau was evicted from the
+                           hot ring, rebuild it from the basis
+                           snapshot once and let both children clone
+                           it instead of refactorising twice *)
+                        let parent_hot =
+                          match node.hot with
+                          | Some _ as h -> h
+                          | None when options.warm_start -> (
+                              match
+                                relaxation ~warm:node.basis ~lo:node.lo
+                                  ~hi:node.hi ()
+                              with
+                              | { Simplex.status = Solution.Optimal _; hot; _ }
+                                ->
+                                  hot
+                              | _ -> None)
+                          | None -> None
+                        in
+                        release_hot node;
+                        let expand ~lo ~hi =
+                          match
+                            relaxation ?hot:parent_hot ~warm:node.basis ~lo
+                              ~hi ()
+                          with
+                          | { Simplex.status = Solution.Optimal relax; basis;
+                              hot; _ } ->
+                              let key = key_of_obj relax.objective in
+                              if key < !incumbent_key -. 1e-12 then begin
+                                let child = { lo; hi; relax; basis; hot } in
+                                retain_hot child;
+                                Heap.Pqueue.push open_nodes key child
+                              end
+                          | { Simplex.status = Solution.Infeasible; _ } -> ()
+                          | { Simplex.status = Solution.Unbounded; _ } ->
+                              (* a bounded parent cannot have an unbounded
+                                 child; treat as numerical noise *)
+                              ()
+                          | { Simplex.status = Solution.Iteration_limit; _ }
+                            ->
+                              hit_budget := true
+                        in
+                        (* down child: x_v <= floor *)
+                        let hi_down = Array.copy node.hi in
+                        hi_down.(v) <-
+                          Float.of_int (int_of_float (Float.floor xv));
+                        expand ~lo:node.lo ~hi:hi_down;
+                        (* up child: x_v >= ceil *)
+                        let lo_up = Array.copy node.lo in
+                        lo_up.(v) <-
+                          Float.of_int (int_of_float (Float.ceil xv));
+                        expand ~lo:lo_up ~hi:node.hi
+                  end
             end
       done;
       let best_bound_key =

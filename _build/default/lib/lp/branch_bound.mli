@@ -1,4 +1,5 @@
-(** Best-first branch & bound for mixed-integer linear programs.
+(** Best-first branch & bound for mixed-integer linear programs, with
+    warm-started LP re-solves.
 
     LP relaxations are solved by {!Simplex}; open nodes are kept in a
     min-heap ordered by relaxation bound so the most promising subtree
@@ -6,6 +7,17 @@
     behaves on the Wishbone formulations and lets us reproduce the
     paper's Figure 6 "time to discover" vs "time to prove"
     distinction).
+
+    Each node stores the optimal basis of its LP relaxation, and the
+    most recently solved nodes additionally keep their final tableau
+    ({!Simplex.hot}) alive: a child LP then re-solves by cloning the
+    parent tableau and repairing one bound change with a handful of
+    dual pivots — no refactorisation at all.  Nodes whose tableau has
+    been evicted from the small hot ring fall back to refactorising
+    their basis snapshot (once per expansion, shared by both
+    children), and from there to a cold two-phase solve.  Disable with
+    [warm_start = false] to measure the difference (see
+    [bench/lp_micro.ml]).
 
     Statistics record when the final incumbent was found
     ([time_to_incumbent]) separately from when optimality was proved
@@ -18,6 +30,10 @@ type options = {
       (** terminate when (incumbent - bound) / max(1, |incumbent|)
           falls below this; [0.] demands a full proof *)
   time_limit : float;  (** wall-clock seconds; [infinity] = unlimited *)
+  warm_start : bool;
+      (** start child LPs from the parent's optimal basis (default
+          [true]; results are identical either way, only pivot counts
+          differ) *)
   simplex : Simplex.options;
 }
 
@@ -26,6 +42,12 @@ val default_options : options
 type stats = {
   nodes_explored : int;
   lp_solves : int;
+  hot_solves : int;
+      (** LP solves served by replaying a retained parent tableau
+          (subset of [lp_solves]); the rest refactorised a basis
+          snapshot or ran cold *)
+  total_pivots : int;
+      (** simplex pivots summed over every LP solve of the tree *)
   time_to_incumbent : float;
       (** seconds until the returned solution was first discovered *)
   time_total : float;  (** seconds until termination (proof or budget) *)
@@ -36,8 +58,29 @@ type stats = {
   incumbent_trace : (float * float) list;
       (** (time, objective) for each incumbent improvement, in
           chronological order *)
+  root_basis : Basis.t option;
+      (** optimal basis of the root relaxation; feed it back as
+          [?root_basis] when re-solving a rescaled instance of the
+          same problem (rate search) *)
 }
 
-val solve : ?options:options -> Problem.t -> Solution.status * stats
+val fractional_var : int_tol:float -> int list -> float array -> int option
+(** The integer variable whose value is farthest from any integer
+    (ties broken towards the lowest index), or [None] when all are
+    within [int_tol] of integrality.  Exposed for testing. *)
+
+val solve :
+  ?options:options ->
+  ?initial:float array ->
+  ?root_basis:Basis.t ->
+  Problem.t ->
+  Solution.status * stats
 (** Solves the problem honouring the [integer] markers set through
-    {!Problem.add_var}.  Never mutates the problem. *)
+    {!Problem.add_var}.  Never mutates the problem.
+
+    [initial], when given and feasible, seeds the incumbent before the
+    search starts — a valid primal bound that prunes every subtree
+    whose relaxation cannot beat it.  [root_basis] warm-starts the
+    root relaxation (useful across rate-search steps, where only the
+    coefficients scale).  Both are performance hints: they never
+    change the returned status or objective. *)

@@ -8,8 +8,9 @@ type options = {
 let default_options =
   { max_pivots = 200_000; feas_tol = 1e-7; cost_tol = 1e-9; degen_window = 40 }
 
-(* Column status in the bounded-variable simplex. *)
-type cstat = At_lower | At_upper | Basic
+(* Column status in the bounded-variable simplex; shared with basis
+   snapshots so warm starts can replay a previous solve's state. *)
+type cstat = Basis.cstat = At_lower | At_upper | Basic
 
 type tableau = {
   m : int;  (* rows *)
@@ -24,6 +25,12 @@ type tableau = {
   d : float array;  (* reduced costs for the current phase *)
   opts : options;
 }
+
+(* ---- process-wide pivot accounting: benchmarks read the deltas to
+   aggregate across whole branch & bound trees and rate searches. ---- *)
+let cumulative = ref 0
+let cumulative_pivots () = !cumulative
+let reset_cumulative_pivots () = cumulative := 0
 
 (* Value of column [j] in shifted space. *)
 let col_value tab j =
@@ -85,7 +92,7 @@ let row_reduce tab r j =
 
 type step = Optimal_reached | Unbounded_ray | Budget_exhausted
 
-(* Core bounded-variable simplex loop for the current [tab.d].
+(* Core bounded-variable primal simplex loop for the current [tab.d].
    [allowed j] filters entering candidates (used to freeze artificial
    columns in phase 2). *)
 let iterate tab ~allowed ~pivots_left =
@@ -204,6 +211,124 @@ let iterate tab ~allowed ~pivots_left =
   done;
   match !result with Some s -> s | None -> assert false
 
+(* ---- bounded-variable dual simplex -------------------------------
+
+   Starting from a basis whose reduced costs are (near) dual feasible,
+   repair primal infeasibility — basic values outside their bounds —
+   one leaving row at a time.  This is what makes warm starts cheap: a
+   branch & bound child differs from its parent by a single bound
+   change, so the parent's optimal basis stays dual feasible for the
+   child and a handful of dual pivots restore primal feasibility,
+   replacing a full phase-1/phase-2 cold solve. *)
+
+type dual_step =
+  | Dual_feasible_point  (* all basic values inside their bounds *)
+  | Primal_infeasible  (* a row certifies the LP infeasible *)
+  | Dual_budget
+  | Dual_stalled  (* only numerically marginal pivots available *)
+
+let dual_iterate tab ~pivots_left =
+  let opts = tab.opts in
+  let result = ref None in
+  while !result = None do
+    if !pivots_left <= 0 then result := Some Dual_budget
+    else begin
+      (* --- leaving row: the largest bound violation --- *)
+      let r = ref (-1) in
+      let worst = ref opts.feas_tol in
+      let above = ref false in
+      for i = 0 to tab.m - 1 do
+        let bi = tab.beta.(i) in
+        if -.bi > !worst then begin
+          worst := -.bi;
+          r := i;
+          above := false
+        end;
+        let ub = tab.up.(tab.basis.(i)) in
+        if Float.is_finite ub && bi -. ub > !worst then begin
+          worst := bi -. ub;
+          r := i;
+          above := true
+        end
+      done;
+      if !r < 0 then result := Some Dual_feasible_point
+      else begin
+        decr pivots_left;
+        let r = !r and above = !above in
+        let row = tab.t.(r) in
+        (* --- dual ratio test: entering column minimising |d_j /
+           alpha_rj| among sign-compatible movable nonbasic columns,
+           so the reduced costs stay dual feasible --- *)
+        let enter = ref (-1) in
+        let best_ratio = ref infinity in
+        let best_mag = ref 0. in
+        let marginal = ref false in
+        for j = 0 to tab.ncols - 1 do
+          if tab.stat.(j) <> Basic && tab.up.(j) > opts.feas_tol then begin
+            let a = row.(j) in
+            let good_sign =
+              match (tab.stat.(j), above) with
+              | At_lower, false -> a < 0.
+              | At_upper, false -> a > 0.
+              | At_lower, true -> a > 0.
+              | At_upper, true -> a < 0.
+              | Basic, _ -> false
+            in
+            let mag = Float.abs a in
+            if good_sign && mag > 1e-9 then begin
+              if mag <= opts.feas_tol then marginal := true
+              else begin
+                let d = tab.d.(j) in
+                let dj =
+                  match tab.stat.(j) with
+                  | At_lower -> Float.max d 0.
+                  | _ -> Float.max (-.d) 0.
+                in
+                let ratio = dj /. mag in
+                if
+                  ratio < !best_ratio -. 1e-12
+                  || (ratio <= !best_ratio +. 1e-12 && mag > !best_mag)
+                then begin
+                  best_ratio := ratio;
+                  best_mag := mag;
+                  enter := j
+                end
+              end
+            end
+          end
+        done;
+        if !enter < 0 then
+          (* no column can move the violated basic variable towards its
+             bound.  With all candidate entries at machine zero the row
+             is a sound infeasibility certificate; if any marginal
+             entry exists, let the caller fall back to a cold solve
+             rather than decide feasibility on noise. *)
+          result := Some (if !marginal then Dual_stalled else Primal_infeasible)
+        else begin
+          let j = !enter in
+          let target = if above then tab.up.(tab.basis.(r)) else 0. in
+          let delta = (tab.beta.(r) -. target) /. row.(j) in
+          for i = 0 to tab.m - 1 do
+            tab.beta.(i) <- tab.beta.(i) -. (delta *. tab.t.(i).(j))
+          done;
+          let old = tab.basis.(r) in
+          tab.stat.(old) <- (if above then At_upper else At_lower);
+          tab.in_row.(old) <- -1;
+          let xj =
+            (match tab.stat.(j) with At_upper -> tab.up.(j) | _ -> 0.)
+            +. delta
+          in
+          tab.basis.(r) <- j;
+          tab.in_row.(j) <- r;
+          tab.stat.(j) <- Basic;
+          row_reduce tab r j;
+          tab.beta.(r) <- xj
+        end
+      end
+    end
+  done;
+  match !result with Some s -> s | None -> assert false
+
 (* Degenerate pivot to remove a basic artificial variable sitting at
    zero after phase 1; returns false when the row is redundant. *)
 let pivot_out_artificial tab r ~n_real =
@@ -233,7 +358,231 @@ let pivot_out_artificial tab r ~n_real =
     true
   end
 
-let solve ?(options = default_options) ?lo ?hi problem =
+(* Fresh tableau over the all-artificial basis with beta = rhs; the
+   shared starting point of both cold solves and warm refactorisation. *)
+let build problem ~options ~lo ~hi ~n ~n_slack =
+  let constrs = Problem.constrs problem in
+  let m = Array.length constrs in
+  let ncols = n + n_slack + m in
+  let t = Array.init m (fun _ -> Array.make ncols 0.) in
+  let beta = Array.make m 0. in
+  let up = Array.make ncols infinity in
+  for j = 0 to n - 1 do
+    up.(j) <- Float.max 0. (hi.(j) -. lo.(j))
+  done;
+  (* fill rows; shift structural variables by their lower bound *)
+  let slack_idx = ref n in
+  Array.iteri
+    (fun i (c : Problem.constr) ->
+      let row = t.(i) in
+      List.iter (fun (v, coef) -> row.(v) <- row.(v) +. coef) c.terms;
+      let rhs = ref c.rhs in
+      for j = 0 to n - 1 do
+        if row.(j) <> 0. then rhs := !rhs -. (row.(j) *. lo.(j))
+      done;
+      (match c.sense with
+      | Le ->
+          row.(!slack_idx) <- 1.;
+          incr slack_idx
+      | Ge ->
+          row.(!slack_idx) <- -1.;
+          incr slack_idx
+      | Eq -> ());
+      (* row equilibration: normalise by the largest coefficient so
+         mixed-magnitude models stay well conditioned *)
+      let norm = ref 0. in
+      for k = 0 to ncols - 1 do
+        norm := Float.max !norm (Float.abs row.(k))
+      done;
+      if !norm > 0. && (!norm > 16. || !norm < 1. /. 16.) then begin
+        let inv = 1. /. !norm in
+        for k = 0 to ncols - 1 do
+          row.(k) <- row.(k) *. inv
+        done;
+        rhs := !rhs *. inv
+      end;
+      if !rhs < 0. then begin
+        for k = 0 to ncols - 1 do
+          row.(k) <- -.row.(k)
+        done;
+        rhs := -. !rhs
+      end;
+      (* artificial column for this row *)
+      row.(n + n_slack + i) <- 1.;
+      beta.(i) <- !rhs)
+    constrs;
+  let basis = Array.init m (fun i -> n + n_slack + i) in
+  let in_row = Array.make ncols (-1) in
+  Array.iteri (fun i b -> in_row.(b) <- i) basis;
+  let stat = Array.make ncols At_lower in
+  Array.iter (fun b -> stat.(b) <- Basic) basis;
+  { m; ncols; n; t; beta; basis; in_row; stat; up; d = Array.make ncols 0.;
+    opts = options }
+
+let snapshot tab =
+  { Basis.rows = Array.copy tab.basis; stat = Array.copy tab.stat }
+
+(* ---- hot tableau handoff ------------------------------------------
+
+   A basis snapshot is compact but costs a full Gauss-Jordan
+   refactorisation to reinstall — O(m) eliminations, which dwarfs the
+   handful of dual pivots a branch & bound child actually needs.  A
+   [hot] value instead keeps the parent's final *reduced tableau*;
+   re-solving under new variable bounds is then a row-copy plus a
+   direct rhs update (the reduced columns B^-1 A_j are already in the
+   tableau), skipping refactorisation entirely.
+
+   Validity: the tableau encodes the constraint coefficients, so a hot
+   value may only be replayed against the SAME problem (possibly with
+   different variable bounds).  Branch & bound guarantees this; the
+   snapshot API remains the vehicle for cross-problem reuse such as
+   rate-search steps where coefficients rescale. *)
+type hot = {
+  h_tab : tableau;  (* final reduced tableau, owned by this value *)
+  h_lo : float array;  (* structural bounds the tableau was solved under *)
+  h_hi : float array;
+}
+
+let clone_tableau tab ~options =
+  {
+    tab with
+    t = Array.map Array.copy tab.t;
+    beta = Array.copy tab.beta;
+    basis = Array.copy tab.basis;
+    in_row = Array.copy tab.in_row;
+    stat = Array.copy tab.stat;
+    up = Array.copy tab.up;
+    d = Array.copy tab.d;
+    opts = options;
+  }
+
+(* Rebase a cloned hot tableau from the bounds it was solved under to
+   [lo]/[hi].  Uses the identity
+
+     beta_i = (B^-1 b)_i - sum_{nonbasic j} t_ij * rest_j - lo_basis(i)
+
+   where rest_j is the actual resting value of nonbasic column j, so a
+   bound change is a rank-1 rhs update per affected column.  The
+   resulting basic values may violate the new bounds; the dual simplex
+   repairs that. *)
+let rebase_bounds tab ~old_lo ~old_hi ~lo ~hi =
+  let n = tab.n in
+  for j = 0 to n - 1 do
+    let up_new = Float.max 0. (hi.(j) -. lo.(j)) in
+    (match tab.stat.(j) with
+    | Basic ->
+        let dlo = lo.(j) -. old_lo.(j) in
+        if dlo <> 0. then begin
+          let r = tab.in_row.(j) in
+          tab.beta.(r) <- tab.beta.(r) -. dlo
+        end
+    | s ->
+        let old_rest =
+          match s with At_upper -> old_hi.(j) | _ -> old_lo.(j)
+        in
+        let new_stat =
+          if s = At_upper && Float.is_finite up_new then At_upper
+          else At_lower
+        in
+        let new_rest =
+          match new_stat with At_upper -> hi.(j) | _ -> lo.(j)
+        in
+        tab.stat.(j) <- new_stat;
+        let dv = new_rest -. old_rest in
+        if dv <> 0. then
+          for i = 0 to tab.m - 1 do
+            tab.beta.(i) <- tab.beta.(i) -. (tab.t.(i).(j) *. dv)
+          done);
+    tab.up.(j) <- up_new
+  done
+
+(* Restore a recorded basis into a freshly built tableau: Gauss-Jordan
+   eliminate each recorded basic column (carrying the rhs in [beta]),
+   then shift the rhs by the nonbasic-at-upper-bound columns.  Returns
+   false when the recorded basis is singular for the current
+   coefficients (caller falls back to a cold solve). *)
+let install_basis tab (b : Basis.t) =
+  for j = 0 to tab.ncols - 1 do
+    tab.in_row.(j) <- -1;
+    tab.stat.(j) <-
+      (match b.Basis.stat.(j) with
+      | Basis.At_upper when Float.is_finite tab.up.(j) -> At_upper
+      | _ -> At_lower)
+  done;
+  let assigned = Array.make tab.m false in
+  let ok = ref true in
+  Array.iter
+    (fun j ->
+      if !ok then begin
+        (* the unassigned row with the largest pivot in column j *)
+        let r = ref (-1) in
+        let mag = ref 1e-8 in
+        for i = 0 to tab.m - 1 do
+          if not assigned.(i) then begin
+            let a = Float.abs tab.t.(i).(j) in
+            if a > !mag then begin
+              mag := a;
+              r := i
+            end
+          end
+        done;
+        if !r < 0 then ok := false
+        else begin
+          let r = !r in
+          let piv = tab.t.(r) in
+          let inv = 1. /. piv.(j) in
+          for k = 0 to tab.ncols - 1 do
+            piv.(k) <- piv.(k) *. inv
+          done;
+          piv.(j) <- 1.;
+          tab.beta.(r) <- tab.beta.(r) *. inv;
+          for i = 0 to tab.m - 1 do
+            if i <> r then begin
+              let f = tab.t.(i).(j) in
+              if f <> 0. then begin
+                let row = tab.t.(i) in
+                for k = 0 to tab.ncols - 1 do
+                  row.(k) <- row.(k) -. (f *. piv.(k))
+                done;
+                row.(j) <- 0.;
+                tab.beta.(i) <- tab.beta.(i) -. (f *. tab.beta.(r))
+              end
+            end
+          done;
+          assigned.(r) <- true;
+          tab.basis.(r) <- j;
+          tab.in_row.(j) <- r;
+          tab.stat.(j) <- Basic
+        end
+      end)
+    b.Basis.rows;
+  if !ok then begin
+    (* beta is now B^-1 rhs; account for nonbasic columns resting at
+       their upper bound *)
+    for j = 0 to tab.ncols - 1 do
+      if tab.stat.(j) = At_upper then begin
+        let u = tab.up.(j) in
+        if u <> 0. then
+          for i = 0 to tab.m - 1 do
+            tab.beta.(i) <- tab.beta.(i) -. (tab.t.(i).(j) *. u)
+          done
+      end
+    done;
+    true
+  end
+  else false
+
+type result = {
+  status : Solution.status;
+  basis : Basis.t option;
+  hot : hot option;  (* only when [keep_hot] and the solve was optimal *)
+  pivots : int;
+  warm_used : bool;
+  hot_used : bool;
+}
+
+let solve_warm ?(options = default_options) ?warm ?hot ?(keep_hot = false) ?lo
+    ?hi problem =
   let n = Problem.n_vars problem in
   let vars = Problem.vars problem in
   let constrs = Problem.constrs problem in
@@ -258,9 +607,10 @@ let solve ?(options = default_options) ?lo ?hi problem =
   for j = 0 to n - 1 do
     if lo.(j) > hi.(j) +. options.feas_tol then bound_conflict := true
   done;
-  if !bound_conflict then Solution.Infeasible
+  if !bound_conflict then
+    { status = Solution.Infeasible; basis = None; hot = None; pivots = 0;
+      warm_used = false; hot_used = false }
   else begin
-    (* slack column per inequality *)
     let n_slack =
       Array.fold_left
         (fun acc (c : Problem.constr) ->
@@ -268,138 +618,163 @@ let solve ?(options = default_options) ?lo ?hi problem =
         0 constrs
     in
     let ncols = n + n_slack + m in
-    let t = Array.init m (fun _ -> Array.make ncols 0.) in
-    let beta = Array.make m 0. in
-    let up = Array.make ncols infinity in
-    for j = 0 to n - 1 do
-      up.(j) <- Float.max 0. (hi.(j) -. lo.(j))
-    done;
-    (* fill rows; shift structural variables by their lower bound *)
-    let slack_idx = ref n in
-    Array.iteri
-      (fun i (c : Problem.constr) ->
-        let row = t.(i) in
-        List.iter (fun (v, coef) -> row.(v) <- row.(v) +. coef) c.terms;
-        let rhs = ref c.rhs in
-        for j = 0 to n - 1 do
-          if row.(j) <> 0. then rhs := !rhs -. (row.(j) *. lo.(j))
-        done;
-        (match c.sense with
-        | Le ->
-            row.(!slack_idx) <- 1.;
-            incr slack_idx
-        | Ge ->
-            row.(!slack_idx) <- -1.;
-            incr slack_idx
-        | Eq -> ());
-        (* row equilibration: normalise by the largest coefficient so
-           mixed-magnitude models stay well conditioned *)
-        let norm = ref 0. in
-        for k = 0 to ncols - 1 do
-          norm := Float.max !norm (Float.abs row.(k))
-        done;
-        if !norm > 0. && (!norm > 16. || !norm < 1. /. 16.) then begin
-          let inv = 1. /. !norm in
-          for k = 0 to ncols - 1 do
-            row.(k) <- row.(k) *. inv
-          done;
-          rhs := !rhs *. inv
-        end;
-        if !rhs < 0. then begin
-          for k = 0 to ncols - 1 do
-            row.(k) <- -.row.(k)
-          done;
-          rhs := -. !rhs
-        end;
-        (* artificial column for this row *)
-        row.(n + n_slack + i) <- 1.;
-        beta.(i) <- !rhs)
-      constrs;
-    let basis = Array.init m (fun i -> n + n_slack + i) in
-    let in_row = Array.make ncols (-1) in
-    Array.iteri (fun i b -> in_row.(b) <- i) basis;
-    let stat = Array.make ncols At_lower in
-    Array.iter (fun b -> stat.(b) <- Basic) basis;
-    let tab =
-      { m; ncols; n; t; beta; basis; in_row; stat; up; d = Array.make ncols 0.;
-        opts = options }
-    in
+    let n_real = n + n_slack in
+    let minimize = Problem.direction problem = Problem.Minimize in
+    (* phase-2 cost vector, shared by the cold and warm paths *)
+    let c2 = Array.make ncols 0. in
+    let offset = ref 0. in
+    List.iter
+      (fun (v, coef) ->
+        let coef = if minimize then coef else -.coef in
+        c2.(v) <- c2.(v) +. coef;
+        offset := !offset +. (coef *. lo.(v)))
+      (Problem.objective problem);
     let pivots_left = ref options.max_pivots in
-    (* ---- phase 1: drive artificials to zero ---- *)
-    let c1 = Array.make ncols 0. in
-    for j = n + n_slack to ncols - 1 do
-      c1.(j) <- 1.
-    done;
-    compute_duals tab c1;
-    let phase1 = iterate tab ~allowed:(fun _ -> true) ~pivots_left in
-    match phase1 with
-    | Budget_exhausted -> Solution.Iteration_limit
-    | Unbounded_ray ->
-        (* cannot happen: the phase-1 objective is bounded below *)
-        Solution.Infeasible
-    | Optimal_reached ->
-        (* feasibility is judged by the actual violation of each
-           original constraint, with a tolerance that grows mildly with
-           the right-hand-side magnitude (rounding accumulates in
-           absolute terms).  Judging by the phase-1 objective alone is
-           unsafe when one constraint has a huge vacuous bound. *)
-        let x_now = Array.make n 0. in
-        for j = 0 to n - 1 do
-          x_now.(j) <- lo.(j) +. col_value tab j
-        done;
-        let violated = ref false in
-        Array.iter
-          (fun (c : Problem.constr) ->
-            let lhs =
-              List.fold_left
-                (fun acc (v, coef) -> acc +. (coef *. x_now.(v)))
-                0. c.terms
-            in
-            let viol =
-              match c.sense with
-              | Problem.Le -> lhs -. c.rhs
-              | Problem.Ge -> c.rhs -. lhs
-              | Problem.Eq -> Float.abs (lhs -. c.rhs)
-            in
-            let tol =
-              options.feas_tol *. 100. *. (1. +. (1e-6 *. Float.abs c.rhs))
-            in
-            if viol > tol then violated := true)
-          constrs;
-        if !violated then Solution.Infeasible
-        else begin
-          (* remove artificials from the basis where possible *)
-          let n_real = n + n_slack in
-          for i = 0 to m - 1 do
-            if tab.basis.(i) >= n_real then
-              ignore (pivot_out_artificial tab i ~n_real)
-          done;
-          for j = n_real to ncols - 1 do
-            up.(j) <- 0.
-          done;
-          (* ---- phase 2: the real objective ---- *)
-          let minimize = Problem.direction problem = Problem.Minimize in
-          let c2 = Array.make ncols 0. in
-          let offset = ref 0. in
-          List.iter
-            (fun (v, coef) ->
-              let coef = if minimize then coef else -.coef in
-              c2.(v) <- c2.(v) +. coef;
-              offset := !offset +. (coef *. lo.(v)))
-            (Problem.objective problem);
-          compute_duals tab c2;
-          let allowed j = j < n_real in
-          let phase2 = iterate tab ~allowed ~pivots_left in
-          match phase2 with
-          | Budget_exhausted -> Solution.Iteration_limit
-          | Unbounded_ray -> Solution.Unbounded
+    let spent () = options.max_pivots - !pivots_left in
+    let warm_used = ref false in
+    (* feasibility judged by the actual violation of each original
+       constraint, with a tolerance that grows mildly with the
+       right-hand-side magnitude (rounding accumulates in absolute
+       terms). *)
+    let violated tab =
+      let x_now = Array.init n (fun j -> lo.(j) +. col_value tab j) in
+      Array.exists
+        (fun (c : Problem.constr) ->
+          let lhs =
+            List.fold_left
+              (fun acc (v, coef) -> acc +. (coef *. x_now.(v)))
+              0. c.terms
+          in
+          let viol =
+            match c.sense with
+            | Problem.Le -> lhs -. c.rhs
+            | Problem.Ge -> c.rhs -. lhs
+            | Problem.Eq -> Float.abs (lhs -. c.rhs)
+          in
+          let tol =
+            options.feas_tol *. 100. *. (1. +. (1e-6 *. Float.abs c.rhs))
+          in
+          viol > tol)
+        constrs
+    in
+    let extract tab =
+      let x = Array.make n 0. in
+      for j = 0 to n - 1 do
+        x.(j) <- lo.(j) +. col_value tab j
+      done;
+      let obj = phase_objective tab c2 +. !offset in
+      let obj = if minimize then obj else -.obj in
+      Solution.Optimal { Solution.x; objective = obj }
+    in
+    let fresh () = build problem ~options ~lo ~hi ~n ~n_slack in
+    let hot_used = ref false in
+    (* Shared tail of both warm entries: dual repair, primal cleanup,
+       then accept only if the point truly satisfies the original
+       constraints; [on_fallback] unwinds the used flags before the
+       caller retries a colder path. *)
+    let reoptimise tab ~on_fallback =
+      compute_duals tab c2;
+      match dual_iterate tab ~pivots_left with
+      | Dual_budget -> Some (Solution.Iteration_limit, None, None)
+      | Primal_infeasible -> Some (Solution.Infeasible, None, None)
+      | Dual_stalled ->
+          on_fallback ();
+          None
+      | Dual_feasible_point -> (
+          match iterate tab ~allowed:(fun j -> j < n_real) ~pivots_left with
+          | Budget_exhausted -> Some (Solution.Iteration_limit, None, None)
+          | Unbounded_ray -> Some (Solution.Unbounded, None, None)
           | Optimal_reached ->
-              let x = Array.make n 0. in
-              for j = 0 to n - 1 do
-                x.(j) <- lo.(j) +. col_value tab j
-              done;
-              let obj = phase_objective tab c2 +. !offset in
-              let obj = if minimize then obj else -.obj in
-              Solution.Optimal { x; objective = obj }
+              if violated tab then begin
+                (* numerical drift through the warm path; retry colder *)
+                on_fallback ();
+                None
+              end
+              else Some (extract tab, Some (snapshot tab), Some tab))
+    in
+    (* ---- hottest path: replay a final tableau under new bounds ---- *)
+    let try_hot (h : hot) =
+      let t0 = h.h_tab in
+      if t0.m <> m || t0.ncols <> ncols || t0.n <> n then None
+      else begin
+        let tab = clone_tableau t0 ~options in
+        rebase_bounds tab ~old_lo:h.h_lo ~old_hi:h.h_hi ~lo ~hi;
+        hot_used := true;
+        warm_used := true;
+        reoptimise tab
+          ~on_fallback:(fun () ->
+            hot_used := false;
+            warm_used := false)
+      end
+    in
+    (* ---- warm path: refactorise a basis snapshot, then repair ---- *)
+    let try_warm b =
+      if not (Basis.compatible b ~rows:m ~cols:ncols) then None
+      else begin
+        let tab = fresh () in
+        for j = n_real to ncols - 1 do
+          tab.up.(j) <- 0.
+        done;
+        if not (install_basis tab b) then None
+        else begin
+          warm_used := true;
+          reoptimise tab ~on_fallback:(fun () -> warm_used := false)
         end
+      end
+    in
+    (* ---- cold path: two-phase primal from the artificial basis ---- *)
+    let cold () =
+      let tab = fresh () in
+      let c1 = Array.make ncols 0. in
+      for j = n_real to ncols - 1 do
+        c1.(j) <- 1.
+      done;
+      compute_duals tab c1;
+      match iterate tab ~allowed:(fun _ -> true) ~pivots_left with
+      | Budget_exhausted -> (Solution.Iteration_limit, None, None)
+      | Unbounded_ray ->
+          (* cannot happen: the phase-1 objective is bounded below *)
+          (Solution.Infeasible, None, None)
+      | Optimal_reached ->
+          if violated tab then (Solution.Infeasible, None, None)
+          else begin
+            (* remove artificials from the basis where possible *)
+            for i = 0 to m - 1 do
+              if tab.basis.(i) >= n_real then
+                ignore (pivot_out_artificial tab i ~n_real)
+            done;
+            for j = n_real to ncols - 1 do
+              tab.up.(j) <- 0.
+            done;
+            compute_duals tab c2;
+            match iterate tab ~allowed:(fun j -> j < n_real) ~pivots_left with
+            | Budget_exhausted -> (Solution.Iteration_limit, None, None)
+            | Unbounded_ray -> (Solution.Unbounded, None, None)
+            | Optimal_reached -> (extract tab, Some (snapshot tab), Some tab)
+          end
+    in
+    (* fallback ladder: hot tableau -> basis snapshot -> cold *)
+    let attempt = match hot with Some h -> try_hot h | None -> None in
+    let attempt =
+      match attempt with
+      | Some _ -> attempt
+      | None -> ( match warm with Some b -> try_warm b | None -> None)
+    in
+    let status, basis, tab =
+      match attempt with Some r -> r | None -> cold ()
+    in
+    cumulative := !cumulative + spent ();
+    let hot_out =
+      if keep_hot then
+        match tab with
+        | Some tab ->
+            Some { h_tab = tab; h_lo = Array.copy lo; h_hi = Array.copy hi }
+        | None -> None
+      else None
+    in
+    { status; basis; hot = hot_out; pivots = spent ();
+      warm_used = !warm_used; hot_used = !hot_used }
   end
+
+let solve ?options ?lo ?hi problem =
+  (solve_warm ?options ?lo ?hi problem).status

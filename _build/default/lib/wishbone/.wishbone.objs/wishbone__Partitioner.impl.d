@@ -1,1 +1,1 @@
-lib/wishbone/partitioner.ml: Array Dataflow Format Fun Ilp List Lp Movable Preprocess Spec String
+lib/wishbone/partitioner.ml: Array Dataflow Format Fun Ilp List Lp Movable Option Preprocess Spec String

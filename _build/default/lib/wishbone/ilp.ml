@@ -4,6 +4,7 @@ type encoded = {
   problem : Lp.Problem.t;
   f_var : int array;
   encoding : encoding;
+  edge_vars : (int * int * int * int) array;
 }
 
 type resource = { rname : string; per_op : float array; budget : float }
@@ -45,6 +46,7 @@ let encode ?(resources = []) encoding (c : Preprocess.contracted) =
   Lp.Problem.add_constr ~name:"cpu_budget" p cpu_terms Lp.Problem.Le
     cpu_budget;
   let net_terms = ref [] in
+  let edge_vars = ref [] in
   (match encoding with
   | Restricted ->
       (* eq. (6): f_u >= f_v along every edge; eq. (7): net as a
@@ -76,6 +78,7 @@ let encode ?(resources = []) encoding (c : Preprocess.contracted) =
           Lp.Problem.add_constr p
             [ (f_var.(v), 1.); (f_var.(u), -1.); (e', 1.) ]
             Lp.Problem.Ge 0.;
+          edge_vars := (u, v, e, e') :: !edge_vars;
           net_terms := (e, r) :: (e', r) :: !net_terms)
         c.edges);
   (* network budget, eq. (4) *)
@@ -121,7 +124,39 @@ let encode ?(resources = []) encoding (c : Preprocess.contracted) =
     !base
   in
   Lp.Problem.set_objective p Lp.Problem.Minimize obj_terms;
-  { problem = p; f_var; encoding }
+  { problem = p; f_var; encoding;
+    edge_vars = Array.of_list (List.rev !edge_vars) }
 
 let assignment_of_solution enc (sol : Lp.Solution.t) =
   Array.map (fun v -> sol.x.(v) >= 0.5) enc.f_var
+
+let initial_point enc (c : Preprocess.contracted) (assign : bool array) =
+  if Array.length assign <> Array.length c.super_of then None
+  else begin
+    let x = Array.make (Lp.Problem.n_vars enc.problem) 0. in
+    (* every member of a supernode must sit on the same side, or the
+       assignment does not survive the contraction *)
+    let consistent = ref true in
+    Array.iteri
+      (fun s members ->
+        match members with
+        | [] -> ()
+        | first :: rest ->
+            let side = assign.(first) in
+            if List.exists (fun i -> assign.(i) <> side) rest then
+              consistent := false
+            else x.(enc.f_var.(s)) <- (if side then 1. else 0.))
+      c.members;
+    if not !consistent then None
+    else begin
+      (* general encoding: the cut-indicator variables take their
+         minimal feasible values *)
+      Array.iter
+        (fun (u, v, e, e') ->
+          let fu = x.(enc.f_var.(u)) and fv = x.(enc.f_var.(v)) in
+          x.(e) <- Float.max 0. (fv -. fu);
+          x.(e') <- Float.max 0. (fu -. fv))
+        enc.edge_vars;
+      Some x
+    end
+  end

@@ -16,6 +16,10 @@ type encoded = {
   problem : Lp.Problem.t;
   f_var : int array;  (** supernode id -> ILP variable index *)
   encoding : encoding;
+  edge_vars : (int * int * int * int) array;
+      (** [General] only: per contracted edge, (src supernode, dst
+          supernode, e variable, e' variable); empty for
+          [Restricted] *)
 }
 
 (** An additional per-operator resource consumed only by node-resident
@@ -36,3 +40,12 @@ val encode :
 
 val assignment_of_solution : encoded -> Lp.Solution.t -> bool array
 (** Supernode assignment (true = node) from a solved instance. *)
+
+val initial_point :
+  encoded -> Preprocess.contracted -> bool array -> float array option
+(** Lift an original-operator assignment (true = node) to a full ILP
+    variable vector, suitable as {!Lp.Branch_bound.solve}'s [initial]
+    incumbent seed.  Returns [None] when the assignment straddles a
+    supernode (it cannot be expressed in the contracted variables) or
+    has the wrong length.  Feasibility is {e not} checked here —
+    branch & bound validates the seed before adopting it. *)

@@ -16,12 +16,17 @@ type outcome =
   | Solver_failure of string
 
 let solve ?(encoding = Ilp.Restricted) ?(preprocess = true) ?options
-    ?(resources = []) spec =
+    ?(resources = []) ?initial ?root_basis spec =
   let contracted =
     if preprocess then Preprocess.contract spec else Preprocess.identity spec
   in
   let encoded = Ilp.encode ~resources encoding contracted in
-  let status, stats = Lp.Branch_bound.solve ?options encoded.problem in
+  let initial =
+    Option.bind initial (fun a -> Ilp.initial_point encoded contracted a)
+  in
+  let status, stats =
+    Lp.Branch_bound.solve ?options ?initial ?root_basis encoded.problem
+  in
   match status with
   | Lp.Solution.Optimal sol ->
       let super_assign = Ilp.assignment_of_solution encoded sol in

@@ -29,13 +29,22 @@ val solve :
   ?preprocess:bool ->
   ?options:Lp.Branch_bound.options ->
   ?resources:Ilp.resource list ->
+  ?initial:bool array ->
+  ?root_basis:Lp.Basis.t ->
   Spec.t ->
   outcome
 (** Defaults: [Restricted] encoding with preprocessing on — the
     configuration of the paper's prototype.  [resources] adds §4.2.1's
     optional RAM / code-storage rows; the returned report's assignment
     respects them (they are checked by the ILP, not by
-    {!Spec.feasible}). *)
+    {!Spec.feasible}).
+
+    [initial] (a per-original-operator assignment, true = node) seeds
+    the branch & bound incumbent, and [root_basis] warm-starts the
+    root LP relaxation — both performance hints used by the
+    incremental {!Rate_search}; neither changes the outcome.  The
+    solved report's [solver.root_basis] can be fed back into the next
+    structurally identical solve. *)
 
 val brute_force : ?max_movable:int -> Spec.t -> (bool array * float) option
 (** Exhaustive search over all assignments of the movable operators

@@ -21,10 +21,30 @@ let feasible_at ?encoding ?preprocess ?(options = default_search_options) spec
     (Spec.scale_rate spec factor)
 
 let search ?encoding ?preprocess ?(options = default_search_options)
-    ?(tol = 0.01) ?(max_multiplier = 65536.) spec =
+    ?(tol = 0.01) ?(max_multiplier = 65536.) ?(incremental = true) spec =
+  (* Incremental state threaded across bracket/bisection steps.  Every
+     step solves the same ILP with uniformly rescaled coefficients, so
+     (a) the last feasible assignment, re-evaluated under the new
+     scale, seeds the incumbent — a valid primal bound that prunes
+     most of the tree near the feasibility boundary — and (b) the
+     previous root basis warm-starts the root relaxation.  Both are
+     hints: disabling [incremental] changes work, not answers. *)
+  let prev_assignment = ref None in
+  let root_basis = ref None in
   let attempt factor =
-    match feasible_at ?encoding ?preprocess ~options spec factor with
-    | Partitioner.Partitioned r -> Some r
+    let initial = if incremental then !prev_assignment else None in
+    let basis = if incremental then !root_basis else None in
+    match
+      Partitioner.solve ?encoding ?preprocess ~options ?initial
+        ?root_basis:basis
+        (Spec.scale_rate spec factor)
+    with
+    | Partitioner.Partitioned r ->
+        prev_assignment := Some r.Partitioner.assignment;
+        (match r.Partitioner.solver.Lp.Branch_bound.root_basis with
+        | Some b -> root_basis := Some b
+        | None -> ());
+        Some r
     | Partitioner.No_feasible_partition | Partitioner.Solver_failure _ -> None
   in
   (* establish a feasible lower bracket *)

@@ -26,13 +26,26 @@ val search :
   ?options:Lp.Branch_bound.options ->
   ?tol:float ->
   ?max_multiplier:float ->
+  ?incremental:bool ->
   Spec.t ->
   result option
 (** [None] when even a vanishing input rate has no feasible partition
     (contradictory pinning or zero budgets).  [tol] is the relative
     precision of the search (default 0.01); [max_multiplier] caps the
     upward bracket (default 65536).  [options] defaults to
-    {!default_search_options}. *)
+    {!default_search_options}.
+
+    [incremental] (default [true]) makes each bracket/bisection step
+    reuse the previous one: the last feasible assignment seeds the
+    next solve's incumbent, and the root LP basis is carried across
+    the rescaled instances.  On any instance a step solves to
+    completion, reuse cannot change the feasibility verdict — warm
+    starts are performance hints only.  When a step instead dies on
+    [options]' node or time budget, a warm-started solve may prove
+    feasibility inside a budget the cold solve exhausts, so on
+    budget-bound instances the incremental search can find a
+    ({e genuinely feasible}) rate the cold search misses — never the
+    other way around.  Pass [false] to measure the cold baseline. *)
 
 val feasible_at : ?encoding:Ilp.encoding -> ?preprocess:bool ->
   ?options:Lp.Branch_bound.options -> Spec.t -> float ->

@@ -1,1 +1,1 @@
-test/test_lp.ml: Alcotest Array Branch_bound Brute Float Heap List Lp Prng Problem QCheck QCheck_alcotest Simplex Solution
+test/test_lp.ml: Alcotest Apps Array Branch_bound Brute Float Heap List Lp Option Prng Problem QCheck QCheck_alcotest Simplex Solution Wishbone

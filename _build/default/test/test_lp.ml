@@ -223,6 +223,133 @@ let test_ilp_incumbent_trace () =
     "incumbent time <= total" true
     (stats.time_to_incumbent <= stats.time_total +. 1e-9)
 
+(* ---- warm starts ---- *)
+
+let test_warm_bound_change () =
+  (* max 2x + 3y st x + 2y <= 6, x <= 4, y <= 3 -> (4, 1), obj 11;
+     then tighten x <= 2 and re-solve from the optimal basis *)
+  let p = Problem.create () in
+  let x = Problem.add_var ~hi:4. p and y = Problem.add_var ~hi:3. p in
+  Problem.add_constr p [ (x, 1.); (y, 2.) ] Problem.Le 6.;
+  Problem.set_objective p Problem.Maximize [ (x, 2.); (y, 3.) ];
+  let r = Simplex.solve_warm p in
+  check_close "cold objective" 11. (Solution.get r.Simplex.status).objective;
+  let basis =
+    match r.Simplex.basis with
+    | Some b -> b
+    | None -> Alcotest.fail "optimal solve returned no basis"
+  in
+  let lo = [| 0.; 0. |] and hi = [| 2.; 3. |] in
+  let w = Simplex.solve_warm ~warm:basis ~lo ~hi p in
+  Alcotest.(check bool) "warm basis accepted" true w.Simplex.warm_used;
+  (* x <= 2 -> (2, 2), obj 10 *)
+  check_close "warm objective" 10. (Solution.get w.Simplex.status).objective;
+  let c = Simplex.solve_warm ~lo ~hi p in
+  check_close "warm = cold"
+    (Solution.get c.Simplex.status).objective
+    (Solution.get w.Simplex.status).objective
+
+let test_hot_tableau_replay () =
+  (* same model as the bound-change test, but re-solving by replaying
+     the retained final tableau instead of refactorising the basis *)
+  let p = Problem.create () in
+  let x = Problem.add_var ~hi:4. p and y = Problem.add_var ~hi:3. p in
+  Problem.add_constr p [ (x, 1.); (y, 2.) ] Problem.Le 6.;
+  Problem.set_objective p Problem.Maximize [ (x, 2.); (y, 3.) ];
+  let r = Simplex.solve_warm ~keep_hot:true p in
+  check_close "cold objective" 11. (Solution.get r.Simplex.status).objective;
+  let hot =
+    match r.Simplex.hot with
+    | Some h -> h
+    | None -> Alcotest.fail "keep_hot solve returned no hot tableau"
+  in
+  let lo = [| 0.; 0. |] and hi = [| 2.; 3. |] in
+  let h = Simplex.solve_warm ~hot ~lo ~hi p in
+  Alcotest.(check bool) "hot tableau accepted" true h.Simplex.hot_used;
+  check_close "hot objective" 10. (Solution.get h.Simplex.status).objective;
+  (* a hot value can be replayed more than once: loosen back *)
+  let h2 = Simplex.solve_warm ~hot p in
+  Alcotest.(check bool) "hot replayed twice" true h2.Simplex.hot_used;
+  check_close "replay objective" 11.
+    (Solution.get h2.Simplex.status).objective;
+  (* without keep_hot, no tableau is retained *)
+  Alcotest.(check bool) "no hot unless requested" true (h.Simplex.hot = None)
+
+let test_warm_detects_infeasible () =
+  let p = Problem.create () in
+  let x = Problem.add_var ~hi:1. p and y = Problem.add_var ~hi:1. p in
+  Problem.add_constr p [ (x, 1.); (y, 1.) ] Problem.Ge 1.5;
+  Problem.set_objective p Problem.Minimize [ (x, 1.); (y, 1.) ];
+  let r = Simplex.solve_warm p in
+  let basis = Option.get r.Simplex.basis in
+  (* x, y <= 0.5 makes the covering constraint unsatisfiable *)
+  let w = Simplex.solve_warm ~warm:basis ~lo:[| 0.; 0. |] ~hi:[| 0.5; 0.5 |] p in
+  match w.Simplex.status with
+  | Solution.Infeasible -> ()
+  | st -> Alcotest.failf "expected infeasible, got %a" Solution.pp_status st
+
+let test_warm_rescaled_coefficients () =
+  (* rate-search shape: same structure, uniformly scaled data *)
+  let build scale =
+    let p = Problem.create () in
+    let x = Problem.add_var ~hi:1. ~integer:true p in
+    let y = Problem.add_var ~hi:1. ~integer:true p in
+    let z = Problem.add_var ~hi:1. ~integer:true p in
+    Problem.add_constr p
+      [ (x, 5. *. scale); (y, 4. *. scale); (z, 3. *. scale) ]
+      Problem.Le 8.;
+    Problem.set_objective p Problem.Maximize [ (x, 10.); (y, 6.); (z, 4.) ];
+    p
+  in
+  let r = Simplex.solve_warm (build 1.) in
+  let basis = Option.get r.Simplex.basis in
+  let p2 = build 1.7 in
+  let w = Simplex.solve_warm ~warm:basis p2 in
+  let c = Simplex.solve_warm p2 in
+  check_close "rescaled warm = cold"
+    (Solution.get c.Simplex.status).objective
+    (Solution.get w.Simplex.status).objective
+
+let test_fractional_var_most_fractional () =
+  let fv = Branch_bound.fractional_var ~int_tol:1e-6 in
+  (* 2.45 is closest to .5 away from an integer: distances .1, .45, .1 *)
+  (match fv [ 0; 1; 2 ] [| 0.1; 2.45; 3.9 |] with
+  | Some 1 -> ()
+  | Some v -> Alcotest.failf "expected var 1 (most fractional), got %d" v
+  | None -> Alcotest.fail "expected a fractional var");
+  (* ties break towards the lowest index: .3 vs .3 *)
+  (match fv [ 0; 1 ] [| 1.3; 2.7 |] with
+  | Some 0 -> ()
+  | Some v -> Alcotest.failf "tie should pick var 0, got %d" v
+  | None -> Alcotest.fail "expected a fractional var");
+  (* integral vectors have no branching candidate *)
+  match fv [ 0; 1 ] [| 1.0; 2.0 |] with
+  | None -> ()
+  | Some v -> Alcotest.failf "integral point, but picked %d" v
+
+let test_bb_warm_matches_cold_knapsack () =
+  let p = Problem.create () in
+  let vars = Array.init 10 (fun _ -> Problem.add_var ~hi:1. ~integer:true p) in
+  Problem.add_constr p
+    (Array.to_list (Array.mapi (fun i v -> (v, Float.of_int (i + 3))) vars))
+    Problem.Le 20.;
+  Problem.set_objective p Problem.Maximize
+    (Array.to_list
+       (Array.mapi (fun i v -> (v, Float.of_int ((i * 7 mod 11) + 1))) vars));
+  let warm, warm_stats = solve_ilp p in
+  let cold_opts =
+    { Branch_bound.default_options with Branch_bound.warm_start = false }
+  in
+  let cold, cold_stats =
+    match Branch_bound.solve ~options:cold_opts p with
+    | Solution.Optimal s, stats -> (s, stats)
+    | st, _ -> Alcotest.failf "expected optimal, got %a" Solution.pp_status st
+  in
+  check_close "warm = cold objective" cold.objective warm.objective;
+  Alcotest.(check bool)
+    "warm spends no more pivots" true
+    (warm_stats.total_pivots <= cold_stats.total_pivots)
+
 (* ---- randomized: B&B vs brute force ---- *)
 
 let random_problem seed =
@@ -313,6 +440,80 @@ let prop_lp_relaxation_bounds_ilp =
           | Problem.Minimize -> lp.objective <= ip.objective +. 1e-5)
       | _ -> true)
 
+(* ---- randomized: warm-started vs cold solves ---- *)
+
+let prop_warm_lp_matches_cold =
+  QCheck.Test.make ~count:300 ~name:"warm-started LP matches cold solve"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let p = random_lp seed in
+      match Simplex.solve_warm ~keep_hot:true p with
+      | { Simplex.status = Solution.Optimal _; basis = Some b; hot; _ } -> (
+          (* tighten a few bounds, as branch & bound would *)
+          let rng = Prng.create (seed + 77) in
+          let vars = Problem.vars p in
+          let n = Array.length vars in
+          let lo = Array.map (fun (v : Problem.var_info) -> v.lo) vars in
+          let hi = Array.map (fun (v : Problem.var_info) -> v.hi) vars in
+          for _ = 1 to 1 + Prng.int rng 2 do
+            let v = Prng.int rng n in
+            if Prng.bool rng 0.5 then
+              hi.(v) <- Float.max lo.(v) (hi.(v) /. 2.)
+            else lo.(v) <- lo.(v) +. ((hi.(v) -. lo.(v)) /. 2.)
+          done;
+          let w = Simplex.solve_warm ~warm:b ~lo ~hi p in
+          let h = Simplex.solve_warm ?hot ~lo ~hi p in
+          let c = Simplex.solve_warm ~lo ~hi p in
+          let agree tag (a : Simplex.result) =
+            match (a.Simplex.status, c.Simplex.status) with
+            | Solution.Optimal a, Solution.Optimal b2 ->
+                if Float.abs (a.objective -. b2.objective) > 1e-5 then
+                  QCheck.Test.fail_reportf "seed %d: %s=%.9g cold=%.9g" seed
+                    tag a.objective b2.objective
+                else true
+            | Solution.Infeasible, Solution.Infeasible -> true
+            | a, b2 ->
+                QCheck.Test.fail_reportf "seed %d: %s=%a cold=%a" seed tag
+                  Solution.pp_status a Solution.pp_status b2
+          in
+          agree "warm" w && agree "hot" h)
+      | _ -> true)
+
+(* The satellite property from ISSUE 1: across random Wishbone ILP
+   instances, warm-started branch & bound and cold branch & bound
+   agree on feasibility and on the objective (within 1e-6 relative). *)
+let prop_warm_bb_matches_cold_wishbone =
+  QCheck.Test.make ~count:75
+    ~name:"warm B&B matches cold B&B on Wishbone ILPs"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let spec =
+        Apps.Synthetic.random_spec ~seed ~n_ops:(6 + (seed mod 8)) ()
+      in
+      let contracted = Wishbone.Preprocess.contract spec in
+      let encoding =
+        if seed mod 2 = 0 then Wishbone.Ilp.Restricted else Wishbone.Ilp.General
+      in
+      let enc = Wishbone.Ilp.encode encoding contracted in
+      let cold_opts =
+        { Branch_bound.default_options with Branch_bound.warm_start = false }
+      in
+      let cold, _ = Branch_bound.solve ~options:cold_opts enc.problem in
+      let warm, _ = Branch_bound.solve enc.problem in
+      match (cold, warm) with
+      | Solution.Optimal a, Solution.Optimal b ->
+          let tol = 1e-6 *. Float.max 1. (Float.abs a.objective) in
+          if Float.abs (a.objective -. b.objective) > tol then
+            QCheck.Test.fail_reportf "seed %d: cold=%.9g warm=%.9g" seed
+              a.objective b.objective
+          else if Problem.constraint_violation enc.problem b.x > 1e-5 then
+            QCheck.Test.fail_reportf "seed %d: warm solution infeasible" seed
+          else true
+      | Solution.Infeasible, Solution.Infeasible -> true
+      | a, b ->
+          QCheck.Test.fail_reportf "seed %d: cold=%a warm=%a" seed
+            Solution.pp_status a Solution.pp_status b)
+
 (* ---- pqueue ---- *)
 
 let test_pqueue_order () =
@@ -366,11 +567,22 @@ let () =
           tc "mixed integer" test_ilp_mixed_integer;
           tc "incumbent trace" test_ilp_incumbent_trace;
         ] );
+      ( "warm_start",
+        [
+          tc "bound change" test_warm_bound_change;
+          tc "hot tableau replay" test_hot_tableau_replay;
+          tc "detects infeasible" test_warm_detects_infeasible;
+          tc "rescaled coefficients" test_warm_rescaled_coefficients;
+          tc "most-fractional branching" test_fractional_var_most_fractional;
+          tc "warm B&B = cold B&B" test_bb_warm_matches_cold_knapsack;
+        ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest prop_bb_matches_brute;
           QCheck_alcotest.to_alcotest prop_lp_feasible_optimal;
           QCheck_alcotest.to_alcotest prop_lp_relaxation_bounds_ilp;
+          QCheck_alcotest.to_alcotest prop_warm_lp_matches_cold;
+          QCheck_alcotest.to_alcotest prop_warm_bb_matches_cold_wishbone;
         ] );
       ( "pqueue",
         [ tc "heap order" test_pqueue_order; tc "empty" test_pqueue_empty ] );
