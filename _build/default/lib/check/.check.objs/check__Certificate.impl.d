@@ -1,0 +1,1 @@
+lib/check/certificate.ml: Array Float Format List Lp

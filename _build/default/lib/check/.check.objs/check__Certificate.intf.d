@@ -1,0 +1,1 @@
+lib/check/certificate.mli: Format Lp

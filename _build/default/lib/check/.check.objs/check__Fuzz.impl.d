@@ -1,0 +1,1 @@
+lib/check/fuzz.ml: Format Gen Int Int64 List Lp Oracle Printf Prng Shrink String Wishbone

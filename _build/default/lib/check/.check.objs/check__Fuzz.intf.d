@@ -1,0 +1,1 @@
+lib/check/fuzz.mli: Format

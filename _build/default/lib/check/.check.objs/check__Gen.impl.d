@@ -1,0 +1,1 @@
+lib/check/gen.ml: Array Dataflow Float Format Graph Int List Lp Op Printf Prng Value Wishbone Workload

@@ -1,0 +1,1 @@
+lib/check/gen.mli: Dataflow Format Lp Prng Wishbone

@@ -1,0 +1,1 @@
+lib/check/oracle.ml: Array Certificate Dataflow Float Format Fun Gen Graph List Lp Option Printf Prng Runtime Stdlib String Wishbone

@@ -1,0 +1,1 @@
+lib/check/oracle.mli: Lp Prng Wishbone

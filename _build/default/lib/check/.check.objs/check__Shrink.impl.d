@@ -1,0 +1,1 @@
+lib/check/shrink.ml: Array Dataflow Graph List Lp Op Option Wishbone

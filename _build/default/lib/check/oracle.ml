@@ -1,0 +1,391 @@
+open Dataflow
+
+type outcome = Pass | Fail of string
+
+let is_pass = function Pass -> true | Fail _ -> false
+let describe = function Pass -> "pass" | Fail msg -> msg
+
+let failf fmt = Format.kasprintf (fun s -> Fail s) fmt
+
+(* ---- oracle 1: LP optimality certificates ---- *)
+
+let status_tag = function
+  | Lp.Solution.Optimal _ -> "optimal"
+  | Lp.Solution.Infeasible -> "infeasible"
+  | Lp.Solution.Unbounded -> "unbounded"
+  | Lp.Solution.Iteration_limit -> "iteration-limit"
+
+let certified label ?lo ?hi problem (r : Lp.Simplex.result) =
+  match Certificate.check_result ?lo ?hi problem r with
+  | Certificate.Valid -> Ok ()
+  | Certificate.Invalid msgs ->
+      Error
+        (Printf.sprintf "%s solve fails certificate: %s" label
+           (String.concat "; " msgs))
+
+let lp_certificate rng problem =
+  let r0 = Lp.Simplex.solve_warm ~keep_hot:true problem in
+  match certified "cold" problem r0 with
+  | Error msg -> Fail msg
+  | Ok () -> (
+      (* perturb one variable's bounds and re-solve three ways *)
+      let n = Lp.Problem.n_vars problem in
+      let vars = Lp.Problem.vars problem in
+      let lo = Array.map (fun (v : Lp.Problem.var_info) -> v.lo) vars in
+      let hi = Array.map (fun (v : Lp.Problem.var_info) -> v.hi) vars in
+      let v = Prng.int rng n in
+      let span =
+        if Float.is_finite hi.(v) then hi.(v) -. lo.(v) else 4.
+      in
+      if Prng.bool rng 0.5 then
+        lo.(v) <- lo.(v) +. Prng.uniform rng 0. (0.6 *. span)
+      else
+        hi.(v) <-
+          (if Float.is_finite hi.(v) then
+             hi.(v) -. Prng.uniform rng 0. (0.6 *. span)
+           else lo.(v) +. Prng.uniform rng 0. 4.);
+      let cold = Lp.Simplex.solve_warm ~lo ~hi problem in
+      let warm = Lp.Simplex.solve_warm ?warm:r0.basis ~lo ~hi problem in
+      let hot = Lp.Simplex.solve_warm ?hot:r0.hot ~lo ~hi problem in
+      let runs = [ ("cold", cold); ("warm", warm); ("hot", hot) ] in
+      if
+        List.exists
+          (fun (_, (r : Lp.Simplex.result)) ->
+            r.status = Lp.Solution.Iteration_limit)
+          runs
+      then Pass (* inconclusive: a pivot budget ran out *)
+      else begin
+        let mismatch =
+          List.find_opt
+            (fun (_, (r : Lp.Simplex.result)) ->
+              status_tag r.status <> status_tag cold.status)
+            runs
+        in
+        match mismatch with
+        | Some (label, r) ->
+            failf "after bound perturbation, %s solve says %s but cold says %s"
+              label (status_tag r.status) (status_tag cold.status)
+        | None -> (
+            let objective (r : Lp.Simplex.result) =
+              match r.status with
+              | Lp.Solution.Optimal s -> Some s.objective
+              | _ -> None
+            in
+            let bad_obj =
+              match objective cold with
+              | None -> None
+              | Some reference ->
+                  List.find_opt
+                    (fun (_, r) ->
+                      match objective r with
+                      | Some o ->
+                          Float.abs (o -. reference)
+                          > 1e-5 *. (1. +. Float.abs reference)
+                      | None -> false)
+                    runs
+            in
+            match bad_obj with
+            | Some (label, r) ->
+                failf "%s objective %g disagrees with cold %g" label
+                  (Option.get (objective r))
+                  (Option.get (objective cold))
+            | None -> (
+                let rec certify_all = function
+                  | [] -> Pass
+                  | (label, r) :: rest -> (
+                      match certified label ~lo ~hi problem r with
+                      | Ok () -> certify_all rest
+                      | Error msg -> Fail msg)
+                in
+                certify_all runs))
+      end)
+
+(* ---- oracle 2: branch & bound vs exhaustive enumeration ---- *)
+
+let ilp_brute problem =
+  let status, stats = Lp.Branch_bound.solve problem in
+  if
+    status = Lp.Solution.Iteration_limit
+    || ((not stats.Lp.Branch_bound.proved_optimal)
+       && Lp.Solution.is_optimal status)
+  then Pass (* inconclusive: node budget exhausted *)
+  else
+    let brute = Lp.Brute.solve problem in
+    if status_tag status <> status_tag brute then
+      failf "branch & bound says %s but enumeration says %s"
+        (status_tag status) (status_tag brute)
+    else
+      match status with
+      | Lp.Solution.Optimal sol -> (
+          let brute_sol = Lp.Solution.get brute in
+          let tol = 1e-5 *. (1. +. Float.abs brute_sol.objective) in
+          if Float.abs (sol.objective -. brute_sol.objective) > tol then
+            failf "incumbent objective %g but enumeration found %g"
+              sol.objective brute_sol.objective
+          else
+            let viol = Lp.Problem.constraint_violation problem sol.x in
+            if viol > 1e-5 then
+              failf "incumbent violates constraints by %g" viol
+            else
+              let ints = Lp.Problem.integer_vars problem in
+              let frac =
+                List.exists
+                  (fun v ->
+                    Float.abs (sol.x.(v) -. Float.round sol.x.(v)) > 1e-6)
+                  ints
+              in
+              if frac then Fail "incumbent is not integral"
+              else
+                match Lp.Brute.optimal_points ~obj_tol:1e-4 problem with
+                | None -> Fail "enumeration lost its optimum on re-run"
+                | Some (_, points) ->
+                    let proj =
+                      Array.of_list
+                        (List.map (fun v -> Float.round sol.x.(v)) ints)
+                    in
+                    let member =
+                      List.exists
+                        (fun p ->
+                          Array.length p = Array.length proj
+                          && Array.for_all2
+                               (fun a b -> Float.abs (a -. b) < 0.5)
+                               p proj)
+                        points
+                    in
+                    if member then Pass
+                    else
+                      failf
+                        "incumbent integer assignment is not among the %d \
+                         optimal points"
+                        (List.length points))
+      | _ -> Pass
+
+(* ---- oracle 3: partitioner vs exhaustive cut enumeration ---- *)
+
+let resource_ok resources node_side =
+  List.for_all
+    (fun (r : Wishbone.Ilp.resource) ->
+      let used = ref 0. in
+      Array.iteri
+        (fun i on -> if on then used := !used +. r.per_op.(i))
+        node_side;
+      !used <= r.budget +. 1e-6)
+    resources
+
+let enumerate_cuts ?(resources = []) (spec : Wishbone.Spec.t)
+    ~single_crossing =
+  let n = Array.length spec.placement in
+  let movable =
+    List.filter
+      (fun i -> spec.placement.(i) = Wishbone.Movable.Movable)
+      (List.init n Fun.id)
+  in
+  let k = List.length movable in
+  let node_side =
+    Array.map (fun p -> p = Wishbone.Movable.Pin_node) spec.placement
+  in
+  let best = ref None in
+  for mask = 0 to (1 lsl k) - 1 do
+    List.iteri
+      (fun bit i -> node_side.(i) <- mask land (1 lsl bit) <> 0)
+      movable;
+    if
+      Wishbone.Spec.feasible ~require_single_crossing:single_crossing spec
+        ~node_side
+      && resource_ok resources node_side
+    then begin
+      let obj = Wishbone.Spec.objective_value spec ~node_side in
+      match !best with
+      | Some b when b <= obj -> ()
+      | _ -> best := Some obj
+    end
+  done;
+  !best
+
+let check_config ?(resources = []) (spec : Wishbone.Spec.t) ~encoding
+    ~preprocess ~best =
+  let label =
+    Printf.sprintf "%s/%s"
+      (match encoding with
+      | Wishbone.Ilp.Restricted -> "restricted"
+      | Wishbone.Ilp.General -> "general")
+      (if preprocess then "preprocessed" else "direct")
+  in
+  match Wishbone.Partitioner.solve ~encoding ~preprocess ~resources spec with
+  | Wishbone.Partitioner.Solver_failure msg ->
+      Error (Printf.sprintf "%s: solver failure: %s" label msg)
+  | Wishbone.Partitioner.No_feasible_partition -> (
+      match best with
+      | None -> Ok ()
+      | Some b ->
+          Error
+            (Printf.sprintf
+               "%s: reported infeasible but a cut with objective %g exists"
+               label b))
+  | Wishbone.Partitioner.Partitioned rep -> (
+      match best with
+      | None ->
+          Error
+            (Printf.sprintf
+               "%s: reported a partition but enumeration finds none feasible"
+               label)
+      | Some b ->
+          let node_side = rep.assignment in
+          let single = encoding = Wishbone.Ilp.Restricted in
+          if
+            not
+              (Wishbone.Spec.feasible ~require_single_crossing:single spec
+                 ~node_side)
+          then Error (Printf.sprintf "%s: returned assignment infeasible" label)
+          else if not (resource_ok resources node_side) then
+            Error
+              (Printf.sprintf "%s: returned assignment breaks a resource row"
+                 label)
+          else begin
+            let cpu, net = Wishbone.Spec.cut_stats spec ~node_side in
+            let obj = Wishbone.Spec.objective_value spec ~node_side in
+            let tol = 1e-5 *. (1. +. Float.abs b) in
+            if Float.abs (cpu -. rep.cpu) > tol then
+              Error
+                (Printf.sprintf "%s: reported cpu %g but cut_stats says %g"
+                   label rep.cpu cpu)
+            else if Float.abs (net -. rep.net) > tol then
+              Error
+                (Printf.sprintf "%s: reported net %g but cut_stats says %g"
+                   label rep.net net)
+            else if Float.abs (obj -. rep.objective) > tol then
+              Error
+                (Printf.sprintf
+                   "%s: reported objective %g but assignment evaluates to %g"
+                   label rep.objective obj)
+            else if Float.abs (rep.objective -. b) > tol then
+              Error
+                (Printf.sprintf
+                   "%s: objective %g but enumeration's optimum is %g" label
+                   rep.objective b)
+            else Ok ()
+          end)
+
+let cut_enumeration ?(resources = []) (spec : Wishbone.Spec.t) =
+  let n_movable =
+    Array.fold_left
+      (fun acc p -> if p = Wishbone.Movable.Movable then acc + 1 else acc)
+      0 spec.placement
+  in
+  if n_movable > 16 then Pass
+  else begin
+    let best_r = enumerate_cuts ~resources spec ~single_crossing:true in
+    let best_g = enumerate_cuts ~resources spec ~single_crossing:false in
+    let configs =
+      [
+        (Wishbone.Ilp.Restricted, true, best_r);
+        (Wishbone.Ilp.Restricted, false, best_r);
+        (Wishbone.Ilp.General, true, best_g);
+        (Wishbone.Ilp.General, false, best_g);
+      ]
+    in
+    let rec run = function
+      | [] -> (
+          match (best_r, best_g) with
+          | Some r, Some g when g > r +. (1e-5 *. (1. +. Float.abs r)) ->
+              failf
+                "general optimum %g is worse than restricted optimum %g" g r
+          | Some _, None ->
+              Fail "restricted cut exists but no general cut does"
+          | _ -> Pass)
+      | (encoding, preprocess, best) :: rest -> (
+          match check_config ~resources spec ~encoding ~preprocess ~best with
+          | Ok () -> run rest
+          | Error msg -> Fail msg)
+    in
+    run configs
+  end
+
+(* ---- oracle 4: split execution preserves semantics ---- *)
+
+let sort_values = List.sort Stdlib.compare
+
+let equal_multisets a b =
+  List.length a = List.length b
+  && List.for_all2 Dataflow.Value.equal (sort_values a) (sort_values b)
+
+let run_split_equiv (spec : Wishbone.Spec.t) cut ~label =
+  let g = spec.graph in
+  let sources =
+    Array.to_list (Graph.ops g)
+    |> List.filter (fun (o : Dataflow.Op.t) ->
+           o.side_effect = Dataflow.Op.Sensor_input)
+    |> List.map (fun (o : Dataflow.Op.t) -> o.id)
+  in
+  let full = Runtime.Exec.full g in
+  let split = Runtime.Splitrun.create ~node_of:(fun i -> cut.(i)) g in
+  let failure = ref None in
+  let record fmt =
+    Format.kasprintf
+      (fun s -> if !failure = None then failure := Some s)
+      fmt
+  in
+  for k = 0 to 11 do
+    List.iter
+      (fun src ->
+        let v = Dataflow.Value.Int ((13 * k) + src) in
+        let fired = Runtime.Exec.fire full ~op:src ~port:0 v in
+        let split_out = Runtime.Splitrun.inject split ~source:src v in
+        if
+          not
+            (equal_multisets fired.Runtime.Exec.sink_values split_out)
+        then
+          record
+            "%s: injection %d into op %d: full run delivered %d sink values, \
+             split run %d (or different values)"
+            label k src
+            (List.length fired.Runtime.Exec.sink_values)
+            (List.length split_out))
+      sources
+  done;
+  (match !failure with
+  | Some _ -> ()
+  | None ->
+      let node = Runtime.Splitrun.node_exec split 0 in
+      let server = Runtime.Splitrun.server_exec split in
+      for o = 0 to Graph.n_ops g - 1 do
+        let f = Runtime.Exec.op_fires full o in
+        let s =
+          Runtime.Exec.op_fires node o + Runtime.Exec.op_fires server o
+        in
+        if f <> s then
+          record "%s: op %d fired %d times in full run but %d split" label o
+            f s
+      done;
+      let elems = ref 0 and bytes = ref 0 in
+      Array.iter
+        (fun (e : Graph.edge) ->
+          if cut.(e.src) && not cut.(e.dst) then begin
+            elems := !elems + Runtime.Exec.edge_elements full e.eid;
+            bytes := !bytes + Runtime.Exec.edge_bytes full e.eid
+          end)
+        (Graph.edges g);
+      let selems, sbytes = Runtime.Splitrun.crossing_traffic split in
+      if (selems, sbytes) <> (!elems, !bytes) then
+        record
+          "%s: split runtime crossed (%d elements, %d bytes) but the full \
+           run's cut edges carried (%d, %d)"
+          label selems sbytes !elems !bytes);
+  match !failure with None -> Ok () | Some msg -> Error msg
+
+let split_equivalence rng (spec : Wishbone.Spec.t) =
+  let cuts = [ ("random cut", Gen.random_cut rng spec) ] in
+  let cuts =
+    match Wishbone.Partitioner.solve spec with
+    | Wishbone.Partitioner.Partitioned rep ->
+        cuts @ [ ("solver cut", rep.assignment) ]
+    | _ -> cuts
+  in
+  let rec run = function
+    | [] -> Pass
+    | (label, cut) :: rest -> (
+        match run_split_equiv spec cut ~label with
+        | Ok () -> run rest
+        | Error msg -> Fail msg)
+  in
+  run cuts

@@ -1,0 +1,45 @@
+(** The four correctness oracles behind [bin/fuzz] (DESIGN.md §11).
+
+    Each oracle takes one generated instance and either passes or
+    fails with a human-readable explanation.  All randomness is drawn
+    from the caller's {!Prng.t}, so a failing case replays exactly
+    from its seed. *)
+
+type outcome = Pass | Fail of string
+
+val is_pass : outcome -> bool
+val describe : outcome -> string
+
+val lp_certificate : Prng.t -> Lp.Problem.t -> outcome
+(** Solve the LP relaxation cold (keeping the basis and hot tableau),
+    certify the answer with {!Certificate.check_result}; then perturb
+    one variable's bounds and re-solve cold, warm (basis) and hot
+    (tableau replay).  All three must agree on status and, when
+    optimal, on the objective — and every optimal answer must carry a
+    valid certificate. *)
+
+val ilp_brute : Lp.Problem.t -> outcome
+(** Branch & bound versus exhaustive enumeration on a small all-integer
+    program: statuses agree; optimal objectives match; the incumbent
+    is feasible, integral, and its integer projection appears among
+    {!Lp.Brute.optimal_points}.  Inconclusive solver budgets pass. *)
+
+val cut_enumeration :
+  ?resources:Wishbone.Ilp.resource list -> Wishbone.Spec.t -> outcome
+(** Run {!Wishbone.Partitioner.solve} under all four configurations
+    ([Restricted]/[General] x preprocessing on/off) and compare each
+    against this module's own exhaustive enumeration of movable
+    assignments filtered by {!Wishbone.Spec.feasible} (and the
+    resource rows, checked directly).  Reported cpu/net/objective
+    must match {!Wishbone.Spec.cut_stats} on the returned assignment,
+    and the general optimum can never be worse than the restricted
+    one.  Specs with more than 16 movable operators pass trivially. *)
+
+val split_equivalence : Prng.t -> Wishbone.Spec.t -> outcome
+(** Execute the same injected samples through {!Runtime.Exec.full} and
+    through {!Runtime.Splitrun} split along a random
+    predecessor-closed cut (plus, when the partitioner finds one, its
+    own restricted-encoding cut): sink deliveries must match as
+    multisets per injection, every operator must fire the same number
+    of times, and the split runtime's crossing traffic must equal the
+    full run's traffic over the cut edges. *)

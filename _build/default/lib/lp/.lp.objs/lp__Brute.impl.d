@@ -1,1 +1,1 @@
-lib/lp/brute.ml: Array Float Problem Simplex Solution
+lib/lp/brute.ml: Array Float List Problem Simplex Solution

@@ -1,4 +1,7 @@
-let solve ?(max_combinations = 2_000_000) problem =
+(* Shared exhaustive enumeration over all integer assignments within
+   the declared bounds.  [visit] is called once per assignment with the
+   integer vector and the status of the continuous remainder. *)
+let enumerate ?(max_combinations = 2_000_000) problem visit =
   let int_vars = Array.of_list (Problem.integer_vars problem) in
   let vars = Problem.vars problem in
   let ranges =
@@ -20,17 +23,12 @@ let solve ?(max_combinations = 2_000_000) problem =
   in
   if count > max_combinations then
     invalid_arg "Brute.solve: too many integer combinations";
-  if count = 0 then Solution.Infeasible
-  else begin
+  if count > 0 then begin
     let n = Problem.n_vars problem in
     let lo0 = Array.map (fun (v : Problem.var_info) -> v.lo) vars in
     let hi0 = Array.map (fun (v : Problem.var_info) -> v.hi) vars in
-    let minimize = Problem.direction problem = Problem.Minimize in
-    let best = ref None in
-    let best_key = ref infinity in
     let assignment = Array.map fst ranges in
-    let saw_unbounded = ref false in
-    let rec enumerate i =
+    let rec go i =
       if i = Array.length int_vars then begin
         let lo = Array.make n 0. and hi = Array.make n 0. in
         Array.blit lo0 0 lo 0 n;
@@ -41,26 +39,69 @@ let solve ?(max_combinations = 2_000_000) problem =
             lo.(v) <- x;
             hi.(v) <- x)
           int_vars;
-        match Simplex.solve ~lo ~hi problem with
-        | Solution.Optimal sol ->
-            let key = if minimize then sol.objective else -.sol.objective in
-            if key < !best_key then begin
-              best_key := key;
-              best := Some sol
-            end
-        | Solution.Infeasible -> ()
-        | Solution.Unbounded -> saw_unbounded := true
-        | Solution.Iteration_limit -> ()
+        visit assignment (Simplex.solve ~lo ~hi problem)
       end
       else begin
         let lo, hi = ranges.(i) in
         for v = lo to hi do
           assignment.(i) <- v;
-          enumerate (i + 1)
+          go (i + 1)
         done
       end
     in
-    enumerate 0;
-    if !saw_unbounded then Solution.Unbounded
-    else match !best with Some s -> Solution.Optimal s | None -> Solution.Infeasible
+    go 0
   end
+
+let solve ?max_combinations problem =
+  let minimize = Problem.direction problem = Problem.Minimize in
+  let best = ref None in
+  let best_key = ref infinity in
+  let saw_unbounded = ref false in
+  let seen_any = ref false in
+  enumerate ?max_combinations problem (fun _ status ->
+      seen_any := true;
+      match status with
+      | Solution.Optimal sol ->
+          let key = if minimize then sol.objective else -.sol.objective in
+          if key < !best_key then begin
+            best_key := key;
+            best := Some sol
+          end
+      | Solution.Unbounded -> saw_unbounded := true
+      | Solution.Infeasible | Solution.Iteration_limit -> ());
+  if not !seen_any then Solution.Infeasible
+  else if !saw_unbounded then Solution.Unbounded
+  else
+    match !best with
+    | Some s -> Solution.Optimal s
+    | None -> Solution.Infeasible
+
+let optimal_points ?max_combinations ?(obj_tol = 1e-6) problem =
+  let minimize = Problem.direction problem = Problem.Minimize in
+  let best_key = ref infinity in
+  let acc = ref [] in  (* (key, integer assignment), best-so-far window *)
+  enumerate ?max_combinations problem (fun assignment status ->
+      match status with
+      | Solution.Optimal sol ->
+          let key = if minimize then sol.objective else -.sol.objective in
+          if key < !best_key -. obj_tol then begin
+            best_key := key;
+            (* drop entries that the new best pushes out of the window *)
+            acc :=
+              (key, Array.map Float.of_int assignment)
+              :: List.filter (fun (k, _) -> k <= key +. obj_tol) !acc
+          end
+          else if key <= !best_key +. obj_tol then
+            acc := (key, Array.map Float.of_int assignment) :: !acc
+      | Solution.Infeasible | Solution.Unbounded | Solution.Iteration_limit ->
+          ());
+  match !acc with
+  | [] -> None
+  | entries ->
+      let best = !best_key in
+      let points =
+        List.rev_map snd
+          (List.filter (fun (k, _) -> k <= best +. obj_tol) entries)
+      in
+      let obj = if minimize then best else -.best in
+      Some (obj, points)

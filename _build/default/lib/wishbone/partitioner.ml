@@ -17,8 +17,15 @@ type outcome =
 
 let solve ?(encoding = Ilp.Restricted) ?(preprocess = true) ?options
     ?(resources = []) ?initial ?root_basis spec =
+  (* the contraction's dominance argument ("a cut below v is never
+     better than a cut above v") relies on the single-crossing
+     restriction of §2.1.2; the general encoding legally places an
+     operator server-side below node-side successors, which the merged
+     supernode cannot express, so it must solve the uncontracted
+     graph *)
   let contracted =
-    if preprocess then Preprocess.contract spec else Preprocess.identity spec
+    if preprocess && encoding = Ilp.Restricted then Preprocess.contract spec
+    else Preprocess.identity spec
   in
   let encoded = Ilp.encode ~resources encoding contracted in
   let initial =

@@ -34,7 +34,12 @@ val solve :
   Spec.t ->
   outcome
 (** Defaults: [Restricted] encoding with preprocessing on — the
-    configuration of the paper's prototype.  [resources] adds §4.2.1's
+    configuration of the paper's prototype.  Graph contraction's
+    dominance argument assumes the single-crossing restriction, so
+    under the [General] encoding the [preprocess] flag is ignored and
+    the uncontracted graph is solved (found by the fuzz oracles: a
+    contracted supernode cannot express the general optimum that
+    places an operator server-side below node-side successors).  [resources] adds §4.2.1's
     optional RAM / code-storage rows; the returned report's assignment
     respects them (they are checked by the ILP, not by
     {!Spec.feasible}).

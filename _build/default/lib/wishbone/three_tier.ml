@@ -179,6 +179,87 @@ let solve ?options t =
   | Lp.Solution.Unbounded, _ -> Solver_failure "three-tier ILP unbounded"
   | Lp.Solution.Iteration_limit, _ -> Solver_failure "solver budget exhausted"
 
+let brute_force ?(max_super = 12) t =
+  let c = t.contracted in
+  let n = c.Preprocess.n_super in
+  if n > max_super then
+    invalid_arg "Three_tier.brute_force: too many supernodes";
+  (* the same vacuous-budget clamp the ILP encoding applies *)
+  let clamp budget costs =
+    Float.min budget (Array.fold_left ( +. ) 1. costs)
+  in
+  let mote_cpu_budget = clamp t.mote_cpu_budget c.Preprocess.cpu in
+  let micro_cpu_budget = clamp t.micro_cpu_budget t.micro_cpu in
+  let total_bw =
+    Array.fold_left (fun acc (_, _, r) -> acc +. r) 1. c.Preprocess.edges
+  in
+  let mote_net_budget = Float.min t.mote_net_budget total_bw in
+  let micro_net_budget = Float.min t.micro_net_budget total_bw in
+  let rank = function Mote -> 2 | Microserver -> 1 | Central -> 0 in
+  let allowed s =
+    match c.Preprocess.placement.(s) with
+    | Movable.Pin_node -> [ Mote ]
+    | Movable.Pin_server -> [ Central ]
+    | Movable.Movable -> [ Mote; Microserver; Central ]
+  in
+  let tiers = Array.make n Central in
+  let best = ref None in
+  let evaluate () =
+    let monotone =
+      Array.for_all
+        (fun (u, v, _) -> rank tiers.(u) >= rank tiers.(v))
+        c.Preprocess.edges
+    in
+    if monotone then begin
+      let mote_cpu = ref 0. and micro_cpu = ref 0. in
+      Array.iteri
+        (fun s tier ->
+          match tier with
+          | Mote -> mote_cpu := !mote_cpu +. c.Preprocess.cpu.(s)
+          | Microserver -> micro_cpu := !micro_cpu +. t.micro_cpu.(s)
+          | Central -> ())
+        tiers;
+      let mote_net = ref 0. and micro_net = ref 0. in
+      Array.iter
+        (fun (u, v, r) ->
+          if tiers.(u) = Mote && tiers.(v) <> Mote then
+            mote_net := !mote_net +. r;
+          if tiers.(u) <> Central && tiers.(v) = Central then
+            micro_net := !micro_net +. r)
+        c.Preprocess.edges;
+      if
+        !mote_cpu <= mote_cpu_budget +. 1e-9
+        && !micro_cpu <= micro_cpu_budget +. 1e-9
+        && !mote_net <= mote_net_budget +. 1e-6
+        && !micro_net <= micro_net_budget +. 1e-6
+      then begin
+        let obj =
+          (t.beta_mote *. !mote_net) +. (t.beta_micro *. !micro_net)
+        in
+        match !best with
+        | Some (_, b) when b <= obj -> ()
+        | _ -> best := Some (Array.copy tiers, obj)
+      end
+    end
+  in
+  let rec go s =
+    if s = n then evaluate ()
+    else
+      List.iter
+        (fun tier ->
+          tiers.(s) <- tier;
+          go (s + 1))
+        (allowed s)
+  in
+  go 0;
+  Option.map
+    (fun (super_tiers, obj) ->
+      let n_orig = Graph.n_ops c.Preprocess.spec.Spec.graph in
+      ( Array.init n_orig (fun i ->
+            super_tiers.(c.Preprocess.super_of.(i))),
+        obj ))
+    !best
+
 let tier_counts r =
   Array.fold_left
     (fun (m, mi, c) t ->

@@ -49,5 +49,13 @@ type outcome =
 
 val solve : ?options:Lp.Branch_bound.options -> t -> outcome
 
+val brute_force : ?max_super:int -> t -> (tier array * float) option
+(** Exhaustive enumeration of every monotone tier assignment of the
+    contracted supernodes (test oracle; refuses more than [max_super]
+    (default 12) supernodes).  Returns per-original-operator tiers of
+    the best feasible assignment and its objective — the same
+    [beta_mote * mote_cut + beta_micro * micro_cut] the ILP minimises —
+    or [None] when no assignment fits the budgets. *)
+
 val tier_counts : report -> int * int * int
 (** (mote, microserver, central) operator counts. *)

@@ -1,1 +1,1 @@
-test/test_apps.ml: Alcotest Apps Array Char Dataflow Dsp Float Graph List Op Profiler Runtime String Value Wishbone
+test/test_apps.ml: Alcotest Apps Array Char Dataflow Dsp Float Graph List Lp Op Profiler Runtime String Value Wishbone

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Array Certificate Check Dataflow Float Format Fuzz Gen List Lp Option Oracle Printf Prng QCheck QCheck_alcotest Shrink String Wishbone

@@ -1,1 +1,1 @@
-test/test_extensions.ml: Aggregation Alcotest Apps Array Builder Dataflow Float Graph List Mixed Movable Partitioner Printf Profiler Runtime Spec Three_tier Value Wishbone Workload
+test/test_extensions.ml: Aggregation Alcotest Apps Array Builder Dataflow Float Graph List Lp Mixed Movable Partitioner Printf Profiler Runtime Spec Three_tier Value Wishbone Workload

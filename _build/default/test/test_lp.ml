@@ -538,6 +538,10 @@ let test_pqueue_empty () =
   Alcotest.(check bool) "min none" true (Heap.Pqueue.min_key q = None)
 
 let () =
+  (* the pivot counter is process-wide; start every suite from a
+     clean slate so no test depends on which suite ran before it
+     (asserted centrally in test_check.ml) *)
+  Lp.Simplex.reset_cumulative_pivots ();
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "lp"
     [

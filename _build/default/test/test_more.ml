@@ -322,6 +322,10 @@ let prop_rate_search_returns_feasible =
             ~node_side:report.Wishbone.Partitioner.assignment)
 
 let () =
+  (* the pivot counter is process-wide; start every suite from a
+     clean slate so no test depends on which suite ran before it
+     (asserted centrally in test_check.ml) *)
+  Lp.Simplex.reset_cumulative_pivots ();
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "more"
     [

@@ -1,0 +1,23 @@
+(** Greedy minimisation of failing fuzz cases.
+
+    Given a deterministic predicate "this instance still fails", each
+    shrinker repeatedly tries size-reducing transformations and keeps
+    any that preserve the failure, until no transformation applies —
+    the classic QuickCheck shrink loop, specialised to partitioning
+    specs and linear programs.  Predicates must be pure: the fuzz
+    driver re-derives each oracle's PRNG from the case seed so that
+    repeated evaluation is deterministic. *)
+
+val spec :
+  (Wishbone.Spec.t -> bool) -> Wishbone.Spec.t -> Wishbone.Spec.t
+(** Transformations tried, in order: delete an interior operator
+    (splicing every predecessor to every successor and inheriting the
+    incoming edge's bandwidth), delete a single edge of a
+    multi-input operator, zero an operator's CPU cost, zero an edge's
+    bandwidth, relax either budget to the instance's total (making
+    the row vacuous), and zero the [alpha] weight. *)
+
+val problem : (Lp.Problem.t -> bool) -> Lp.Problem.t -> Lp.Problem.t
+(** Transformations tried, in order: delete a constraint, delete a
+    variable (dropping its terms everywhere), zero one constraint or
+    objective coefficient, and zero a right-hand side. *)

@@ -262,6 +262,10 @@ let test_fig3_spec_numbers () =
   Alcotest.(check (float 0.)) "budget" 3. spec.Wishbone.Spec.cpu_budget
 
 let () =
+  (* the pivot counter is process-wide; start every suite from a
+     clean slate so no test depends on which suite ran before it
+     (asserted centrally in test_check.ml) *)
+  Lp.Simplex.reset_cumulative_pivots ();
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "apps"
     [

@@ -196,7 +196,82 @@ let test_three_tier_uses_middle () =
           Alcotest.fail "expected a partition"
       | Three_tier.Solver_failure m -> Alcotest.fail m)
 
+let test_mixed_matches_brute_force () =
+  (* every per-class ILP answer must equal exhaustive search over the
+     class's reconstructed spec *)
+  let speech = Apps.Speech.build () in
+  let raw = Apps.Speech.profile ~duration:10. speech in
+  let raw = Profiler.Profile.scale_rate raw 0.05 in
+  let classes =
+    [
+      { Mixed.platform = Profiler.Platform.tmote_sky; n_nodes = 4;
+        net_share = Some 1e7 };
+      { Mixed.platform = Profiler.Platform.meraki; n_nodes = 1;
+        net_share = Some 1e7 };
+    ]
+  in
+  match Mixed.plan raw ~classes with
+  | Error m -> Alcotest.fail m
+  | Ok plans ->
+      List.iter
+        (fun (p : Mixed.class_plan) ->
+          (* reconstruct the spec exactly as Mixed.plan does *)
+          match
+            Spec.of_profile ~net_budget:1e7
+              ~node_platform:p.Mixed.platform raw
+          with
+          | Error m -> Alcotest.fail m
+          | Ok spec -> (
+              Alcotest.(check bool)
+                (p.Mixed.platform.Profiler.Platform.name ^ " at rate 1")
+                true
+                (p.Mixed.report.Partitioner.solver.Lp.Branch_bound
+                   .proved_optimal);
+              match Partitioner.brute_force spec with
+              | None -> Alcotest.fail "brute force found no feasible cut"
+              | Some (_, best) ->
+                  Alcotest.(check (float 1e-6))
+                    (p.Mixed.platform.Profiler.Platform.name
+                    ^ " objective = brute force")
+                    best p.Mixed.report.Partitioner.objective))
+        plans
+
+let three_tier_of_speech ?micro_net_budget () =
+  let speech = Apps.Speech.build () in
+  let raw = Apps.Speech.profile ~duration:10. speech in
+  let raw = Profiler.Profile.scale_rate raw 0.08 in
+  Three_tier.of_profile ~mote:Profiler.Platform.tmote_sky
+    ~micro:Profiler.Platform.meraki ?micro_net_budget raw
+
+let check_three_tier_matches_brute t =
+  match (Three_tier.solve t, Three_tier.brute_force t) with
+  | Three_tier.Partitioned r, Some (tiers, best) ->
+      Alcotest.(check (float 1e-6)) "objective = brute force" best
+        r.Three_tier.objective;
+      Alcotest.(check int) "same tier count" (Array.length tiers)
+        (Array.length r.Three_tier.tiers)
+  | Three_tier.Partitioned _, None ->
+      Alcotest.fail "ILP found a partition but brute force did not"
+  | Three_tier.No_feasible_partition, Some _ ->
+      Alcotest.fail "brute force found a partition but the ILP did not"
+  | Three_tier.No_feasible_partition, None -> ()
+  | Three_tier.Solver_failure m, _ -> Alcotest.fail m
+
+let test_three_tier_matches_brute_force () =
+  match three_tier_of_speech () with
+  | Error m -> Alcotest.fail m
+  | Ok t -> check_three_tier_matches_brute t
+
+let test_three_tier_matches_brute_force_tight () =
+  match three_tier_of_speech ~micro_net_budget:300. () with
+  | Error m -> Alcotest.fail m
+  | Ok t -> check_three_tier_matches_brute t
+
 let () =
+  (* the pivot counter is process-wide; start every suite from a
+     clean slate so no test depends on which suite ran before it
+     (asserted centrally in test_check.ml) *)
+  Lp.Simplex.reset_cumulative_pivots ();
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "extensions"
     [
@@ -206,10 +281,17 @@ let () =
           tc "fan-in cost annotation" test_aggregation_cost_annotation;
           tc "fan-in changes the partition" test_aggregation_changes_partition;
         ] );
-      ("mixed", [ tc "per-class plans" test_mixed_network_plans ]);
+      ( "mixed",
+        [
+          tc "per-class plans" test_mixed_network_plans;
+          tc "matches brute force" test_mixed_matches_brute_force;
+        ] );
       ( "three_tier",
         [
           tc "speech pipeline tiers" test_three_tier_pipeline;
           tc "middle tier used" test_three_tier_uses_middle;
+          tc "matches brute force" test_three_tier_matches_brute_force;
+          tc "matches brute force (tight uplink)"
+            test_three_tier_matches_brute_force_tight;
         ] );
     ]
