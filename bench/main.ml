@@ -20,11 +20,12 @@ let experiments =
     ("ablations", fun () -> Ablations.run ());
     ("micro", fun () -> Micro.run ());
     ("lp", fun () -> Lp_micro.run ());
+    ("faults", fun () -> Faults.run ());
   ]
 
 let default_order =
   [ "fig3"; "fig5a"; "fig5b"; "fig6"; "fig7"; "fig8"; "fig9"; "headline";
-    "ablations"; "micro"; "lp" ]
+    "ablations"; "micro"; "lp"; "faults" ]
 
 let () =
   match Array.to_list Sys.argv with

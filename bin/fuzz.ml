@@ -1,4 +1,4 @@
-(* Randomized correctness fuzzing: seeded generators + the four
+(* Randomized correctness fuzzing: seeded generators + the five
    oracles of lib/check (DESIGN.md §11).  Exit status 0 iff every
    case passed. *)
 
@@ -63,7 +63,8 @@ let oracles =
     & info [ "oracle" ] ~docv:"NAME"
         ~doc:
           "Oracle to run (repeatable): lp-certificate, ilp-brute, \
-           cut-enumeration, split-equivalence.  Default: all four.")
+           cut-enumeration, split-equivalence, degradation.  Default: all \
+           five.")
 
 let no_shrink =
   Arg.(

@@ -286,7 +286,52 @@ let deploy_cmd =
       value & opt float 60.
       & info [ "sim-duration" ] ~docv:"SECONDS" ~doc:"Simulated seconds.")
   in
-  let run platform nodes cut sim_duration =
+  let faults_arg =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:"Inject faults: Gilbert-Elliott burst loss (--burst-loss) and \
+                node crash/reboot cycles (--crash-rate).")
+  in
+  let burst_loss_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "burst-loss" ] ~docv:"P"
+          ~doc:"Long-run extra loss probability injected as bursts (with \
+                --faults).")
+  in
+  let crash_rate_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "crash-rate" ] ~docv:"PER_SEC"
+          ~doc:"Per-node crash rate in crashes/second (with --faults); state \
+                is lost and the node reboots after a fixed delay.")
+  in
+  let reliable_arg =
+    Arg.(
+      value & flag
+      & info [ "reliable" ]
+          ~doc:"Use the end-to-end ack/retry transport instead of best-effort \
+                delivery.")
+  in
+  let adaptive_arg =
+    Arg.(
+      value & flag
+      & info [ "adaptive" ]
+          ~doc:"Close the loop: run the adaptive controller, which probes \
+                goodput and steps the rate down the §4.3 lattice and/or \
+                repartitions until the target is met.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "rate" ] ~docv:"X" ~doc:"Input rate multiplier.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 5 & info [ "seed" ] ~docv:"N" ~doc:"Simulation seed.")
+  in
+  let run platform nodes cut sim_duration faults burst_loss crash_rate
+      reliable adaptive rate seed =
     let t = Apps.Speech.build () in
     let assignment = Apps.Speech.cut_assignment t cut in
     let link =
@@ -294,33 +339,88 @@ let deploy_cmd =
         Netsim.Link.cc2420
       else Netsim.Link.wifi
     in
+    let fault_spec =
+      if not faults then Netsim.Faults.none
+      else
+        {
+          Netsim.Faults.none with
+          Netsim.Faults.crash_rate;
+          burst =
+            (if burst_loss > 0. then
+               Some (Netsim.Faults.burst_of_loss burst_loss)
+             else None);
+        }
+    in
+    let transport =
+      if reliable then Netsim.Transport.default_reliable ()
+      else Netsim.Transport.Unreliable
+    in
     let config =
       Netsim.Testbed.default_config ~n_nodes:nodes ~duration:sim_duration
-        ~seed:5 ~platform ~link ()
+        ~seed ~platform ~link ~faults:fault_spec ~transport ()
     in
-    let r =
-      Netsim.Testbed.run config ~graph:t.Apps.Speech.graph
-        ~node_of:(fun i -> assignment.(i))
-        ~sources:(Apps.Speech.testbed_sources ~rate_mult:1.0 t)
+    let sources ~rate =
+      Apps.Speech.testbed_sources ~rate_mult:rate t
     in
-    Printf.printf
-      "inputs %d (processed %.1f%%)\nmessages %d (received %.1f%%)\n\
-       packets %d (collisions %d, channel %d, queue %d)\n\
-       goodput %.2f%%; node cpu %.1f%%; offered %.0f B/s\n"
-      r.inputs_offered
-      (100. *. r.input_fraction)
-      r.msgs_sent
-      (100. *. r.msg_fraction)
-      r.packets_sent r.packets_lost_collision r.packets_lost_channel
-      r.packets_lost_queue
-      (100. *. r.goodput_fraction)
-      (100. *. r.node_busy_fraction)
-      r.offered_bytes_per_sec
+    if adaptive then begin
+      let raw = Apps.Speech.profile ~duration:10. t in
+      match
+        Wishbone.Spec.of_profile ~mode:Wishbone.Movable.Conservative
+          ~node_platform:platform raw
+      with
+      | Error m ->
+          Printf.eprintf "error: %s\n" m;
+          exit 1
+      | Ok spec ->
+          let probe ~rate:r ~assignment =
+            Wishbone.Adaptive.testbed_probe ~config ~graph:t.Apps.Speech.graph
+              ~sources:(fun ~rate:r' -> sources ~rate:(rate *. r'))
+              ~rate:r ~assignment
+          in
+          let out = Wishbone.Adaptive.run ~spec ~assignment ~probe () in
+          Format.printf "%a" Wishbone.Adaptive.pp_trace out.Wishbone.Adaptive.trace;
+          Printf.printf
+            "final: rate x%.4f, goodput %.1f%%%s\n"
+            (rate *. out.Wishbone.Adaptive.rate)
+            (100. *. out.Wishbone.Adaptive.goodput)
+            (if out.Wishbone.Adaptive.converged then "" else " (not converged)")
+    end
+    else begin
+      let r =
+        Netsim.Testbed.run config ~graph:t.Apps.Speech.graph
+          ~node_of:(fun i -> assignment.(i))
+          ~sources:(sources ~rate)
+      in
+      Printf.printf
+        "inputs %d (processed %.1f%%)\nmessages %d (received %.1f%%)\n\
+         packets %d (collisions %d, channel %d, queue %d)\n\
+         goodput %.2f%%; node cpu %.1f%%; offered %.0f B/s\n"
+        r.inputs_offered
+        (100. *. r.input_fraction)
+        r.msgs_sent
+        (100. *. r.msg_fraction)
+        r.packets_sent r.packets_lost_collision r.packets_lost_channel
+        r.packets_lost_queue
+        (100. *. r.goodput_fraction)
+        (100. *. r.node_busy_fraction)
+        r.offered_bytes_per_sec;
+      if faults || reliable then
+        Printf.printf
+          "faults: crashes %d, inputs lost while down %d\n\
+           transport: retransmissions %d, duplicates %d, expired %d, \
+           pending %d; acks %d sent / %d lost\n"
+          r.crashes r.inputs_lost_down r.retransmissions r.msgs_duplicate
+          r.msgs_expired r.msgs_pending r.acks_sent r.acks_lost
+    end
   in
   Cmd.v
     (Cmd.info "deploy"
-       ~doc:"Run the speech app on the simulated wireless testbed (§7.3).")
-    Term.(const run $ platform_arg $ nodes_arg $ cut_arg $ sim_duration_arg)
+       ~doc:"Run the speech app on the simulated wireless testbed (§7.3), \
+             optionally under injected faults.")
+    Term.(
+      const run $ platform_arg $ nodes_arg $ cut_arg $ sim_duration_arg
+      $ faults_arg $ burst_loss_arg $ crash_rate_arg $ reliable_arg
+      $ adaptive_arg $ rate_arg $ seed_arg)
 
 let netprofile_cmd =
   let nodes_arg =

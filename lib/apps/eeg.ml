@@ -275,6 +275,44 @@ let profile ?(duration = 120.) ?(seed = 7) t =
   in
   Profiler.Profile.collect ~duration t.graph events
 
+let testbed_sources ?(seed = 2000) ~rate_mult t =
+  (* one generator per node; all of the node's channel sources fire at
+     the same instants with the same [seq], so a one-window cache keeps
+     the channels of a window mutually consistent *)
+  let per_node :
+      (int, Dsp.Siggen.Eeg.t * int ref * int array array ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let state node =
+    match Hashtbl.find_opt per_node node with
+    | Some s -> s
+    | None ->
+        let g =
+          Dsp.Siggen.Eeg.create ~seed:(seed + node) ~n_channels:t.n_channels
+            ~sample_rate ()
+        in
+        let s = (g, ref (-1), ref [||]) in
+        Hashtbl.add per_node node s;
+        s
+  in
+  let gen ch ~node ~seq =
+    let g, last, window = state node in
+    while !last < seq do
+      window := Array.map quantize (Dsp.Siggen.Eeg.window g window_samples);
+      incr last
+    done;
+    Value.Int16_arr !window.(ch)
+  in
+  Array.to_list
+    (Array.mapi
+       (fun ch src ->
+         {
+           Netsim.Testbed.source = src;
+           rate = rate_mult *. window_rate;
+           gen = gen ch;
+         })
+       t.sources)
+
 let collect_features ?(seed = 11) ~n_windows t =
   let gen = Dsp.Siggen.Eeg.create ~seed ~n_channels:t.n_channels ~sample_rate () in
   (* per-channel offline cascade, mathematically identical to the

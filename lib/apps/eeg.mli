@@ -43,6 +43,12 @@ val profile :
 (** Profile on synthetic EEG (default 120 s, i.e. 60 windows,
     including seizure episodes). *)
 
+val testbed_sources :
+  ?seed:int -> rate_mult:float -> t -> Netsim.Testbed.source_spec list
+(** Per-node independent synthetic EEG streams at
+    [rate_mult *. window_rate] windows/s; a node's channel sources stay
+    window-consistent with each other. *)
+
 val collect_features :
   ?seed:int -> n_windows:int -> t -> (float array * bool) array
 (** Run the generator and full graph offline, returning (feature

@@ -8,7 +8,13 @@
     shrinker can re-evaluate the failing predicate as often as it
     likes. *)
 
-type oracle = Lp_certificate | Ilp_brute | Cut_enumeration | Split_equivalence
+type oracle =
+  | Lp_certificate
+  | Ilp_brute
+  | Cut_enumeration
+  | Split_equivalence
+  | Degradation
+      (** shedding split execution loses subtractively, never corrupts *)
 
 val all_oracles : oracle list
 val oracle_name : oracle -> string

@@ -373,6 +373,97 @@ let run_split_equiv (spec : Wishbone.Spec.t) cut ~label =
           label selems sbytes !elems !bytes);
   match !failure with None -> Ok () | Some msg -> Error msg
 
+(* ---- oracle 5: shedding degrades, never corrupts ---- *)
+
+(* every element of [small] occurs in [big] with at least the same
+   multiplicity; both lists are consumed sorted *)
+let rec sub_sorted small big =
+  match (small, big) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | s :: s', b :: b' ->
+      let c = Stdlib.compare s b in
+      if c = 0 then sub_sorted s' b'
+      else if c > 0 then sub_sorted small b'
+      else false
+
+let sub_multiset small big = sub_sorted (sort_values small) (sort_values big)
+
+let degradation rng (spec : Wishbone.Spec.t) =
+  let g = spec.graph in
+  let cut = Gen.random_cut rng spec in
+  (* The subtractive-loss property needs every stateful operator
+     upstream of the lossy inter-half queue — exactly what the paper's
+     conservative placement guarantees.  The rare instance that puts a
+     stateful operator server-side (permissive mode) is out of the
+     property's scope and passes trivially. *)
+  let unsafe =
+    Array.exists
+      (fun (o : Dataflow.Op.t) -> o.stateful && not cut.(o.id))
+      (Graph.ops g)
+  in
+  if unsafe then Pass
+  else begin
+    let sources =
+      Array.to_list (Graph.ops g)
+      |> List.filter (fun (o : Dataflow.Op.t) ->
+             o.side_effect = Dataflow.Op.Sensor_input)
+      |> List.map (fun (o : Dataflow.Op.t) -> o.id)
+    in
+    let policy =
+      match Prng.int rng 3 with
+      | 0 -> Runtime.Shed.Drop_newest
+      | 1 -> Runtime.Shed.Drop_oldest
+      | _ -> Runtime.Shed.Sample_hold (Prng.uniform rng 0.2 0.9)
+    in
+    let shed =
+      {
+        Runtime.Splitrun.policy;
+        capacity = 1 + Prng.int rng 4;
+        service = Prng.int rng 2;
+        seed = Int64.to_int (Prng.int64 rng);
+      }
+    in
+    let full = Runtime.Exec.full g in
+    let split = Runtime.Splitrun.create ~shed ~node_of:(fun i -> cut.(i)) g in
+    let full_sinks = ref [] in
+    let shed_sinks = ref [] in
+    for k = 0 to 11 do
+      List.iter
+        (fun src ->
+          let v = Dataflow.Value.Int ((13 * k) + src) in
+          let fired = Runtime.Exec.fire full ~op:src ~port:0 v in
+          full_sinks :=
+            List.rev_append fired.Runtime.Exec.sink_values !full_sinks;
+          shed_sinks :=
+            List.rev_append
+              (Runtime.Splitrun.inject split ~source:src v)
+              !shed_sinks)
+        sources
+    done;
+    (* late service: whatever survived the queue is processed now *)
+    shed_sinks := List.rev_append (Runtime.Splitrun.drain split) !shed_sinks;
+    let dropped = Runtime.Splitrun.dropped split in
+    let per_op = Array.fold_left ( + ) 0 (Runtime.Splitrun.drop_counts split) in
+    if Runtime.Splitrun.queued split <> 0 then
+      failf "degradation: queue not empty after an unbounded drain"
+    else if per_op <> dropped then
+      failf
+        "degradation: per-operator drop counters sum to %d but the queue shed \
+         %d crossings"
+        per_op dropped
+    else if not (sub_multiset !shed_sinks !full_sinks) then
+      failf
+        "degradation: the shedding run emitted a sink value the lossless run \
+         never produced (%d vs %d sink values; loss must be subtractive)"
+        (List.length !shed_sinks) (List.length !full_sinks)
+    else if dropped = 0 && not (equal_multisets !shed_sinks !full_sinks) then
+      failf
+        "degradation: nothing was shed yet sink multisets differ (%d vs %d)"
+        (List.length !shed_sinks) (List.length !full_sinks)
+    else Pass
+  end
+
 let split_equivalence rng (spec : Wishbone.Spec.t) =
   let cuts = [ ("random cut", Gen.random_cut rng spec) ] in
   let cuts =

@@ -1,4 +1,4 @@
-(** The four correctness oracles behind [bin/fuzz] (DESIGN.md §11).
+(** The five correctness oracles behind [bin/fuzz] (DESIGN.md §11).
 
     Each oracle takes one generated instance and either passes or
     fails with a human-readable explanation.  All randomness is drawn
@@ -34,6 +34,18 @@ val cut_enumeration :
     must match {!Wishbone.Spec.cut_stats} on the returned assignment,
     and the general optimum can never be worse than the restricted
     one.  Specs with more than 16 movable operators pass trivially. *)
+
+val degradation : Prng.t -> Wishbone.Spec.t -> outcome
+(** Execute the same injected samples through {!Runtime.Exec.full} and
+    through a {!Runtime.Splitrun} with a bounded, shedding inter-half
+    queue (random policy, capacity and service rate) along a random
+    predecessor-closed cut.  Loss must be {e subtractive, never
+    corrupting}: the shedding run's sink values must form a
+    sub-multiset of the lossless run's, the per-operator drop counters
+    must account for every shed crossing, and when nothing was shed
+    the two runs must agree exactly.  Instances that place a stateful
+    operator downstream of the queue (outside conservative placement's
+    guarantee) pass trivially. *)
 
 val split_equivalence : Prng.t -> Wishbone.Spec.t -> outcome
 (** Execute the same injected samples through {!Runtime.Exec.full} and

@@ -38,6 +38,10 @@ let packet_airtime l =
   (Float.of_int (l.header_bytes + l.payload_bytes) *. 8. /. l.bitrate_bps)
   +. l.per_packet_overhead_s
 
+let short_packet_airtime l ~bytes =
+  (Float.of_int (l.header_bytes + bytes) *. 8. /. l.bitrate_bps)
+  +. l.per_packet_overhead_s
+
 let packets_of_bytes l bytes =
   if bytes <= 0 then 1
   else (bytes + l.payload_bytes - 1) / l.payload_bytes

@@ -29,6 +29,10 @@ val wifi : t
 val packet_airtime : t -> float
 (** Seconds a full-size packet occupies the channel. *)
 
+val short_packet_airtime : t -> bytes:int -> float
+(** Channel time of a short control frame (e.g. a transport ack)
+    carrying [bytes] of payload. *)
+
 val packets_of_bytes : t -> int -> int
 (** Fragments needed for a payload of the given size (at least 1). *)
 

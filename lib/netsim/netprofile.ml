@@ -30,6 +30,8 @@ let measure ?(payload_bytes = 24) ?(duration = 30.) ?(seed = 99) ~n_nodes
       tx_queue_packets = 24;
       per_packet_cpu_s = 0.;  (* isolate the radio *)
       os_overhead = 1.0;
+      faults = Faults.none;
+      transport = Transport.Unreliable;
     }
   in
   let sources =

@@ -15,10 +15,13 @@ type config = {
   tx_queue_packets : int;
   per_packet_cpu_s : float;
   os_overhead : float;
+  faults : Faults.t;
+  transport : Transport.policy;
 }
 
-let default_config ?(n_nodes = 1) ?(duration = 60.) ?(seed = 1) ~platform ~link
-    () =
+let default_config ?(n_nodes = 1) ?(duration = 60.) ?(seed = 1)
+    ?(faults = Faults.none) ?(transport = Transport.Unreliable) ~platform
+    ~link () =
   {
     n_nodes;
     platform;
@@ -31,6 +34,8 @@ let default_config ?(n_nodes = 1) ?(duration = 60.) ?(seed = 1) ~platform ~link
        on a 400 MHz Gumstix *)
     per_packet_cpu_s = 6000. /. platform.Profiler.Platform.clock_hz;
     os_overhead = 1.15;
+    faults;
+    transport;
   }
 
 type result = {
@@ -48,6 +53,15 @@ type result = {
   goodput_fraction : float;
   node_busy_fraction : float;
   offered_bytes_per_sec : float;
+  msgs_duplicate : int;
+  msgs_expired : int;
+  msgs_pending : int;
+  retransmissions : int;
+  acks_sent : int;
+  acks_lost : int;
+  crashes : int;
+  inputs_lost_down : int;
+  edge_bytes_per_sec : float array;
 }
 
 (* ---- internal simulation structures ---- *)
@@ -60,15 +74,29 @@ type message = {
   total_frags : int;
 }
 
-type packet = { msg : message; mutable attempts : int }
+type packet = {
+  msg : message;
+  t_attempt : int;  (* transport attempt this fragment belongs to *)
+  mutable attempts : int;  (* link-layer (collision) retries *)
+}
 
-type tx = { sender : int; pkt : packet; start : float; mutable corrupted : bool }
+type tx = {
+  sender : int;
+  epoch : int;
+  pkt : packet;
+  start : float;
+  mutable corrupted : bool;
+}
 
 type event =
   | Sample of int * int * int  (* node, source index, seq *)
-  | Cpu_done of int
-  | Attempt of int
+  | Cpu_done of int * int  (* node, epoch *)
+  | Attempt of int * int  (* node, epoch *)
   | Tx_end
+  | Crash of int
+  | Reboot of int
+  | Rexmit of int * int  (* node, mid *)
+  | Ack_arrive of int * int  (* node, mid *)
 
 type node_state = {
   exec : Runtime.Exec.t;
@@ -79,7 +107,12 @@ type node_state = {
   mutable cw : int;  (* congestion-backoff exponent, grows on busy/collision *)
   mutable busy_time : float;
   mutable next_mid : int;
+  mutable up : bool;
+  mutable epoch : int;  (* bumped on crash; stale events are discarded *)
 }
+
+(* sender-side retransmit buffer entry *)
+type inflight = { if_msg : message; mutable if_attempts : int }
 
 let run config ~graph ~node_of ~sources =
   if config.n_nodes <= 0 then invalid_arg "Testbed.run: need at least one node";
@@ -89,7 +122,23 @@ let run config ~graph ~node_of ~sources =
         invalid_arg "Testbed.run: source operator not placed on the node")
     sources;
   let link = config.link in
+  let faults = config.faults in
+  (* Seed derivation (see prng.mli): the root seed drives the primary
+     channel/CSMA stream exactly as it always has; each fault process
+     draws from its own derived stream [1; k] so that enabling one
+     fault class never perturbs another's schedule, and a run with
+     [faults = none] draws nothing beyond the primary stream. *)
   let rng = Prng.create config.seed in
+  let drift_rng = Prng.create (Prng.derive config.seed [ 1; 0 ]) in
+  let crash_rng = Prng.create (Prng.derive config.seed [ 1; 1 ]) in
+  let burst_rng = Prng.create (Prng.derive config.seed [ 1; 2 ]) in
+  let ge = Faults.channel burst_rng faults.Faults.burst in
+  let drifts = Faults.drifts drift_rng faults ~n_nodes:config.n_nodes in
+  let reliable =
+    match config.transport with
+    | Transport.Unreliable -> None
+    | Transport.Reliable r -> Some r
+  in
   let node_mask = Array.init (Graph.n_ops graph) node_of in
   let replicated i =
     (Graph.op graph i).Op.namespace = Op.Node && not node_mask.(i)
@@ -108,13 +157,21 @@ let run config ~graph ~node_of ~sources =
           cw = 0;
           busy_time = 0.;
           next_mid = 0;
+          up = true;
+          epoch = 0;
         })
   in
   let events : event Heap.Pqueue.t = Heap.Pqueue.create () in
   let channel_busy_until = ref 0. in
   let current_tx : tx option ref = ref None in
-  (* reassembly: (node, mid) -> fragments still missing *)
-  let missing : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  (* reassembly: (node, mid, transport attempt) -> fragments missing *)
+  let missing : (int * int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  (* reliable transport state *)
+  let inflight : (int * int, inflight) Hashtbl.t = Hashtbl.create 64 in
+  let delivered : (int * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  (* messages written off as expired whose last attempt is still in
+     the air; a late delivery moves them back to received *)
+  let expired : (int * int, unit) Hashtbl.t = Hashtbl.create 32 in
   (* counters *)
   let inputs_offered = ref 0 in
   let inputs_processed = ref 0 in
@@ -126,6 +183,15 @@ let run config ~graph ~node_of ~sources =
   let lost_queue = ref 0 in
   let sink_outputs = ref 0 in
   let offered_bytes = ref 0 in
+  let msgs_duplicate = ref 0 in
+  let msgs_expired = ref 0 in
+  let retransmissions = ref 0 in
+  let acks_sent = ref 0 in
+  let acks_lost = ref 0 in
+  let crashes = ref 0 in
+  let inputs_lost_down = ref 0 in
+  (* edge statistics survive crash-time Exec.reset in this array *)
+  let edge_bytes_acc = Array.make (Graph.n_edges graph) 0 in
   let sources_arr = Array.of_list sources in
   (* schedule the first window of every (node, source) pair with a
      small per-node phase offset so nodes do not fire in lockstep *)
@@ -137,6 +203,13 @@ let run config ~graph ~node_of ~sources =
           Heap.Pqueue.push events phase (Sample (node, si, 0))
         done)
     sources_arr;
+  (* the crash/reboot schedule is fixed up front from its own stream *)
+  List.iter
+    (fun (t, node, what) ->
+      Heap.Pqueue.push events t
+        (match what with `Crash -> Crash node | `Reboot -> Reboot node))
+    (Faults.crash_schedule crash_rng faults ~n_nodes:config.n_nodes
+       ~duration:config.duration);
   let schedule t ev = Heap.Pqueue.push events t ev in
   (* congestion backoff: the contention window doubles each time a node
      finds the channel busy or collides, like the TinyOS CSMA layer *)
@@ -146,10 +219,31 @@ let run config ~graph ~node_of ~sources =
   in
   let ensure_attempt now node_id =
     let st = nodes.(node_id) in
-    if (not st.waiting) && not (Queue.is_empty st.queue) then begin
+    if st.up && (not st.waiting) && not (Queue.is_empty st.queue) then begin
       st.waiting <- true;
-      schedule (now +. backoff st) (Attempt node_id)
+      schedule (now +. backoff st) (Attempt (node_id, st.epoch))
     end
+  in
+  let channel_loss now =
+    Faults.channel_loss ge ~now ~base:link.base_loss
+  in
+  (* admit one transport attempt's fragments to the radio queue; on
+     overflow the attempt cannot complete, but admitted siblings still
+     burn airtime -- the §4.3 overload effect *)
+  let enqueue_attempt st (msg : message) ~t_attempt =
+    Hashtbl.replace missing (msg.from_node, msg.mid, t_attempt)
+      msg.total_frags;
+    let dropped = ref false in
+    for _ = 1 to msg.total_frags do
+      if Queue.length st.queue < config.tx_queue_packets then
+        Queue.add { msg; t_attempt; attempts = 0 } st.queue
+      else begin
+        incr lost_queue;
+        dropped := true
+      end
+    done;
+    if !dropped then Hashtbl.remove missing (msg.from_node, msg.mid, t_attempt);
+    not !dropped
   in
   let start_processing now node_id source_op value =
     let st = nodes.(node_id) in
@@ -171,7 +265,7 @@ let run config ~graph ~node_of ~sources =
       +. (Float.of_int n_packets *. config.per_packet_cpu_s)
     in
     st.busy_time <- st.busy_time +. compute_s;
-    schedule (now +. compute_s) (Cpu_done node_id);
+    schedule (now +. compute_s) (Cpu_done (node_id, st.epoch));
     (* queue the messages now; they go on air as the channel allows *)
     List.iter
       (fun (c : Runtime.Exec.crossing) ->
@@ -193,50 +287,81 @@ let run config ~graph ~node_of ~sources =
            queue: losing any fragment makes the message undeliverable,
            but admitted siblings still burn airtime -- the §4.3
            overload effect where offering more data delivers less *)
-        Hashtbl.replace missing (node_id, msg.mid) total_frags;
-        let dropped = ref false in
-        for _ = 1 to total_frags do
-          if Queue.length st.queue < config.tx_queue_packets then
-            Queue.add { msg; attempts = 0 } st.queue
-          else begin
-            incr lost_queue;
-            dropped := true
-          end
-        done;
-        if !dropped then Hashtbl.remove missing (node_id, msg.mid))
+        let admitted = enqueue_attempt st msg ~t_attempt:1 in
+        ignore admitted;
+        match reliable with
+        | None -> ()
+        | Some r ->
+            (* keep a copy for end-to-end retry; even a queue-overflowed
+               first attempt is retried from here *)
+            Hashtbl.replace inflight (node_id, msg.mid)
+              { if_msg = msg; if_attempts = 1 };
+            schedule (now +. Transport.rto r ~attempt:1)
+              (Rexmit (node_id, msg.mid)))
       crossings;
     ensure_attempt now node_id
   in
-  let deliver_fragment (pkt : packet) =
-    let key = (pkt.msg.from_node, pkt.msg.mid) in
+  let fire_server (msg : message) =
+    let fired =
+      Runtime.Exec.fire ~node:msg.from_node server ~op:msg.edge.dst
+        ~port:msg.edge.dst_port msg.value
+    in
+    sink_outputs := !sink_outputs + List.length fired.sink_values
+  in
+  (* the basestation acks a fully reassembled message: the ack occupies
+     the channel (it is short but not free) and is itself subject to
+     the channel loss process *)
+  let send_ack now (msg : message) =
+    incr acks_sent;
+    let air = Link.short_packet_airtime link ~bytes:Transport.ack_bytes in
+    channel_busy_until := Float.max !channel_busy_until (now +. air);
+    if Prng.bool rng (channel_loss now) then incr acks_lost
+    else schedule (now +. air) (Ack_arrive (msg.from_node, msg.mid))
+  in
+  let deliver_fragment now (pkt : packet) =
+    let key = (pkt.msg.from_node, pkt.msg.mid, pkt.t_attempt) in
     match Hashtbl.find_opt missing key with
     | None -> ()
-    | Some left when left <= 1 ->
+    | Some left when left <= 1 -> (
         Hashtbl.remove missing key;
-        incr msgs_received;
-        let fired =
-          Runtime.Exec.fire ~node:pkt.msg.from_node server ~op:pkt.msg.edge.dst
-            ~port:pkt.msg.edge.dst_port pkt.msg.value
-        in
-        sink_outputs := !sink_outputs + List.length fired.sink_values
+        match reliable with
+        | None ->
+            incr msgs_received;
+            fire_server pkt.msg
+        | Some _ ->
+            let dk = (pkt.msg.from_node, pkt.msg.mid) in
+            if Hashtbl.mem delivered dk then incr msgs_duplicate
+            else begin
+              Hashtbl.replace delivered dk ();
+              if Hashtbl.mem expired dk then begin
+                (* the sender gave up, but the final attempt made it:
+                   the message was received after all *)
+                Hashtbl.remove expired dk;
+                decr msgs_expired
+              end;
+              incr msgs_received;
+              fire_server pkt.msg
+            end;
+            send_ack now pkt.msg)
     | Some left -> Hashtbl.replace missing key (left - 1)
   in
   let kill_message (pkt : packet) =
-    (* one lost fragment dooms the message; siblings already queued
+    (* one lost fragment dooms this attempt; siblings already queued
        keep transmitting (a NACK-free stack cannot know) *)
-    Hashtbl.remove missing (pkt.msg.from_node, pkt.msg.mid)
+    Hashtbl.remove missing (pkt.msg.from_node, pkt.msg.mid, pkt.t_attempt)
   in
   let handle now = function
     | Sample (node_id, si, seq) ->
         let spec = sources_arr.(si) in
-        (* next arrival *)
-        let next = now +. (1. /. spec.rate) in
+        (* next arrival; a drifted node clock stretches the period *)
+        let next = now +. (drifts.(node_id) /. spec.rate) in
         if next < config.duration then
           schedule next (Sample (node_id, si, seq + 1));
         incr inputs_offered;
         let st = nodes.(node_id) in
         let value = spec.gen ~node:node_id ~seq in
-        if not st.cpu_busy then begin
+        if not st.up then incr inputs_lost_down
+        else if not st.cpu_busy then begin
           incr inputs_processed;
           start_processing now node_id spec.source value
         end
@@ -246,53 +371,65 @@ let run config ~graph ~node_of ~sources =
           st.buffered <- Some (spec.source, value)
         end
         (* else: missed input event *)
-    | Cpu_done node_id -> (
+    | Cpu_done (node_id, epoch) -> (
         let st = nodes.(node_id) in
-        st.cpu_busy <- false;
-        match st.buffered with
-        | Some (src, v) ->
-            st.buffered <- None;
-            start_processing now node_id src v
-        | None -> ())
-    | Attempt node_id ->
+        if epoch = st.epoch then begin
+          st.cpu_busy <- false;
+          match st.buffered with
+          | Some (src, v) ->
+              st.buffered <- None;
+              start_processing now node_id src v
+          | None -> ()
+        end)
+    | Attempt (node_id, epoch) ->
         let st = nodes.(node_id) in
-        st.waiting <- false;
-        if not (Queue.is_empty st.queue) then begin
-          if now +. 1e-12 >= !channel_busy_until then begin
-            (* channel idle: transmit the head-of-line packet *)
-            let pkt = Queue.pop st.queue in
-            pkt.attempts <- pkt.attempts + 1;
-            incr packets_sent;
-            let dur = Link.packet_airtime link in
-            let tx = { sender = node_id; pkt; start = now; corrupted = false } in
-            current_tx := Some tx;
-            channel_busy_until := now +. dur;
-            schedule (now +. dur) Tx_end
-          end
-          else begin
-            (match !current_tx with
-            | Some tx when now -. tx.start < link.turnaround_s ->
-                (* carrier not yet detectable: we transmit blindly and
-                   collide with the ongoing packet *)
-                tx.corrupted <- true;
-                st.cw <- st.cw + 1;
-                let pkt = Queue.pop st.queue in
-                pkt.attempts <- pkt.attempts + 1;
-                incr packets_sent;
-                incr lost_collision;
-                let dur = Link.packet_airtime link in
-                channel_busy_until :=
-                  Float.max !channel_busy_until (now +. dur);
-                if pkt.attempts <= link.retries then begin
-                  (* retry later, head of line *)
-                  let q = Queue.create () in
-                  Queue.add pkt q;
-                  Queue.transfer st.queue q;
-                  Queue.transfer q st.queue
-                end
-                else kill_message pkt
-            | _ -> st.cw <- st.cw + 1);
-            ensure_attempt (Float.max now !channel_busy_until) node_id
+        if epoch = st.epoch then begin
+          st.waiting <- false;
+          if not (Queue.is_empty st.queue) then begin
+            if now +. 1e-12 >= !channel_busy_until then begin
+              (* channel idle: transmit the head-of-line packet *)
+              let pkt = Queue.pop st.queue in
+              pkt.attempts <- pkt.attempts + 1;
+              incr packets_sent;
+              let dur = Link.packet_airtime link in
+              let tx =
+                {
+                  sender = node_id;
+                  epoch = st.epoch;
+                  pkt;
+                  start = now;
+                  corrupted = false;
+                }
+              in
+              current_tx := Some tx;
+              channel_busy_until := now +. dur;
+              schedule (now +. dur) Tx_end
+            end
+            else begin
+              (match !current_tx with
+              | Some tx when now -. tx.start < link.turnaround_s ->
+                  (* carrier not yet detectable: we transmit blindly and
+                     collide with the ongoing packet *)
+                  tx.corrupted <- true;
+                  st.cw <- st.cw + 1;
+                  let pkt = Queue.pop st.queue in
+                  pkt.attempts <- pkt.attempts + 1;
+                  incr packets_sent;
+                  incr lost_collision;
+                  let dur = Link.packet_airtime link in
+                  channel_busy_until :=
+                    Float.max !channel_busy_until (now +. dur);
+                  if pkt.attempts <= link.retries then begin
+                    (* retry later, head of line *)
+                    let q = Queue.create () in
+                    Queue.add pkt q;
+                    Queue.transfer st.queue q;
+                    Queue.transfer q st.queue
+                  end
+                  else kill_message pkt
+              | _ -> st.cw <- st.cw + 1);
+              ensure_attempt (Float.max now !channel_busy_until) node_id
+            end
           end
         end
     | Tx_end -> (
@@ -301,27 +438,112 @@ let run config ~graph ~node_of ~sources =
         | Some tx ->
             current_tx := None;
             let st = nodes.(tx.sender) in
-            (if tx.corrupted then begin
-               incr lost_collision;
-               st.cw <- st.cw + 1;
-               if tx.pkt.attempts <= link.retries then begin
-                 let q = Queue.create () in
-                 Queue.add tx.pkt q;
-                 Queue.transfer st.queue q;
-                 Queue.transfer q st.queue
+            if tx.epoch <> st.epoch then
+              (* the sender crashed mid-packet; the fragment died with
+                 it (the Crash handler marked the tx corrupted and
+                 flushed the reassembly state) *)
+              ()
+            else begin
+              (if tx.corrupted then begin
+                 incr lost_collision;
+                 st.cw <- st.cw + 1;
+                 if tx.pkt.attempts <= link.retries then begin
+                   let q = Queue.create () in
+                   Queue.add tx.pkt q;
+                   Queue.transfer st.queue q;
+                   Queue.transfer q st.queue
+                 end
+                 else kill_message tx.pkt
                end
-               else kill_message tx.pkt
-             end
-             else begin
-               st.cw <- 0;
-               if Prng.bool rng link.base_loss then begin
-                 (* clean-channel loss: no link-layer ack, no retry *)
-                 incr lost_channel;
-                 kill_message tx.pkt
-               end
-               else deliver_fragment tx.pkt
-             end);
-            ensure_attempt now tx.sender)
+               else begin
+                 st.cw <- 0;
+                 if Prng.bool rng (channel_loss now) then begin
+                   (* clean-channel loss: no link-layer ack, no retry *)
+                   incr lost_channel;
+                   kill_message tx.pkt
+                 end
+                 else deliver_fragment now tx.pkt
+               end);
+              ensure_attempt now tx.sender
+            end)
+    | Crash node_id ->
+        let st = nodes.(node_id) in
+        if st.up then begin
+          incr crashes;
+          st.up <- false;
+          st.epoch <- st.epoch + 1;
+          (* a dying radio corrupts its own in-flight packet *)
+          (match !current_tx with
+          | Some tx when tx.sender = node_id -> tx.corrupted <- true
+          | _ -> ());
+          Queue.clear st.queue;
+          st.buffered <- None;
+          st.cpu_busy <- false;
+          st.waiting <- false;
+          st.cw <- 0;
+          (* volatile operator state is lost (§2.1.1); keep the edge
+             statistics gathered so far *)
+          Array.iteri
+            (fun eid acc ->
+              edge_bytes_acc.(eid) <-
+                acc + Runtime.Exec.edge_bytes st.exec eid)
+            edge_bytes_acc;
+          Runtime.Exec.reset st.exec;
+          (* the retransmit buffer is volatile too: every unacked
+             message from this node dies, accounted, not silent *)
+          let dead =
+            Hashtbl.fold
+              (fun (n, mid) _ acc ->
+                if n = node_id then (n, mid) :: acc else acc)
+              inflight []
+          in
+          List.iter
+            (fun key ->
+              Hashtbl.remove inflight key;
+              if not (Hashtbl.mem delivered key) then begin
+                Hashtbl.replace expired key ();
+                incr msgs_expired
+              end)
+            dead;
+          (* partially reassembled messages from this node are dead *)
+          let stale =
+            Hashtbl.fold
+              (fun (n, mid, att) _ acc ->
+                if n = node_id then (n, mid, att) :: acc else acc)
+              missing []
+          in
+          List.iter (Hashtbl.remove missing) stale
+        end
+    | Reboot node_id -> nodes.(node_id).up <- true
+    | Rexmit (node_id, mid) -> (
+        match Hashtbl.find_opt inflight (node_id, mid) with
+        | None -> ()  (* acked, expired, or lost to a crash *)
+        | Some entry -> (
+            match reliable with
+            | None -> ()
+            | Some r ->
+                if entry.if_attempts > r.Transport.max_retries then begin
+                  Hashtbl.remove inflight (node_id, mid);
+                  if not (Hashtbl.mem delivered (node_id, mid)) then begin
+                    Hashtbl.replace expired (node_id, mid) ();
+                    incr msgs_expired
+                  end
+                end
+                else begin
+                  entry.if_attempts <- entry.if_attempts + 1;
+                  incr retransmissions;
+                  let st = nodes.(node_id) in
+                  ignore
+                    (enqueue_attempt st entry.if_msg
+                       ~t_attempt:entry.if_attempts);
+                  schedule
+                    (now +. Transport.rto r ~attempt:entry.if_attempts)
+                    (Rexmit (node_id, mid));
+                  ensure_attempt now node_id
+                end))
+    | Ack_arrive (node_id, mid) ->
+        (* end-to-end ack: retire the retransmit entry *)
+        Hashtbl.remove inflight (node_id, mid)
   in
   let rec loop () =
     match Heap.Pqueue.pop events with
@@ -336,6 +558,22 @@ let run config ~graph ~node_of ~sources =
   let fdiv a b = if b = 0 then 0. else Float.of_int a /. Float.of_int b in
   let input_fraction = fdiv !inputs_processed !inputs_offered in
   let msg_fraction = fdiv !msgs_received !msgs_sent in
+  let msgs_pending =
+    Hashtbl.fold
+      (fun key _ acc -> if Hashtbl.mem delivered key then acc else acc + 1)
+      inflight 0
+  in
+  let edge_bytes_per_sec =
+    Array.init (Graph.n_edges graph) (fun eid ->
+        let total =
+          edge_bytes_acc.(eid)
+          + Runtime.Exec.edge_bytes server eid
+          + Array.fold_left
+              (fun acc st -> acc + Runtime.Exec.edge_bytes st.exec eid)
+              0 nodes
+        in
+        Float.of_int total /. config.duration)
+  in
   {
     inputs_offered = !inputs_offered;
     inputs_processed = !inputs_processed;
@@ -352,4 +590,13 @@ let run config ~graph ~node_of ~sources =
     node_busy_fraction =
       busy_total /. (config.duration *. Float.of_int config.n_nodes);
     offered_bytes_per_sec = Float.of_int !offered_bytes /. config.duration;
+    msgs_duplicate = !msgs_duplicate;
+    msgs_expired = !msgs_expired;
+    msgs_pending;
+    retransmissions = !retransmissions;
+    acks_sent = !acks_sent;
+    acks_lost = !acks_lost;
+    crashes = !crashes;
+    inputs_lost_down = !inputs_lost_down;
+    edge_bytes_per_sec;
   }

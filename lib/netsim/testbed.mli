@@ -14,7 +14,22 @@
 
     The three measured quantities of Figure 9 map to
     {!result.input_fraction}, {!result.msg_fraction}, and their
-    product {!result.goodput_fraction}. *)
+    product {!result.goodput_fraction}.
+
+    Two orthogonal extensions harden the deployment story:
+    {!Faults.t} injects node crash/reboot, Gilbert–Elliott burst loss
+    and clock drift; {!Transport.policy} optionally layers end-to-end
+    ack/retry over the CSMA channel.  Both default to off, and with
+    both off the simulation — including every PRNG draw — is
+    identical to the pre-fault-injection testbed, so existing seeds
+    reproduce bit-identical results.
+
+    Seed derivation: the config [seed] drives the primary
+    channel/CSMA stream directly ([Prng.create seed]); fault
+    processes use [Prng.derive seed [1; k]] with [k = 0] for clock
+    drift, [k = 1] for the crash schedule and [k = 2] for the burst
+    channel, so enabling one fault class never perturbs another's
+    schedule. *)
 
 type source_spec = {
   source : int;  (** source operator id *)
@@ -35,17 +50,24 @@ type config = {
           omits, §7.3.1) *)
   os_overhead : float;
       (** multiplier on traversal compute time for OS/task overheads *)
+  faults : Faults.t;  (** injected failure processes *)
+  transport : Transport.policy;  (** end-to-end reliability *)
 }
 
 val default_config :
   ?n_nodes:int -> ?duration:float -> ?seed:int ->
+  ?faults:Faults.t -> ?transport:Transport.policy ->
   platform:Profiler.Platform.t -> link:Link.t -> unit -> config
+(** Defaults: no faults, unreliable transport. *)
 
 type result = {
   inputs_offered : int;
   inputs_processed : int;
   msgs_sent : int;  (** whole values crossing the cut *)
-  msgs_received : int;  (** fully reassembled at the basestation *)
+  msgs_received : int;
+      (** fully reassembled at the basestation (unique messages —
+          duplicate deliveries under reliable transport are counted in
+          [msgs_duplicate] and do not re-fire the server half) *)
   packets_sent : int;
   packets_lost_collision : int;
   packets_lost_channel : int;
@@ -56,10 +78,34 @@ type result = {
   goodput_fraction : float;  (** input_fraction *. msg_fraction *)
   node_busy_fraction : float;  (** mean CPU utilisation across nodes *)
   offered_bytes_per_sec : float;
+  msgs_duplicate : int;
+      (** reliable transport: deliveries suppressed by the dedup layer
+          (a retransmission whose earlier copy already arrived) *)
+  msgs_expired : int;
+      (** reliable transport: messages whose retry budget was
+          exhausted (or whose sender crashed) without delivery — the
+          accounted, non-silent end-to-end losses *)
+  msgs_pending : int;
+      (** reliable transport: undelivered messages still awaiting
+          retry when the simulation ended *)
+  retransmissions : int;  (** message-level retransmit attempts *)
+  acks_sent : int;
+  acks_lost : int;
+  crashes : int;  (** node crash events that occurred *)
+  inputs_lost_down : int;  (** inputs arriving at a crashed node *)
+  edge_bytes_per_sec : float array;
+      (** measured per-edge traffic (bytes/s, indexed by [eid]) across
+          both halves — the {e observed} edge rates the adaptive
+          controller feeds back into the partitioner, as opposed to
+          the profiled rates the static plan was built from *)
 }
 
 val run :
   config -> graph:Dataflow.Graph.t -> node_of:(int -> bool) ->
   sources:source_spec list -> result
 (** Simulate the given partition.  [node_of] must place every source
-    operator on the node. *)
+    operator on the node.
+
+    Under reliable transport every message ends in exactly one of
+    [msgs_received], [msgs_expired] or [msgs_pending]:
+    [msgs_sent = msgs_received + msgs_expired + msgs_pending]. *)

@@ -9,6 +9,12 @@ let mix z =
 
 let create seed = { state = mix (Int64.of_int seed) }
 
+let derive seed path =
+  let step z i =
+    mix (Int64.add (Int64.mul z golden) (Int64.of_int (i + 1)))
+  in
+  Int64.to_int (List.fold_left step (mix (Int64.of_int seed)) path)
+
 let int64 t =
   t.state <- Int64.add t.state golden;
   mix t.state

@@ -9,6 +9,21 @@ type t
 val create : int -> t
 (** Seeded generator; equal seeds give equal streams. *)
 
+val derive : int -> int list -> int
+(** The repo-wide seed-derivation scheme: [derive root path] maps a
+    root seed and a path of stream indices to an independent stream
+    seed.  Each path element folds into the state as one SplitMix64
+    step ([mix (state * golden + index + 1)]), so [derive s [a; b]]
+    and [derive s [a'; b']] are decorrelated whenever the paths
+    differ, and the scheme nests: [derive s [a; b] = derive (derive s
+    [a]) [b]] does {e not} hold in general — always derive from the
+    root with the full path.  Conventions: the root seed itself seeds
+    a component's {e primary} stream ([create root]); auxiliary
+    streams use [create (derive root path)] with a documented path.
+    Users: [Check.Fuzz] derives per-case seeds as
+    [derive seed [oracle_index; case]]; [Netsim.Testbed] derives its
+    fault streams as [derive seed [1; k]] (see [testbed.mli]). *)
+
 val split : t -> t
 (** An independent generator derived from (and advancing) [t]. *)
 

@@ -1,0 +1,56 @@
+type policy =
+  | Drop_newest
+  | Drop_oldest
+  | Sample_hold of float
+
+type 'a t = {
+  policy : policy;
+  cap : int;
+  q : 'a Queue.t;
+  rng : Prng.t;
+  mutable pushed : int;
+  mutable dropped : int;
+}
+
+let create ?(seed = 0) policy ~capacity =
+  if capacity <= 0 then invalid_arg "Shed.create: capacity must be positive";
+  (match policy with
+  | Sample_hold p when p < 0. || p > 1. ->
+      invalid_arg "Shed.create: Sample_hold probability outside [0, 1]"
+  | _ -> ());
+  {
+    policy;
+    cap = capacity;
+    q = Queue.create ();
+    rng = Prng.create seed;
+    pushed = 0;
+    dropped = 0;
+  }
+
+type 'a admitted = Queued | Dropped | Displaced of 'a
+
+let push t x =
+  t.pushed <- t.pushed + 1;
+  if Queue.length t.q < t.cap then begin
+    Queue.add x t.q;
+    Queued
+  end
+  else begin
+    t.dropped <- t.dropped + 1;
+    let displace () =
+      let old = Queue.pop t.q in
+      Queue.add x t.q;
+      Displaced old
+    in
+    match t.policy with
+    | Drop_newest -> Dropped
+    | Drop_oldest -> displace ()
+    | Sample_hold keep ->
+        if Prng.bool t.rng keep then displace () else Dropped
+  end
+
+let pop t = Queue.take_opt t.q
+let length t = Queue.length t.q
+let capacity t = t.cap
+let pushed t = t.pushed
+let dropped t = t.dropped

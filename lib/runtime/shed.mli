@@ -1,0 +1,47 @@
+(** Bounded queues with pluggable load-shedding policies.
+
+    An overloaded node cannot process everything it is offered; §6 of
+    the paper frames that overload as programmer-visible data loss.
+    This module makes the loss an explicit, accounted policy decision
+    instead of an implicit property of the radio stack: a bounded
+    queue sheds according to one of three classic stream-processing
+    policies, and every shed element is counted.
+
+    - {!Drop_newest}: tail drop — arrivals beyond capacity are
+      discarded (the TinyOS send-queue behaviour).
+    - {!Drop_oldest}: head drop — arrivals displace the oldest queued
+      element (fresh data is worth more than stale data).
+    - {!Sample_hold}: probabilistic sampling — with probability [keep]
+      an arrival displaces the oldest queued element, otherwise the
+      arrival is dropped; the queue holds an approximately uniform
+      sample of the offered stream under sustained overload. *)
+
+type policy =
+  | Drop_newest
+  | Drop_oldest
+  | Sample_hold of float  (** keep probability in [0, 1] *)
+
+type 'a t
+
+val create : ?seed:int -> policy -> capacity:int -> 'a t
+(** [seed] (default 0) drives the {!Sample_hold} coin flips through
+    the repo's seeded PRNG; the other policies draw nothing.
+    @raise Invalid_argument when [capacity <= 0] or a [Sample_hold]
+    probability is outside [0, 1]. *)
+
+type 'a admitted =
+  | Queued
+  | Dropped  (** the arriving element was shed *)
+  | Displaced of 'a  (** the arriving element evicted a queued one *)
+
+val push : 'a t -> 'a -> 'a admitted
+val pop : 'a t -> 'a option
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val pushed : 'a t -> int
+(** Elements offered so far. *)
+
+val dropped : 'a t -> int
+(** Elements shed so far (arrivals dropped plus queued elements
+    displaced); [pushed t = dropped t + length t +] elements popped. *)

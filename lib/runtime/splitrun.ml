@@ -1,5 +1,15 @@
 open Dataflow
 
+type shed_config = {
+  policy : Shed.policy;
+  capacity : int;
+  service : int;
+  seed : int;
+}
+
+let default_shed =
+  { policy = Shed.Drop_newest; capacity = 8; service = 1; seed = 0 }
+
 type t = {
   graph : Graph.t;
   node_of : bool array;
@@ -7,9 +17,14 @@ type t = {
   server : Exec.t;
   mutable cross_elems : int;
   mutable cross_bytes : int;
+  (* shedding-aware channel between the halves; [None] = the original
+     lossless, zero-latency channel *)
+  shed : (int * Exec.crossing) Shed.t option;
+  service : int;
+  drop_counts : int array;  (* per operator: crossings shed at its output *)
 }
 
-let create ?(n_nodes = 1) ~node_of graph =
+let create ?(n_nodes = 1) ?shed ~node_of graph =
   let n = Graph.n_ops graph in
   let node_mask = Array.init n node_of in
   let replicated i =
@@ -25,13 +40,47 @@ let create ?(n_nodes = 1) ~node_of graph =
       Exec.create ~replicated ~member:(fun i -> not node_mask.(i)) graph;
     cross_elems = 0;
     cross_bytes = 0;
+    shed =
+      Option.map
+        (fun c -> Shed.create ~seed:c.seed c.policy ~capacity:c.capacity)
+        shed;
+    service = (match shed with None -> 0 | Some c -> c.service);
+    drop_counts = Array.make n 0;
   }
 
 let reset t =
   Array.iter Exec.reset t.nodes;
   Exec.reset t.server;
   t.cross_elems <- 0;
-  t.cross_bytes <- 0
+  t.cross_bytes <- 0;
+  (match t.shed with
+  | Some q ->
+      let rec flush () = match Shed.pop q with Some _ -> flush () | None -> () in
+      flush ()
+  | None -> ());
+  Array.fill t.drop_counts 0 (Array.length t.drop_counts) 0
+
+let fire_server ?(node = 0) t (c : Exec.crossing) =
+  let f = Exec.fire ~node t.server ~op:c.edge.dst ~port:c.edge.dst_port c.value in
+  f.Exec.sink_values
+
+let drain ?limit t =
+  match t.shed with
+  | None -> []
+  | Some q ->
+      let acc = ref [] in
+      let budget = ref (match limit with None -> -1 | Some l -> l) in
+      let rec go () =
+        if !budget <> 0 then
+          match Shed.pop q with
+          | None -> ()
+          | Some (node, c) ->
+              decr budget;
+              acc := List.rev_append (fire_server ~node t c) !acc;
+              go ()
+      in
+      go ();
+      List.rev !acc
 
 let inject ?(node = 0) t ~source value =
   if node < 0 || node >= Array.length t.nodes then
@@ -40,17 +89,43 @@ let inject ?(node = 0) t ~source value =
     invalid_arg "Splitrun.inject: source operator is not on the node";
   let fired = Exec.fire t.nodes.(node) ~op:source ~port:0 value in
   let sink_values = ref (List.rev fired.sink_values) in
-  List.iter
-    (fun (c : Exec.crossing) ->
-      t.cross_elems <- t.cross_elems + 1;
-      t.cross_bytes <- t.cross_bytes + Value.size_bytes c.value;
-      let f =
-        Exec.fire ~node t.server ~op:c.edge.dst ~port:c.edge.dst_port c.value
-      in
-      sink_values := List.rev_append f.sink_values !sink_values)
-    fired.crossings;
+  (match t.shed with
+  | None ->
+      List.iter
+        (fun (c : Exec.crossing) ->
+          t.cross_elems <- t.cross_elems + 1;
+          t.cross_bytes <- t.cross_bytes + Value.size_bytes c.value;
+          sink_values :=
+            List.rev_append (fire_server ~node t c) !sink_values)
+        fired.crossings
+  | Some q ->
+      (* crossings enter the bounded inter-half queue; the server half
+         services a bounded number per injection, emulating a server
+         that cannot keep up with the offered crossing rate *)
+      List.iter
+        (fun (c : Exec.crossing) ->
+          t.cross_elems <- t.cross_elems + 1;
+          t.cross_bytes <- t.cross_bytes + Value.size_bytes c.value;
+          match Shed.push q (node, c) with
+          | Shed.Queued -> ()
+          | Shed.Dropped ->
+              t.drop_counts.(c.edge.src) <- t.drop_counts.(c.edge.src) + 1
+          | Shed.Displaced (_, old) ->
+              t.drop_counts.(old.Exec.edge.src) <-
+                t.drop_counts.(old.Exec.edge.src) + 1)
+        fired.crossings;
+      if t.service > 0 then
+        sink_values :=
+          List.rev_append (drain ~limit:t.service t) !sink_values);
   List.rev !sink_values
 
 let node_exec t i = t.nodes.(i)
 let server_exec t = t.server
 let crossing_traffic t = (t.cross_elems, t.cross_bytes)
+
+let dropped t =
+  match t.shed with Some q -> Shed.dropped q | None -> 0
+
+let drop_counts t = Array.copy t.drop_counts
+
+let queued t = match t.shed with Some q -> Shed.length q | None -> 0

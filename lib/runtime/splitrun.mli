@@ -1,19 +1,44 @@
-(** Lossless split execution of a partitioned program.
+(** Split execution of a partitioned program.
 
     Runs the node-side and server-side halves of a graph connected by
-    a perfect (lossless, zero-latency) channel.  Used to check that
-    partitioning never changes program semantics when no messages are
-    lost — the invariant behind Wishbone's freedom to move stateless
-    operators (§2.1.1) — and as the reference for the netsim deploy
-    path. *)
+    a channel.  By default the channel is perfect (lossless,
+    zero-latency) — the invariant behind Wishbone's freedom to move
+    stateless operators (§2.1.1) and the reference for the netsim
+    deploy path.
+
+    Passing a {!shed_config} replaces the perfect channel with a
+    bounded inter-half queue governed by a {!Shed.policy}: crossings
+    are enqueued by {!inject}, at most [service] of them are processed
+    by the server half per injection, and overflow is shed with
+    per-operator drop accounting — emulating the overloaded-node
+    semantics of §6 instead of assuming losslessness.  Loss is
+    subtractive: a shedding run's sink outputs are a sub-multiset of
+    the lossless run's (the [degradation] fuzz oracle), provided no
+    stateful operator sits downstream of the queue — which is exactly
+    what conservative-mode placement guarantees. *)
+
+type shed_config = {
+  policy : Shed.policy;
+  capacity : int;  (** inter-half queue bound *)
+  service : int;
+      (** crossings the server half processes per injection; [0]
+          defers all service to explicit {!drain} calls *)
+  seed : int;  (** for probabilistic policies *)
+}
+
+val default_shed : shed_config
+(** Drop-newest, capacity 8, service 1. *)
 
 type t
 
 val create :
-  ?n_nodes:int -> node_of:(int -> bool) -> Dataflow.Graph.t -> t
+  ?n_nodes:int -> ?shed:shed_config -> node_of:(int -> bool) ->
+  Dataflow.Graph.t -> t
 (** [node_of op] says whether the operator lives on the embedded node.
     Operators with a [Node] namespace that are placed on the server
-    get per-node state instances. *)
+    get per-node state instances.  Without [?shed] the behaviour (and
+    every returned value) is identical to the historical lossless
+    runtime. *)
 
 val reset : t -> unit
 
@@ -21,8 +46,16 @@ val inject :
   ?node:int -> t -> source:int -> Dataflow.Value.t ->
   Dataflow.Value.t list
 (** Push one sensor sample into [source] on the given node (default
-    0); both halves execute and the values reaching server sinks
-    during this traversal are returned in order. *)
+    0).  Lossless mode: both halves execute and the values reaching
+    server sinks during this traversal are returned in order.
+    Shedding mode: the node half executes, crossings are enqueued
+    (possibly shedding), up to [service] queued crossings are
+    processed, and the sink values of this injection's node half plus
+    the serviced crossings are returned. *)
+
+val drain : ?limit:int -> t -> Dataflow.Value.t list
+(** Process up to [limit] queued crossings (default: all), returning
+    the resulting sink values.  Always [[]] in lossless mode. *)
 
 val node_exec : t -> int -> Exec.t
 (** Per-node executor (for statistics inspection). *)
@@ -30,5 +63,15 @@ val node_exec : t -> int -> Exec.t
 val server_exec : t -> Exec.t
 
 val crossing_traffic : t -> int * int
-(** Total (elements, bytes) that crossed the node→server boundary so
-    far. *)
+(** Total (elements, bytes) {e offered} to the node→server boundary so
+    far (shed crossings included). *)
+
+val dropped : t -> int
+(** Crossings shed so far (0 in lossless mode). *)
+
+val drop_counts : t -> int array
+(** Per-operator shed counts: index [i] counts dropped crossings that
+    were emitted by operator [i]. *)
+
+val queued : t -> int
+(** Crossings currently waiting in the inter-half queue. *)
