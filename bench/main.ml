@@ -21,11 +21,12 @@ let experiments =
     ("micro", fun () -> Micro.run ());
     ("lp", fun () -> Lp_micro.run ());
     ("faults", fun () -> Faults.run ());
+    ("placement", fun () -> Placement_bench.run ());
   ]
 
 let default_order =
   [ "fig3"; "fig5a"; "fig5b"; "fig6"; "fig7"; "fig8"; "fig9"; "headline";
-    "ablations"; "micro"; "lp"; "faults" ]
+    "ablations"; "micro"; "lp"; "faults"; "placement" ]
 
 let () =
   match Array.to_list Sys.argv with

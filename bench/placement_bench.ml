@@ -1,0 +1,213 @@
+(* Placement-core benchmark: the generic tier-graph solver on the
+   two-tier hot path and on deeper chains.
+
+   The tier-graph refactor routed every partitioner call through
+   [Wishbone.Placement]; the number that must not regress is the
+   two-tier hot path (the rate search re-solves it dozens of times).
+   For each instance this bench times the full pipeline
+   (contract + encode + branch & bound + verify) against the pure
+   branch & bound on a pre-encoded problem — the irreducible solver
+   floor — and reports the difference as builder overhead, which the
+   refactor keeps under 10% at rate-search-boundary instances.
+
+   Also solves a four-tier synthetic chain (tmote -> meraki ->
+   gumstix -> server) end-to-end to exercise the level-variable
+   encoding beyond the legacy formulations.
+
+   Writes BENCH_placement.json at the repo root:
+
+     dune exec bench/main.exe -- placement *)
+
+type inst_result = {
+  name : string;
+  n_ops : int;
+  n_super : int;
+  rate : float;
+  reps : int;
+  total_ms : float;  (* mean ms per full Placement.solve *)
+  solver_ms : float;  (* mean ms per pre-encoded Branch_bound.solve *)
+  overhead_pct : float;
+  objective : float;
+}
+
+let time_n reps f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (f ())
+  done;
+  (Unix.gettimeofday () -. t0) *. 1000. /. Float.of_int reps
+
+let bench_two_tier ~name ~reps spec =
+  (* pin the instance at its feasibility boundary — the rate the
+     search hammers hardest *)
+  let rate =
+    match Wishbone.Rate_search.search_placement (Wishbone.Placement.of_spec spec) with
+    | Some r -> r.Wishbone.Rate_search.placement_multiplier
+    | None -> 1.0
+  in
+  let pl = Wishbone.Placement.of_spec (Wishbone.Spec.scale_rate spec rate) in
+  let c = Wishbone.Preprocess.contract pl.Wishbone.Placement.spec in
+  let total_ms =
+    time_n reps (fun () -> Wishbone.Placement.solve pl)
+  in
+  let enc = Wishbone.Placement.encode Wishbone.Placement.Restricted pl c in
+  let solver_ms =
+    time_n reps (fun () ->
+        Lp.Branch_bound.solve enc.Wishbone.Placement.problem)
+  in
+  let objective =
+    match Wishbone.Placement.solve pl with
+    | Wishbone.Placement.Partitioned r -> r.Wishbone.Placement.objective
+    | _ -> nan
+  in
+  let overhead_pct = 100. *. (total_ms -. solver_ms) /. Float.max 1e-9 total_ms in
+  Bench_util.row
+    "%-8s x%.4f  %8.3f ms/solve  (solver floor %8.3f ms)  overhead %5.1f%%\n"
+    name rate total_ms solver_ms overhead_pct;
+  {
+    name;
+    n_ops = Dataflow.Graph.n_ops pl.Wishbone.Placement.spec.Wishbone.Spec.graph;
+    n_super = c.Wishbone.Preprocess.n_super;
+    rate;
+    reps;
+    total_ms;
+    solver_ms;
+    overhead_pct;
+    objective;
+  }
+
+(* four platforms deep: node radio, then two successively fatter
+   uplinks, weights falling off 0.3 per hop as in Three_tier *)
+let four_tier_chain raw spec =
+  let n = Array.length spec.Wishbone.Spec.cpu in
+  let tier (p : Profiler.Platform.t) =
+    let costed = Profiler.Profile.cost raw p in
+    {
+      Wishbone.Placement.tname = p.name;
+      cpu = costed.Profiler.Profile.cpu_fraction;
+      cpu_budget = p.cpu_budget;
+      alpha = 0.;
+    }
+  in
+  let middles = [ Profiler.Platform.meraki; Profiler.Platform.gumstix ] in
+  Wishbone.Placement.v ~spec
+    ~tiers:
+      ([
+         {
+           Wishbone.Placement.tname = "node";
+           cpu = spec.Wishbone.Spec.cpu;
+           cpu_budget = spec.Wishbone.Spec.cpu_budget;
+           alpha = spec.Wishbone.Spec.alpha;
+         };
+       ]
+      @ List.map tier middles
+      @ [
+          {
+            Wishbone.Placement.tname = "server";
+            cpu = Array.make n 0.;
+            cpu_budget = infinity;
+            alpha = 0.;
+          };
+        ])
+    ~links:
+      ({
+         Wishbone.Placement.lname = "radio0";
+         net_budget = spec.Wishbone.Spec.net_budget;
+         beta = spec.Wishbone.Spec.beta;
+       }
+      :: List.mapi
+           (fun i (p : Profiler.Platform.t) ->
+             {
+               Wishbone.Placement.lname = Printf.sprintf "uplink%d" (i + 1);
+               net_budget = p.Profiler.Platform.radio_bytes_per_sec;
+               beta = spec.Wishbone.Spec.beta *. (0.3 ** Float.of_int (i + 1));
+             })
+           middles)
+
+type chain_result = {
+  c_rate : float;
+  c_wall_ms : float;
+  c_objective : float;
+  c_tiers : int array;  (* operator count per tier *)
+}
+
+let bench_chain raw spec =
+  let pl = four_tier_chain raw spec in
+  let rate =
+    match Wishbone.Rate_search.search_placement pl with
+    | Some r -> r.Wishbone.Rate_search.placement_multiplier
+    | None -> 1.0
+  in
+  let pl = Wishbone.Placement.scale_rate pl rate in
+  let wall_ms = time_n 20 (fun () -> Wishbone.Placement.solve pl) in
+  match Wishbone.Placement.solve pl with
+  | Wishbone.Placement.Partitioned r ->
+      let counts = Array.make (Wishbone.Placement.n_tiers pl) 0 in
+      Array.iter (fun t -> counts.(t) <- counts.(t) + 1) r.tier_of;
+      Bench_util.row
+        "4-tier   x%.4f  %8.3f ms/solve  objective %.1f  ops/tier %s\n" rate
+        wall_ms r.objective
+        (String.concat "/"
+           (Array.to_list (Array.map string_of_int counts)));
+      { c_rate = rate; c_wall_ms = wall_ms; c_objective = r.objective;
+        c_tiers = counts }
+  | _ ->
+      Bench_util.row "4-tier   x%.4f  no feasible placement\n" rate;
+      { c_rate = rate; c_wall_ms = wall_ms; c_objective = nan;
+        c_tiers = [||] }
+
+let write_json insts (chain : chain_result) =
+  let oc = open_out "BENCH_placement.json" in
+  (* the guard: relative overhead under 10%, or absolute overhead
+     under 50us — a sub-50us encode on a microsecond-scale instance
+     cannot regress any workload that notices *)
+  let guard r = r.overhead_pct < 10. || r.total_ms -. r.solver_ms < 0.05 in
+  let inst r =
+    Printf.sprintf
+      "    {\"name\": \"%s\", \"n_ops\": %d, \"n_super\": %d, \"rate\": \
+       %.6f, \"reps\": %d, \"total_ms\": %.4f, \"solver_ms\": %.4f, \
+       \"overhead_pct\": %.2f, \"objective\": %.6f, \"guard_ok\": %b}"
+      r.name r.n_ops r.n_super r.rate r.reps r.total_ms r.solver_ms
+      r.overhead_pct r.objective (guard r)
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"placement_core_overhead\",\n\
+    \  \"two_tier\": [\n%s\n  ],\n\
+    \  \"four_tier_chain\": {\"rate\": %.6f, \"wall_ms\": %.4f, \
+     \"objective\": %.6f, \"ops_per_tier\": [%s]}\n\
+     }\n"
+    (String.concat ",\n" (List.map inst insts))
+    chain.c_rate chain.c_wall_ms chain.c_objective
+    (String.concat ", "
+       (Array.to_list (Array.map string_of_int chain.c_tiers)));
+  close_out oc
+
+let run () =
+  Bench_util.header
+    "placement core: generic tier-graph solve vs raw solver floor";
+  Bench_util.paper_vs
+    "refactor guard: the generic encoder must stay within 10% of the pure \
+     branch & bound on the two-tier hot path";
+  let speech_spec =
+    Bench_util.spec_exn ~platform:Profiler.Platform.tmote_sky
+      (Lazy.force Bench_util.speech_profile)
+  in
+  let eeg14_raw = Apps.Eeg.profile ~duration:30. (Apps.Eeg.build ~n_channels:14 ()) in
+  let eeg14_spec =
+    Bench_util.spec_exn ~mode:Wishbone.Movable.Permissive
+      ~platform:Profiler.Platform.tmote_sky eeg14_raw
+  in
+  let eeg22_raw = Apps.Eeg.profile ~duration:30. (Apps.Eeg.build ()) in
+  let eeg22_spec =
+    Bench_util.spec_exn ~mode:Wishbone.Movable.Permissive
+      ~platform:Profiler.Platform.tmote_sky eeg22_raw
+  in
+  (* bind sequentially: OCaml evaluates list elements right-to-left *)
+  let speech_r = bench_two_tier ~name:"speech" ~reps:100 speech_spec in
+  let eeg14_r = bench_two_tier ~name:"eeg14" ~reps:20 eeg14_spec in
+  let eeg22_r = bench_two_tier ~name:"eeg22" ~reps:10 eeg22_spec in
+  let insts = [ speech_r; eeg14_r; eeg22_r ] in
+  let chain = bench_chain (Lazy.force Bench_util.speech_profile) speech_spec in
+  write_json insts chain;
+  Bench_util.row "wrote BENCH_placement.json\n"

@@ -86,6 +86,93 @@ let mode_arg =
            upstream of state; permissive relocates with per-node state \
            tables (§2.1.1).")
 
+(* ---- tier chains (--tiers) ---- *)
+
+let tiers_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tiers" ] ~docv:"PLAT,PLAT,..."
+        ~doc:
+          "Solve over a multi-tier platform chain instead of the two-way \
+           cut: comma-separated platform names, node-most first (e.g. \
+           $(b,tmote,gumstix)); an unbudgeted central server is appended \
+           implicitly.  Overrides $(b,--platform) for the node tier.")
+
+let parse_chain s =
+  let names =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  if names = [] then Error "--tiers: empty platform chain"
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest -> (
+          match Profiler.Platform.find n with
+          | p -> go (p :: acc) rest
+          | exception Not_found ->
+              Error (Printf.sprintf "--tiers: unknown platform %S" n))
+    in
+    go [] names
+
+(* The spec (built for the chain's first platform) is tier 0, each
+   further platform a middle tier, plus an implicit unbudgeted central
+   server.  Link k leaves tier k on that tier's radio; the per-byte
+   objective weight falls off by 0.3 per hop — Three_tier's
+   beta_micro default, upstream radio bytes being the scarce
+   resource. *)
+let placement_of_chain (spec : Wishbone.Spec.t) raw middles =
+  let n = Array.length spec.Wishbone.Spec.cpu in
+  let node_tier =
+    {
+      Wishbone.Placement.tname = "node";
+      cpu = spec.Wishbone.Spec.cpu;
+      cpu_budget = spec.Wishbone.Spec.cpu_budget;
+      alpha = spec.Wishbone.Spec.alpha;
+    }
+  in
+  let middle_tiers =
+    List.map
+      (fun (p : Profiler.Platform.t) ->
+        let costed = Profiler.Profile.cost raw p in
+        {
+          Wishbone.Placement.tname = p.name;
+          cpu = costed.Profiler.Profile.cpu_fraction;
+          cpu_budget = p.cpu_budget;
+          alpha = 0.;
+        })
+      middles
+  in
+  let server =
+    {
+      Wishbone.Placement.tname = "server";
+      cpu = Array.make n 0.;
+      cpu_budget = infinity;
+      alpha = 0.;
+    }
+  in
+  let links =
+    {
+      Wishbone.Placement.lname = "radio0";
+      net_budget = spec.Wishbone.Spec.net_budget;
+      beta = spec.Wishbone.Spec.beta;
+    }
+    :: List.mapi
+         (fun i (p : Profiler.Platform.t) ->
+           {
+             Wishbone.Placement.lname = Printf.sprintf "uplink%d" (i + 1);
+             net_budget = p.Profiler.Platform.radio_bytes_per_sec;
+             beta =
+               spec.Wishbone.Spec.beta *. (0.3 ** Float.of_int (i + 1));
+           })
+         middles
+  in
+  Wishbone.Placement.v ~spec
+    ~tiers:((node_tier :: middle_tiers) @ [ server ])
+    ~links
+
 (* ---- app construction ---- *)
 
 type built = {
@@ -182,51 +269,101 @@ let partition_cmd =
           ~doc:"Binary-search the maximum sustainable rate instead of \
                 partitioning at --rate.")
   in
-  let run app platform duration mode rate dot search =
+  let run app platform duration mode rate dot search tiers =
     let b = build_app app in
     let raw = b.profile ~duration in
-    match Wishbone.Spec.of_profile ~mode ~node_platform:platform raw with
+    let chain =
+      match tiers with
+      | None -> None
+      | Some s -> (
+          match parse_chain s with
+          | Ok c -> Some c
+          | Error m ->
+              Printf.eprintf "error: %s\n" m;
+              exit 1)
+    in
+    let node_platform =
+      match chain with Some (p :: _) -> p | _ -> platform
+    in
+    let write_dot assignment =
+      match dot with
+      | Some path ->
+          let costed = Profiler.Profile.cost raw node_platform in
+          Wishbone.Viz.save ~path ~assignment ~costed raw;
+          Printf.printf "wrote %s\n" path
+      | None -> ()
+    in
+    match Wishbone.Spec.of_profile ~mode ~node_platform raw with
     | Error m ->
         Printf.eprintf "error: %s\n" m;
         exit 1
-    | Ok spec ->
-        let finish (report : Wishbone.Partitioner.report) =
-          Format.printf "%a@."
-            (Wishbone.Partitioner.pp_report b.graph)
-            report;
-          match dot with
-          | Some path ->
-              let costed = Profiler.Profile.cost raw platform in
-              Wishbone.Viz.save ~path ~assignment:report.assignment ~costed raw;
-              Printf.printf "wrote %s\n" path
-          | None -> ()
-        in
-        if search then
-          match Wishbone.Rate_search.search spec with
-          | Some { rate_multiplier; report } ->
-              Printf.printf "maximum sustainable rate: x%.4f\n" rate_multiplier;
-              finish report
-          | None ->
-              print_endline "no feasible partition at any rate";
-              exit 1
-        else
-          let spec = Wishbone.Spec.scale_rate spec rate in
-          match Wishbone.Partitioner.solve spec with
-          | Wishbone.Partitioner.Partitioned report -> finish report
-          | Wishbone.Partitioner.No_feasible_partition ->
-              print_endline
-                "no feasible partition at this rate; try --search";
-              exit 1
-          | Wishbone.Partitioner.Solver_failure m ->
-              Printf.eprintf "solver failure: %s\n" m;
-              exit 1
+    | Ok spec -> (
+        match chain with
+        | None -> (
+            let finish (report : Wishbone.Partitioner.report) =
+              Format.printf "%a@."
+                (Wishbone.Partitioner.pp_report b.graph)
+                report;
+              write_dot report.assignment
+            in
+            if search then
+              match Wishbone.Rate_search.search spec with
+              | Some { rate_multiplier; report } ->
+                  Printf.printf "maximum sustainable rate: x%.4f\n"
+                    rate_multiplier;
+                  finish report
+              | None ->
+                  print_endline "no feasible partition at any rate";
+                  exit 1
+            else
+              let spec = Wishbone.Spec.scale_rate spec rate in
+              match Wishbone.Partitioner.solve spec with
+              | Wishbone.Partitioner.Partitioned report -> finish report
+              | Wishbone.Partitioner.No_feasible_partition ->
+                  print_endline
+                    "no feasible partition at this rate; try --search";
+                  exit 1
+              | Wishbone.Partitioner.Solver_failure m ->
+                  Printf.eprintf "solver failure: %s\n" m;
+                  exit 1)
+        | Some chain -> (
+            let pl = placement_of_chain spec raw (List.tl chain) in
+            let finish pl (r : Wishbone.Placement.report) =
+              Format.printf "%a@." (Wishbone.Placement.pp_report b.graph pl) r;
+              write_dot (Array.map (fun tier -> tier = 0) r.tier_of)
+            in
+            if search then
+              match Wishbone.Rate_search.search_placement pl with
+              | Some { placement_multiplier; placement_report } ->
+                  Printf.printf "maximum sustainable rate: x%.4f\n"
+                    placement_multiplier;
+                  finish
+                    (Wishbone.Placement.scale_rate pl placement_multiplier)
+                    placement_report
+              | None ->
+                  print_endline "no feasible placement at any rate";
+                  exit 1
+            else
+              let pl = Wishbone.Placement.scale_rate pl rate in
+              match Wishbone.Placement.solve pl with
+              | Wishbone.Placement.Partitioned r -> finish pl r
+              | Wishbone.Placement.No_feasible_partition ->
+                  print_endline
+                    "no feasible placement at this rate; try --search";
+                  exit 1
+              | Wishbone.Placement.Solver_failure m ->
+                  Printf.eprintf "solver failure: %s\n" m;
+                  exit 1))
   in
   Cmd.v
     (Cmd.info "partition"
-       ~doc:"Compute the optimal node/server partition (§4).")
+       ~doc:
+         "Compute the optimal node/server partition (§4), or — with \
+          $(b,--tiers) — the optimal placement over a multi-tier platform \
+          chain.")
     Term.(
       const run $ app_arg $ platform_arg $ duration_arg $ mode_arg $ rate_arg
-      $ dot_arg $ search_arg)
+      $ dot_arg $ search_arg $ tiers_arg)
 
 let sweep_cmd =
   let from_arg =
@@ -330,9 +467,86 @@ let deploy_cmd =
   let seed_arg =
     Arg.(value & opt int 5 & info [ "seed" ] ~docv:"N" ~doc:"Simulation seed.")
   in
+  let run_tiers_deploy ~chain ~platform:_ ~nodes ~sim_duration ~rate ~seed t =
+    let node_platform = List.hd chain in
+    let raw = Apps.Speech.profile ~duration:10. t in
+    match
+      Wishbone.Spec.of_profile ~mode:Wishbone.Movable.Conservative
+        ~node_platform raw
+    with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 1
+    | Ok spec -> (
+        let spec = Wishbone.Spec.scale_rate spec rate in
+        let pl = placement_of_chain spec raw (List.tl chain) in
+        match Wishbone.Placement.solve pl with
+        | Wishbone.Placement.No_feasible_partition ->
+            print_endline "no feasible placement at this rate";
+            exit 1
+        | Wishbone.Placement.Solver_failure m ->
+            Printf.eprintf "solver failure: %s\n" m;
+            exit 1
+        | Wishbone.Placement.Partitioned r ->
+            Format.printf "%a@."
+              (Wishbone.Placement.pp_report t.Apps.Speech.graph pl)
+              r;
+            let n_links = Wishbone.Placement.n_tiers pl - 1 in
+            (* every link is a bounded shedding channel so overload
+               shows up as per-link drop counters, not silence *)
+            let links =
+              List.init n_links (fun k ->
+                  Some
+                    {
+                      Runtime.Multirun.policy = Runtime.Shed.Drop_newest;
+                      capacity = 8;
+                      service = 1;
+                      seed = seed + k;
+                    })
+            in
+            let sources =
+              List.map
+                (fun (s : Netsim.Testbed.source_spec) -> (s.source, s.gen))
+                (Apps.Speech.testbed_sources ~rate_mult:rate t)
+            in
+            let rounds = Int.max 1 (int_of_float sim_duration) in
+            let tc =
+              Wishbone.Deploy.run_tiers ~n_nodes:nodes ~links ~rounds
+                ~placement:pl ~tier_of:r.tier_of ~sources ()
+            in
+            (* rounds injections per node at frame_rate*rate windows/s
+               -> per-node offered B/s for the predicted-vs-measured
+               comparison *)
+            let per_sec bytes =
+              Float.of_int bytes
+              *. Apps.Speech.frame_rate *. rate
+              /. Float.of_int (rounds * nodes)
+            in
+            Printf.printf "%-10s %16s %16s %10s\n" "link" "predicted B/s"
+              "offered B/s" "dropped";
+            for k = 0 to n_links - 1 do
+              Printf.printf "%-10s %16.1f %16.1f %10d\n"
+                pl.Wishbone.Placement.links.(k).Wishbone.Placement.lname
+                tc.Wishbone.Deploy.predicted_link_net.(k)
+                (per_sec tc.Wishbone.Deploy.offered_bytes.(k))
+                tc.Wishbone.Deploy.link_dropped.(k)
+            done;
+            Printf.printf "sink outputs: %d\n"
+              tc.Wishbone.Deploy.sink_outputs)
+  in
   let run platform nodes cut sim_duration faults burst_loss crash_rate
-      reliable adaptive rate seed =
+      reliable adaptive rate seed tiers =
     let t = Apps.Speech.build () in
+    match tiers with
+    | Some s -> (
+        match parse_chain s with
+        | Error m ->
+            Printf.eprintf "error: %s\n" m;
+            exit 1
+        | Ok chain ->
+            run_tiers_deploy ~chain ~platform ~nodes ~sim_duration ~rate ~seed
+              t)
+    | None ->
     let assignment = Apps.Speech.cut_assignment t cut in
     let link =
       if platform.Profiler.Platform.radio_payload_bytes <= 64 then
@@ -415,12 +629,15 @@ let deploy_cmd =
   in
   Cmd.v
     (Cmd.info "deploy"
-       ~doc:"Run the speech app on the simulated wireless testbed (§7.3), \
-             optionally under injected faults.")
+       ~doc:
+         "Run the speech app on the simulated wireless testbed (§7.3), \
+          optionally under injected faults; with $(b,--tiers), execute a \
+          multi-tier placement through the tier-level engine with bounded \
+          inter-tier channels.")
     Term.(
       const run $ platform_arg $ nodes_arg $ cut_arg $ sim_duration_arg
       $ faults_arg $ burst_loss_arg $ crash_rate_arg $ reliable_arg
-      $ adaptive_arg $ rate_arg $ seed_arg)
+      $ adaptive_arg $ rate_arg $ seed_arg $ tiers_arg)
 
 let netprofile_cmd =
   let nodes_arg =

@@ -4,10 +4,11 @@ type oracle =
   | Cut_enumeration
   | Split_equivalence
   | Degradation
+  | Placement_equivalence
 
 let all_oracles =
   [ Lp_certificate; Ilp_brute; Cut_enumeration; Split_equivalence;
-    Degradation ]
+    Degradation; Placement_equivalence ]
 
 let oracle_name = function
   | Lp_certificate -> "lp-certificate"
@@ -15,11 +16,13 @@ let oracle_name = function
   | Cut_enumeration -> "cut-enumeration"
   | Split_equivalence -> "split-equivalence"
   | Degradation -> "degradation"
+  | Placement_equivalence -> "placement-equivalence"
 
 let oracle_of_name s =
-  List.find_opt
-    (fun o -> oracle_name o = String.lowercase_ascii (String.trim s))
-    all_oracles
+  let s = String.lowercase_ascii (String.trim s) in
+  (* "placement" is accepted as a short alias *)
+  if s = "placement" then Some Placement_equivalence
+  else List.find_opt (fun o -> oracle_name o = s) all_oracles
 
 let oracle_index = function
   | Lp_certificate -> 0
@@ -27,6 +30,7 @@ let oracle_index = function
   | Cut_enumeration -> 2
   | Split_equivalence -> 3
   | Degradation -> 4
+  | Placement_equivalence -> 5
 
 type config = {
   seed : int;
@@ -176,6 +180,20 @@ let run_case cfg oracle ~case =
       in
       let s = Gen.spec gen_rng scfg in
       let check s = Oracle.degradation (chk ()) s in
+      match check s with
+      | Oracle.Pass -> None
+      | Oracle.Fail msg ->
+          let small =
+            if cfg.shrink then Shrink.spec (safe_fails check) s else s
+          in
+          mk (remsg check small msg) (pp_spec small))
+  | Placement_equivalence -> (
+      let scfg = spec_cfg gen_rng ~size:cfg.size in
+      let s = Gen.spec gen_rng scfg in
+      (* the synthesized microserver tier re-derives from the case
+         seed, so the shrink predicate stays a pure function of the
+         spec *)
+      let check s = Oracle.placement_equivalence (chk ()) s in
       match check s with
       | Oracle.Pass -> None
       | Oracle.Fail msg ->

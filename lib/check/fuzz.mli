@@ -15,6 +15,9 @@ type oracle =
   | Split_equivalence
   | Degradation
       (** shedding split execution loses subtractively, never corrupts *)
+  | Placement_equivalence
+      (** the generic placement core agrees with the dedicated two- and
+          three-tier enumerations ("placement" is a CLI alias) *)
 
 val all_oracles : oracle list
 val oracle_name : oracle -> string

@@ -464,6 +464,138 @@ let degradation rng (spec : Wishbone.Spec.t) =
     else Pass
   end
 
+(* ---- oracle 6: generic placement vs the dedicated solvers ---- *)
+
+(* "solver budget exhausted" is the one Solver_failure that is not a
+   bug — the branch & bound hit its node/time budget, so the case is
+   inconclusive, like the ilp-brute budget guard *)
+let budget_failure msg = msg = "solver budget exhausted"
+
+let two_tier_placement (spec : Wishbone.Spec.t) =
+  let pl = Wishbone.Placement.of_spec spec in
+  let brute = Wishbone.Partitioner.brute_force spec in
+  match (Wishbone.Placement.solve pl, brute) with
+  | Wishbone.Placement.Solver_failure msg, _ ->
+      if budget_failure msg then Ok ()
+      else Error (Printf.sprintf "two-tier: solver failure: %s" msg)
+  | Wishbone.Placement.No_feasible_partition, None -> Ok ()
+  | Wishbone.Placement.No_feasible_partition, Some (_, b) ->
+      Error
+        (Printf.sprintf
+           "two-tier: placement says infeasible but a cut with objective %g \
+            exists"
+           b)
+  | Wishbone.Placement.Partitioned _, None ->
+      Error "two-tier: placement found a cut but enumeration finds none"
+  | Wishbone.Placement.Partitioned r, Some (_, b) ->
+      let node_side =
+        Array.map (fun tier -> tier = 0) r.Wishbone.Placement.tier_of
+      in
+      let tol = 1e-5 *. (1. +. Float.abs b) in
+      if not (Wishbone.Spec.feasible spec ~node_side) then
+        Error "two-tier: placement's assignment is infeasible"
+      else if not (Wishbone.Placement.feasible pl ~tier_of:r.tier_of) then
+        Error "two-tier: Placement.feasible rejects its own solution"
+      else begin
+        let obj = Wishbone.Spec.objective_value spec ~node_side in
+        let cpu, net = Wishbone.Placement.stats pl ~tier_of:r.tier_of in
+        let gobj = Wishbone.Placement.objective_value pl ~tier_of:r.tier_of in
+        if Float.abs (obj -. b) > tol then
+          Error
+            (Printf.sprintf
+               "two-tier: placement objective %g but enumeration's optimum \
+                is %g"
+               obj b)
+        else if Float.abs (r.objective -. gobj) > tol then
+          Error
+            (Printf.sprintf
+               "two-tier: report objective %g but the assignment evaluates \
+                to %g"
+               r.objective gobj)
+        else if
+          Float.abs (cpu.(0) -. r.tier_cpu.(0)) > tol
+          || Float.abs (net.(0) -. r.link_net.(0)) > tol
+        then
+          Error
+            (Printf.sprintf
+               "two-tier: report says (cpu %g, net %g) but stats say (%g, %g)"
+               r.tier_cpu.(0) r.link_net.(0) cpu.(0) net.(0))
+        else Ok ()
+      end
+
+let three_tier_placement rng (spec : Wishbone.Spec.t) =
+  (* synthesize a microserver tier: cheaper per-op CPU than the mote,
+     randomly budgeted middle resources, a randomly weighted uplink *)
+  let micro_cpu =
+    Array.map (fun c -> c *. Prng.uniform rng 0.05 0.6) spec.cpu
+  in
+  let micro_total = Array.fold_left ( +. ) 0. micro_cpu in
+  let micro_cpu_budget =
+    if Prng.bool rng 0.5 then infinity
+    else Prng.uniform rng 0.3 1.2 *. Float.max 1e-6 micro_total
+  in
+  let total_bw = Array.fold_left ( +. ) 0. spec.bandwidth in
+  let micro_net_budget =
+    if Prng.bool rng 0.5 then infinity
+    else Prng.uniform rng 0.3 1.2 *. Float.max 1e-6 total_bw
+  in
+  let beta_micro = Prng.uniform rng 0.05 1.0 in
+  let tt =
+    Wishbone.Three_tier.of_spec ~micro_cpu_budget ~micro_net_budget
+      ~beta_micro ~micro_cpu spec
+  in
+  match (Wishbone.Three_tier.solve tt, Wishbone.Three_tier.brute_force tt) with
+  | Wishbone.Three_tier.Solver_failure msg, _ ->
+      if budget_failure msg then Ok ()
+      else Error (Printf.sprintf "three-tier: solver failure: %s" msg)
+  | Wishbone.Three_tier.No_feasible_partition, None -> Ok ()
+  | Wishbone.Three_tier.No_feasible_partition, Some (_, b) ->
+      Error
+        (Printf.sprintf
+           "three-tier: placement says infeasible but an assignment with \
+            objective %g exists"
+           b)
+  | Wishbone.Three_tier.Partitioned _, None ->
+      Error "three-tier: placement found an assignment, enumeration none"
+  | Wishbone.Three_tier.Partitioned r, Some (_, b) ->
+      let tol = 1e-5 *. (1. +. Float.abs b) in
+      let rank = function
+        | Wishbone.Three_tier.Mote -> 2
+        | Wishbone.Three_tier.Microserver -> 1
+        | Wishbone.Three_tier.Central -> 0
+      in
+      let non_monotone =
+        Array.exists
+          (fun (e : Graph.edge) ->
+            rank r.tiers.(e.src) < rank r.tiers.(e.dst))
+          (Graph.edges spec.graph)
+      in
+      if non_monotone then
+        Error "three-tier: returned tiers ascend along an edge"
+      else if Float.abs (r.objective -. b) > tol then
+        Error
+          (Printf.sprintf
+             "three-tier: placement objective %g but enumeration's optimum \
+              is %g"
+             r.objective b)
+      else Ok ()
+
+let placement_equivalence rng (spec : Wishbone.Spec.t) =
+  let n_movable =
+    Array.fold_left
+      (fun acc p -> if p = Wishbone.Movable.Movable then acc + 1 else acc)
+      0 spec.placement
+  in
+  let c = Wishbone.Preprocess.contract spec in
+  if n_movable > 16 || c.Wishbone.Preprocess.n_super > 12 then Pass
+  else
+    match two_tier_placement spec with
+    | Error msg -> Fail msg
+    | Ok () -> (
+        match three_tier_placement rng spec with
+        | Error msg -> Fail msg
+        | Ok () -> Pass)
+
 let split_equivalence rng (spec : Wishbone.Spec.t) =
   let cuts = [ ("random cut", Gen.random_cut rng spec) ] in
   let cuts =

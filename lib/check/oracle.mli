@@ -1,4 +1,4 @@
-(** The five correctness oracles behind [bin/fuzz] (DESIGN.md §11).
+(** The six correctness oracles behind [bin/fuzz] (DESIGN.md §11).
 
     Each oracle takes one generated instance and either passes or
     fails with a human-readable explanation.  All randomness is drawn
@@ -46,6 +46,22 @@ val degradation : Prng.t -> Wishbone.Spec.t -> outcome
     the two runs must agree exactly.  Instances that place a stateful
     operator downstream of the queue (outside conservative placement's
     guarantee) pass trivially. *)
+
+val placement_equivalence : Prng.t -> Wishbone.Spec.t -> outcome
+(** The generic {!Wishbone.Placement} core against the dedicated
+    solvers' independent enumerations.  Two-tier:
+    [Placement.solve (Placement.of_spec spec)] must agree with
+    {!Wishbone.Partitioner.brute_force} on feasibility and optimal
+    objective, its report must be internally consistent with
+    {!Wishbone.Placement.stats}/[objective_value], and
+    {!Wishbone.Placement.feasible} must accept the solution.
+    Three-tier: a randomly synthesized microserver tier (cheaper
+    per-op CPU, random budgets and uplink weight) solved through
+    {!Wishbone.Three_tier} (hence {!Wishbone.Placement}) must agree
+    with {!Wishbone.Three_tier.brute_force} and return monotonically
+    descending tiers.  Instances with more than 16 movable operators
+    or 12 supernodes pass trivially, as do solves that exhaust the
+    branch-and-bound budget. *)
 
 val split_equivalence : Prng.t -> Wishbone.Spec.t -> outcome
 (** Execute the same injected samples through {!Runtime.Exec.full} and

@@ -1,0 +1,85 @@
+(** Multi-tier split execution: N engine instances connected by
+    bounded channels, driven from a placement.
+
+    The operator graph is cut into [n_tiers] slices (tier 0 the
+    embedded node, the last tier the central server) and each slice
+    runs in its own {!Exec} engine; tier 0 is replicated [n_nodes]
+    times, deeper tiers host per-node state for [Node]-namespace
+    operators relocated off the node.  Consecutive tiers are joined by
+    a {e link}: either perfect (lossless, zero-latency — crossings are
+    executed downstream immediately) or a bounded {!Shed} channel with
+    a per-injection service rate and per-operator drop accounting, the
+    overloaded-link semantics of §6.
+
+    A crossing emitted at tier [p] for an operator on tier [q > p]
+    traverses links [p .. q-1] in order: it is counted as offered on
+    each, forwarded straight through lossless links, and parked in the
+    first bounded channel on its way (service then moves it onwards).
+    Channels are serviced in ascending link order, so data drains
+    node-most first — matching the two-tier runtime exactly.
+
+    {!Splitrun} is the two-tier instance of this engine and keeps its
+    historical behaviour bit-for-bit (pinned by regression tests). *)
+
+type link_config = {
+  policy : Shed.policy;
+  capacity : int;  (** channel bound *)
+  service : int;
+      (** crossings serviced from this channel per injection; [0]
+          defers all service to explicit {!drain} calls *)
+  seed : int;  (** for probabilistic policies *)
+}
+
+type t
+
+val create :
+  ?n_nodes:int ->
+  ?links:link_config option list ->
+  n_tiers:int ->
+  tier_of:(int -> int) ->
+  Dataflow.Graph.t ->
+  t
+(** [tier_of op] places each operator on a tier in [0 .. n_tiers-1].
+    [links] configures the [n_tiers - 1] inter-tier links ([None] =
+    perfect, the default for all).
+    @raise Invalid_argument on a bad tier count, a tier out of range,
+    or a [links] list of the wrong length. *)
+
+val reset : t -> unit
+(** Reset every engine, flush every channel and zero the traffic and
+    drop counters. *)
+
+val inject :
+  ?node:int -> t -> source:int -> Dataflow.Value.t -> Dataflow.Value.t list
+(** Push one sensor sample into [source] (a tier-0 operator) on the
+    given node (default 0).  Crossings are routed as described above;
+    each bounded channel then services up to its [service] quota.
+    Returns the values that reached sink operators, in order. *)
+
+val drain : ?limit:int -> t -> Dataflow.Value.t list
+(** Service up to [limit] parked crossings (default: all), ascending
+    link order, returning the resulting sink values.  Always [[]]
+    when every link is perfect. *)
+
+val n_tiers : t -> int
+val n_nodes : t -> int
+val tier_of : t -> int -> int
+
+val tier_exec : t -> tier:int -> int -> Exec.t
+(** [tier_exec t ~tier replica]: the engine of a tier (for statistics
+    inspection).  Tier 0 has [n_nodes] replicas; deeper tiers exactly
+    one. *)
+
+val link_traffic : t -> int -> int * int
+(** Per link: total (elements, bytes) {e offered} so far, shed
+    crossings included. *)
+
+val link_dropped : t -> int -> int
+(** Crossings shed on a link so far (0 for a perfect link). *)
+
+val link_drop_counts : t -> int -> int array
+(** Per-operator shed counts of one link: index [i] counts dropped
+    crossings emitted by operator [i]. *)
+
+val link_queued : t -> int -> int
+(** Crossings currently parked in a link's channel. *)

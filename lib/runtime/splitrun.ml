@@ -1,4 +1,9 @@
-open Dataflow
+(* Since the multi-tier runtime refactor this module is the two-tier
+   instance of [Multirun]: tier 0 is the node, tier 1 the server, and
+   the optional shed config becomes the single link's channel.  The
+   historical behaviour — every returned value, every counter — is
+   preserved bit-for-bit (pinned by the regression tests in
+   test_placement.ml). *)
 
 type shed_config = {
   policy : Shed.policy;
@@ -10,122 +15,46 @@ type shed_config = {
 let default_shed =
   { policy = Shed.Drop_newest; capacity = 8; service = 1; seed = 0 }
 
-type t = {
-  graph : Graph.t;
-  node_of : bool array;
-  nodes : Exec.t array;
-  server : Exec.t;
-  mutable cross_elems : int;
-  mutable cross_bytes : int;
-  (* shedding-aware channel between the halves; [None] = the original
-     lossless, zero-latency channel *)
-  shed : (int * Exec.crossing) Shed.t option;
-  service : int;
-  drop_counts : int array;  (* per operator: crossings shed at its output *)
-}
+type t = { mr : Multirun.t; node_of : bool array }
 
 let create ?(n_nodes = 1) ?shed ~node_of graph =
-  let n = Graph.n_ops graph in
+  let n = Dataflow.Graph.n_ops graph in
   let node_mask = Array.init n node_of in
-  let replicated i =
-    (Graph.op graph i).Op.namespace = Op.Node && not node_mask.(i)
+  let links =
+    [
+      Option.map
+        (fun c ->
+          {
+            Multirun.policy = c.policy;
+            capacity = c.capacity;
+            service = c.service;
+            seed = c.seed;
+          })
+        shed;
+    ]
   in
   {
-    graph;
+    mr =
+      Multirun.create ~n_nodes ~links ~n_tiers:2
+        ~tier_of:(fun i -> if node_mask.(i) then 0 else 1)
+        graph;
     node_of = node_mask;
-    nodes =
-      Array.init n_nodes (fun _ ->
-          Exec.create ~member:(fun i -> node_mask.(i)) graph);
-    server =
-      Exec.create ~replicated ~member:(fun i -> not node_mask.(i)) graph;
-    cross_elems = 0;
-    cross_bytes = 0;
-    shed =
-      Option.map
-        (fun c -> Shed.create ~seed:c.seed c.policy ~capacity:c.capacity)
-        shed;
-    service = (match shed with None -> 0 | Some c -> c.service);
-    drop_counts = Array.make n 0;
   }
 
-let reset t =
-  Array.iter Exec.reset t.nodes;
-  Exec.reset t.server;
-  t.cross_elems <- 0;
-  t.cross_bytes <- 0;
-  (match t.shed with
-  | Some q ->
-      let rec flush () = match Shed.pop q with Some _ -> flush () | None -> () in
-      flush ()
-  | None -> ());
-  Array.fill t.drop_counts 0 (Array.length t.drop_counts) 0
-
-let fire_server ?(node = 0) t (c : Exec.crossing) =
-  let f = Exec.fire ~node t.server ~op:c.edge.dst ~port:c.edge.dst_port c.value in
-  f.Exec.sink_values
-
-let drain ?limit t =
-  match t.shed with
-  | None -> []
-  | Some q ->
-      let acc = ref [] in
-      let budget = ref (match limit with None -> -1 | Some l -> l) in
-      let rec go () =
-        if !budget <> 0 then
-          match Shed.pop q with
-          | None -> ()
-          | Some (node, c) ->
-              decr budget;
-              acc := List.rev_append (fire_server ~node t c) !acc;
-              go ()
-      in
-      go ();
-      List.rev !acc
+let reset t = Multirun.reset t.mr
 
 let inject ?(node = 0) t ~source value =
-  if node < 0 || node >= Array.length t.nodes then
+  (* historical error messages, checked in historical order *)
+  if node < 0 || node >= Multirun.n_nodes t.mr then
     invalid_arg "Splitrun.inject: bad node id";
   if not t.node_of.(source) then
     invalid_arg "Splitrun.inject: source operator is not on the node";
-  let fired = Exec.fire t.nodes.(node) ~op:source ~port:0 value in
-  let sink_values = ref (List.rev fired.sink_values) in
-  (match t.shed with
-  | None ->
-      List.iter
-        (fun (c : Exec.crossing) ->
-          t.cross_elems <- t.cross_elems + 1;
-          t.cross_bytes <- t.cross_bytes + Value.size_bytes c.value;
-          sink_values :=
-            List.rev_append (fire_server ~node t c) !sink_values)
-        fired.crossings
-  | Some q ->
-      (* crossings enter the bounded inter-half queue; the server half
-         services a bounded number per injection, emulating a server
-         that cannot keep up with the offered crossing rate *)
-      List.iter
-        (fun (c : Exec.crossing) ->
-          t.cross_elems <- t.cross_elems + 1;
-          t.cross_bytes <- t.cross_bytes + Value.size_bytes c.value;
-          match Shed.push q (node, c) with
-          | Shed.Queued -> ()
-          | Shed.Dropped ->
-              t.drop_counts.(c.edge.src) <- t.drop_counts.(c.edge.src) + 1
-          | Shed.Displaced (_, old) ->
-              t.drop_counts.(old.Exec.edge.src) <-
-                t.drop_counts.(old.Exec.edge.src) + 1)
-        fired.crossings;
-      if t.service > 0 then
-        sink_values :=
-          List.rev_append (drain ~limit:t.service t) !sink_values);
-  List.rev !sink_values
+  Multirun.inject ~node t.mr ~source value
 
-let node_exec t i = t.nodes.(i)
-let server_exec t = t.server
-let crossing_traffic t = (t.cross_elems, t.cross_bytes)
-
-let dropped t =
-  match t.shed with Some q -> Shed.dropped q | None -> 0
-
-let drop_counts t = Array.copy t.drop_counts
-
-let queued t = match t.shed with Some q -> Shed.length q | None -> 0
+let drain ?limit t = Multirun.drain ?limit t.mr
+let node_exec t i = Multirun.tier_exec t.mr ~tier:0 i
+let server_exec t = Multirun.tier_exec t.mr ~tier:1 0
+let crossing_traffic t = Multirun.link_traffic t.mr 0
+let dropped t = Multirun.link_dropped t.mr 0
+let drop_counts t = Multirun.link_drop_counts t.mr 0
+let queued t = Multirun.link_queued t.mr 0

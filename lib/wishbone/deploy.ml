@@ -20,3 +20,51 @@ let run ~config ~sources ~spec ~assignment =
     measured_net = result.offered_bytes_per_sec;
     result;
   }
+
+type tier_comparison = {
+  predicted_tier_cpu : float array;
+  predicted_link_net : float array;
+  offered_elems : int array;
+  offered_bytes : int array;
+  link_dropped : int array;
+  link_drop_counts : int array array;
+  sink_outputs : int;
+}
+
+let run_tiers ?n_nodes ?links ?(rounds = 100) ~placement ~tier_of ~sources ()
+    =
+  let predicted_tier_cpu, predicted_link_net =
+    Placement.stats placement ~tier_of
+  in
+  let mr =
+    Runtime.Multirun.create ?n_nodes ?links
+      ~n_tiers:(Placement.n_tiers placement)
+      ~tier_of:(fun i -> tier_of.(i))
+      placement.Placement.spec.Spec.graph
+  in
+  let sinks = ref 0 in
+  for seq = 0 to rounds - 1 do
+    List.iter
+      (fun (source, gen) ->
+        for node = 0 to Runtime.Multirun.n_nodes mr - 1 do
+          sinks :=
+            !sinks
+            + List.length
+                (Runtime.Multirun.inject ~node mr ~source (gen ~node ~seq))
+        done)
+      sources
+  done;
+  sinks := !sinks + List.length (Runtime.Multirun.drain mr);
+  let n_links = Placement.n_tiers placement - 1 in
+  {
+    predicted_tier_cpu;
+    predicted_link_net;
+    offered_elems =
+      Array.init n_links (fun k -> fst (Runtime.Multirun.link_traffic mr k));
+    offered_bytes =
+      Array.init n_links (fun k -> snd (Runtime.Multirun.link_traffic mr k));
+    link_dropped = Array.init n_links (Runtime.Multirun.link_dropped mr);
+    link_drop_counts =
+      Array.init n_links (Runtime.Multirun.link_drop_counts mr);
+    sink_outputs = !sinks;
+  }

@@ -22,3 +22,30 @@ val run :
   spec:Spec.t ->
   assignment:bool array ->
   comparison
+
+(** Predicted-vs-offered comparison for a multi-tier deployment driven
+    through {!Runtime.Multirun} (tier-level, no radio simulation —
+    the radio testbed stays two-tier). *)
+type tier_comparison = {
+  predicted_tier_cpu : float array;  (** {!Placement.stats} CPU model *)
+  predicted_link_net : float array;  (** cut bandwidth per link *)
+  offered_elems : int array;  (** crossings offered per link *)
+  offered_bytes : int array;
+  link_dropped : int array;  (** crossings shed per bounded link *)
+  link_drop_counts : int array array;  (** per link, per operator *)
+  sink_outputs : int;
+}
+
+val run_tiers :
+  ?n_nodes:int ->
+  ?links:Runtime.Multirun.link_config option list ->
+  ?rounds:int ->
+  placement:Placement.t ->
+  tier_of:int array ->
+  sources:(int * (node:int -> seq:int -> Dataflow.Value.t)) list ->
+  unit ->
+  tier_comparison
+(** Execute a placement end-to-end: [rounds] (default 100) rounds of
+    one injection per (source, generator) pair per node, then a full
+    drain.  [tier_of] is the per-operator tier assignment (typically a
+    {!Placement.report}'s).  Every source must sit on tier 0. *)

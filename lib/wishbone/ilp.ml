@@ -1,4 +1,10 @@
-type encoding = General | Restricted
+(* The historical two-way encoder, now a facade: the actual
+   cost/crossing encoding lives in [Placement.encode]; with two tiers
+   it produces exactly the problem this module used to build (same
+   variables, constraints and objective, in the same order), so every
+   caller — and every warm-started basis — is unaffected. *)
+
+type encoding = Placement.encoding = General | Restricted
 
 type encoded = {
   problem : Lp.Problem.t;
@@ -7,125 +13,26 @@ type encoded = {
   edge_vars : (int * int * int * int) array;
 }
 
-type resource = { rname : string; per_op : float array; budget : float }
+type resource = Placement.resource = {
+  rname : string;
+  per_op : float array;
+  budget : float;
+}
 
-let encode ?(resources = []) encoding (c : Preprocess.contracted) =
-  let spec = c.spec in
-  let p = Lp.Problem.create () in
-  (* clamp vacuous budgets to the total cost they bound: equivalent
-     feasible regions, far better numerical scaling *)
-  let cpu_budget =
-    Float.min spec.Spec.cpu_budget
-      (Array.fold_left ( +. ) 1. c.cpu)
+let encode ?resources encoding (c : Preprocess.contracted) =
+  let enc =
+    Placement.encode ?resources encoding
+      (Placement.of_spec c.Preprocess.spec)
+      c
   in
-  let net_budget =
-    Float.min spec.Spec.net_budget
-      (Array.fold_left (fun acc (_, _, r) -> acc +. r) 1. c.edges)
-  in
-  (* one binary f_v per supernode; pinning via bounds, eq. (1) *)
-  let f_var =
-    Array.init c.n_super (fun s ->
-        let lo, hi =
-          match c.placement.(s) with
-          | Movable.Pin_node -> (1., 1.)
-          | Movable.Pin_server -> (0., 0.)
-          | Movable.Movable -> (0., 1.)
-        in
-        Lp.Problem.add_var ~name:(Printf.sprintf "f%d" s) ~lo ~hi
-          ~integer:true p)
-  in
-  (* objective coefficients accumulate per variable *)
-  let obj = Array.make c.n_super 0. in
-  Array.iteri
-    (fun s cost -> obj.(s) <- obj.(s) +. (spec.Spec.alpha *. cost))
-    c.cpu;
-  (* CPU budget, eq. (2) *)
-  let cpu_terms =
-    Array.to_list (Array.mapi (fun s cost -> (f_var.(s), cost)) c.cpu)
-  in
-  Lp.Problem.add_constr ~name:"cpu_budget" p cpu_terms Lp.Problem.Le
-    cpu_budget;
-  let net_terms = ref [] in
-  let edge_vars = ref [] in
-  (match encoding with
-  | Restricted ->
-      (* eq. (6): f_u >= f_v along every edge; eq. (7): net as a
-         telescoping sum of (f_u - f_v) r_uv *)
-      Array.iter
-        (fun (u, v, r) ->
-          Lp.Problem.add_constr
-            ~name:(Printf.sprintf "dir_%d_%d" u v)
-            p
-            [ (f_var.(u), 1.); (f_var.(v), -1.) ]
-            Lp.Problem.Ge 0.;
-          obj.(u) <- obj.(u) +. (spec.Spec.beta *. r);
-          obj.(v) <- obj.(v) -. (spec.Spec.beta *. r);
-          net_terms := (f_var.(u), r) :: (f_var.(v), -.r) :: !net_terms)
-        c.edges
-  | General ->
-      (* eq. (3): e_uv >= f_v - f_u and e'_uv >= f_u - f_v *)
-      Array.iter
-        (fun (u, v, r) ->
-          let e =
-            Lp.Problem.add_var ~name:(Printf.sprintf "e_%d_%d" u v) p
-          in
-          let e' =
-            Lp.Problem.add_var ~name:(Printf.sprintf "e'_%d_%d" u v) p
-          in
-          Lp.Problem.add_constr p
-            [ (f_var.(u), 1.); (f_var.(v), -1.); (e, 1.) ]
-            Lp.Problem.Ge 0.;
-          Lp.Problem.add_constr p
-            [ (f_var.(v), 1.); (f_var.(u), -1.); (e', 1.) ]
-            Lp.Problem.Ge 0.;
-          edge_vars := (u, v, e, e') :: !edge_vars;
-          net_terms := (e, r) :: (e', r) :: !net_terms)
-        c.edges);
-  (* network budget, eq. (4) *)
-  Lp.Problem.add_constr ~name:"net_budget" p !net_terms Lp.Problem.Le
-    net_budget;
-  (* optional resource rows (RAM, code storage): consumed on the node *)
-  let n_orig = Dataflow.Graph.n_ops spec.Spec.graph in
-  List.iter
-    (fun r ->
-      if Array.length r.per_op <> n_orig then
-        invalid_arg
-          (Printf.sprintf "Ilp.encode: resource %s has wrong length" r.rname);
-      let terms =
-        Array.to_list
-          (Array.mapi
-             (fun s members ->
-               let cost =
-                 List.fold_left (fun acc i -> acc +. r.per_op.(i)) 0. members
-               in
-               (f_var.(s), cost))
-             c.members)
-      in
-      let total =
-        Array.fold_left ( +. ) 1. r.per_op
-      in
-      Lp.Problem.add_constr ~name:r.rname p terms Lp.Problem.Le
-        (Float.min r.budget total))
-    resources;
-  (* objective, eq. (5) *)
-  let obj_terms =
-    let base = ref [] in
-    Array.iteri
-      (fun s coef -> if coef <> 0. then base := (f_var.(s), coef) :: !base)
-      obj;
-    (match encoding with
-    | Restricted -> ()
-    | General ->
-        (* the e/e' variables carry the network cost directly *)
-        List.iter
-          (fun (v, r) ->
-            if r <> 0. then base := (v, spec.Spec.beta *. r) :: !base)
-          !net_terms);
-    !base
-  in
-  Lp.Problem.set_objective p Lp.Problem.Minimize obj_terms;
-  { problem = p; f_var; encoding;
-    edge_vars = Array.of_list (List.rev !edge_vars) }
+  {
+    problem = enc.Placement.problem;
+    (* with two tiers there is a single level: d_0 = f *)
+    f_var = enc.Placement.level_var.(0);
+    encoding;
+    edge_vars =
+      Array.map (fun (_, u, v, e, e') -> (u, v, e, e')) enc.Placement.edge_vars;
+  }
 
 let assignment_of_solution enc (sol : Lp.Solution.t) =
   Array.map (fun v -> sol.x.(v) >= 0.5) enc.f_var

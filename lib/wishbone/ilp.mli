@@ -8,9 +8,14 @@
     eqs. (6)–(7): data flows only node→server, so [f_u >= f_v] along
     every edge and the edge variables disappear — [|V|] variables and
     at most [|E| + |V| + 1] constraints.  This is the formulation the
-    prototype uses. *)
+    prototype uses.
 
-type encoding = General | Restricted
+    Since the tier-graph refactor this module is a thin facade: both
+    formulations are built by {!Placement.encode} (of which the
+    two-way cut is the two-tier instance), and the types below are
+    re-exports of the placement core's. *)
+
+type encoding = Placement.encoding = General | Restricted
 
 type encoded = {
   problem : Lp.Problem.t;
@@ -27,7 +32,7 @@ type encoded = {
     "adding additional constraints for RAM usage (assuming static
     allocation) or code storage is straightforward in this
     formulation". *)
-type resource = {
+type resource = Placement.resource = {
   rname : string;
   per_op : float array;  (** indexed by original operator id *)
   budget : float;

@@ -4,7 +4,11 @@
     partitions at different nodes: run the partitioning algorithm once
     per node class.  The server must then accept results at various
     stages of partial processing — which the per-node server state
-    tables already support. *)
+    tables already support.
+
+    Each per-class solve goes through {!Partitioner} and hence the
+    generic {!Placement} core — this module owns only the budget
+    splitting across classes, no ILP encoding of its own. *)
 
 type class_spec = {
   platform : Profiler.Platform.t;

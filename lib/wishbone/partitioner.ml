@@ -15,52 +15,40 @@ type outcome =
   | No_feasible_partition
   | Solver_failure of string
 
-let solve ?(encoding = Ilp.Restricted) ?(preprocess = true) ?options
-    ?(resources = []) ?initial ?root_basis spec =
-  (* the contraction's dominance argument ("a cut below v is never
-     better than a cut above v") relies on the single-crossing
-     restriction of §2.1.2; the general encoding legally places an
-     operator server-side below node-side successors, which the merged
-     supernode cannot express, so it must solve the uncontracted
-     graph *)
-  let contracted =
-    if preprocess && encoding = Ilp.Restricted then Preprocess.contract spec
-    else Preprocess.identity spec
-  in
-  let encoded = Ilp.encode ~resources encoding contracted in
+(* Convert a two-tier placement report back into this module's
+   vocabulary: tier 0 = node.  The stats are recomputed against the
+   spec (not copied from the report) so that [cpu]/[net]/[objective]
+   keep their historical float-for-float values. *)
+let report_of_placement spec (r : Placement.report) =
+  let assignment = Array.map (fun tier -> tier = 0) r.Placement.tier_of in
+  let cpu, net = Spec.cut_stats spec ~node_side:assignment in
+  {
+    assignment;
+    cpu;
+    net;
+    objective = Spec.objective_value spec ~node_side:assignment;
+    solver = r.Placement.solver;
+    supernodes = r.Placement.supernodes;
+    movable_supernodes = r.Placement.movable_supernodes;
+    encoding = r.Placement.encoding;
+    preprocessed = r.Placement.preprocessed;
+  }
+
+let solve ?encoding ?preprocess ?options ?resources ?initial ?root_basis spec =
+  (* the two-way cut is the two-tier instance of the generic placement
+     core; everything — contraction policy (the general encoding must
+     solve uncontracted, the PR 2 finding), warm starts, verification —
+     happens there *)
   let initial =
-    Option.bind initial (fun a -> Ilp.initial_point encoded contracted a)
+    Option.map (Array.map (fun on_node -> if on_node then 0 else 1)) initial
   in
-  let status, stats =
-    Lp.Branch_bound.solve ?options ?initial ?root_basis encoded.problem
-  in
-  match status with
-  | Lp.Solution.Optimal sol ->
-      let super_assign = Ilp.assignment_of_solution encoded sol in
-      let assignment = Preprocess.expand contracted super_assign in
-      let cpu, net = Spec.cut_stats spec ~node_side:assignment in
-      let require_single_crossing = encoding = Ilp.Restricted in
-      if not (Spec.feasible ~require_single_crossing spec ~node_side:assignment)
-      then
-        Solver_failure
-          "internal error: ILP solution violates the original constraints"
-      else
-        Partitioned
-          {
-            assignment;
-            cpu;
-            net;
-            objective = Spec.objective_value spec ~node_side:assignment;
-            solver = stats;
-            supernodes = contracted.n_super;
-            movable_supernodes = Movable.movable_count contracted.placement;
-            encoding;
-            preprocessed = preprocess;
-          }
-  | Lp.Solution.Infeasible -> No_feasible_partition
-  | Lp.Solution.Unbounded ->
-      Solver_failure "partitioning ILP unbounded (bad cost data?)"
-  | Lp.Solution.Iteration_limit -> Solver_failure "solver budget exhausted"
+  match
+    Placement.solve ?encoding ?preprocess ?options ?resources ?initial
+      ?root_basis (Placement.of_spec spec)
+  with
+  | Placement.Partitioned r -> Partitioned (report_of_placement spec r)
+  | Placement.No_feasible_partition -> No_feasible_partition
+  | Placement.Solver_failure msg -> Solver_failure msg
 
 let brute_force ?(max_movable = 20) spec =
   let n = Array.length spec.Spec.placement in

@@ -51,6 +51,13 @@ val solve :
     solved report's [solver.root_basis] can be fed back into the next
     structurally identical solve. *)
 
+val report_of_placement : Spec.t -> Placement.report -> report
+(** View a two-tier {!Placement.report} (tier 0 = node) through this
+    module's report type, recomputing [cpu]/[net]/[objective] from the
+    assignment via {!Spec.cut_stats}.  [solve] is exactly
+    [Placement.solve (Placement.of_spec spec)] followed by this
+    conversion. *)
+
 val brute_force : ?max_movable:int -> Spec.t -> (bool array * float) option
 (** Exhaustive search over all assignments of the movable operators
     (test oracle; refuses more than [max_movable] (default 20)

@@ -1,0 +1,487 @@
+open Dataflow
+
+type encoding = General | Restricted
+
+type resource = { rname : string; per_op : float array; budget : float }
+
+type tier = {
+  tname : string;
+  cpu : float array;
+  cpu_budget : float;
+  alpha : float;
+}
+
+type link = { lname : string; net_budget : float; beta : float }
+
+type t = { spec : Spec.t; tiers : tier array; links : link array }
+
+let v ~spec ~tiers ~links =
+  let tiers = Array.of_list tiers and links = Array.of_list links in
+  let n = Graph.n_ops spec.Spec.graph in
+  if Array.length tiers < 2 then
+    invalid_arg "Placement.v: need at least two tiers";
+  if Array.length links <> Array.length tiers - 1 then
+    invalid_arg "Placement.v: need exactly one link between consecutive tiers";
+  Array.iter
+    (fun t ->
+      if Array.length t.cpu <> n then
+        invalid_arg
+          (Printf.sprintf "Placement.v: tier %s has %d CPU costs for %d ops"
+             t.tname (Array.length t.cpu) n))
+    tiers;
+  if tiers.(0).cpu <> spec.Spec.cpu then
+    invalid_arg "Placement.v: tier 0 CPU costs must equal the spec's";
+  { spec; tiers; links }
+
+let of_spec (spec : Spec.t) =
+  let n = Graph.n_ops spec.Spec.graph in
+  {
+    spec;
+    tiers =
+      [|
+        {
+          tname = "node";
+          cpu = spec.Spec.cpu;
+          cpu_budget = spec.Spec.cpu_budget;
+          alpha = spec.Spec.alpha;
+        };
+        {
+          tname = "server";
+          cpu = Array.make n 0.;
+          cpu_budget = infinity;
+          alpha = 0.;
+        };
+      |];
+    links =
+      [|
+        {
+          lname = "radio";
+          net_budget = spec.Spec.net_budget;
+          beta = spec.Spec.beta;
+        };
+      |];
+  }
+
+let n_tiers t = Array.length t.tiers
+
+let scale_rate t factor =
+  {
+    t with
+    spec = Spec.scale_rate t.spec factor;
+    tiers =
+      Array.map
+        (fun tier -> { tier with cpu = Array.map (( *. ) factor) tier.cpu })
+        t.tiers;
+  }
+
+type encoded = {
+  problem : Lp.Problem.t;
+  level_var : int array array;
+  edge_vars : (int * int * int * int * int) array;
+  encoding : encoding;
+}
+
+(* Budget clamping (numerical scaling, not semantics): a vacuous budget
+   is replaced by the total cost it bounds plus one — the same feasible
+   region with far better-conditioned rows. *)
+let clamp budget costs = Float.min budget (Array.fold_left ( +. ) 1. costs)
+
+let encode ?(resources = []) encoding t (c : Preprocess.contracted) =
+  let n_tiers = Array.length t.tiers in
+  let levels = n_tiers - 1 in
+  let p = Lp.Problem.create () in
+  (* per-supernode CPU sums; tier 0 reuses the contraction's own sums
+     so the two-tier instance is bit-identical to the historical
+     encoder *)
+  let super_cpu =
+    Array.init n_tiers (fun tp ->
+        if tp = 0 then c.Preprocess.cpu
+        else
+          Array.map
+            (fun members ->
+              List.fold_left
+                (fun acc i -> acc +. t.tiers.(tp).cpu.(i))
+                0. members)
+            c.Preprocess.members)
+  in
+  let total_bw =
+    Array.fold_left (fun acc (_, _, r) -> acc +. r) 1. c.Preprocess.edges
+  in
+  (* level binaries d_k(s), k-major; pinning via bounds, eq. (1) *)
+  let bounds s =
+    match c.Preprocess.placement.(s) with
+    | Movable.Pin_node -> (1., 1.)
+    | Movable.Pin_server -> (0., 0.)
+    | Movable.Movable -> (0., 1.)
+  in
+  let level_var =
+    Array.init levels (fun k ->
+        Array.init c.Preprocess.n_super (fun s ->
+            let lo, hi = bounds s in
+            Lp.Problem.add_var
+              ~name:(Printf.sprintf "d%d_%d" k s)
+              ~lo ~hi ~integer:true p))
+  in
+  (* objective coefficients accumulate per level variable *)
+  let obj = Array.make (levels * c.Preprocess.n_super) 0. in
+  (* tier p occupancy is d_p - d_(p-1) (d_(-1) = 0, d_(P-1) = 1); its
+     alpha-weighted CPU load lands on those variables.  The top tier's
+     constant term (alpha_(P-1) * total cost) cannot live in an LP
+     objective; [solve] reports the true objective recomputed from the
+     assignment, so nothing is lost.  [of_spec] has alpha = 0 above
+     tier 0, making the encoded objective exactly eq. (5). *)
+  for tp = 0 to n_tiers - 1 do
+    let a = t.tiers.(tp).alpha in
+    if a <> 0. then
+      Array.iteri
+        (fun s cost ->
+          if tp <= levels - 1 then
+            obj.(level_var.(tp).(s)) <- obj.(level_var.(tp).(s)) +. (a *. cost);
+          if tp - 1 >= 0 then
+            obj.(level_var.(tp - 1).(s)) <-
+              obj.(level_var.(tp - 1).(s)) -. (a *. cost))
+        super_cpu.(tp)
+  done;
+  (* vertex level ordering d_k <= d_(k+1) (vacuous with two tiers) *)
+  for s = 0 to c.Preprocess.n_super - 1 do
+    for k = 0 to levels - 2 do
+      Lp.Problem.add_constr p
+        [ (level_var.(k + 1).(s), 1.); (level_var.(k).(s), -1.) ]
+        Lp.Problem.Ge 0.
+    done
+  done;
+  (* budgeted tier CPU rows, eq. (2) per tier *)
+  for tp = 0 to n_tiers - 1 do
+    let budget = t.tiers.(tp).cpu_budget in
+    if Float.is_finite budget then begin
+      let name = Printf.sprintf "cpu_%s" t.tiers.(tp).tname in
+      if tp = 0 then
+        Lp.Problem.add_constr ~name p
+          (Array.to_list
+             (Array.mapi (fun s cost -> (level_var.(0).(s), cost)) super_cpu.(0)))
+          Lp.Problem.Le
+          (clamp budget super_cpu.(0))
+      else if tp <= levels - 1 then
+        Lp.Problem.add_constr ~name p
+          (List.concat
+             (Array.to_list
+                (Array.mapi
+                   (fun s cost ->
+                     [ (level_var.(tp).(s), cost);
+                       (level_var.(tp - 1).(s), -.cost) ])
+                   super_cpu.(tp))))
+          Lp.Problem.Le
+          (clamp budget super_cpu.(tp))
+      else
+        (* top tier occupancy is 1 - d_(P-2) *)
+        Lp.Problem.add_constr ~name p
+          (Array.to_list
+             (Array.mapi
+                (fun s cost -> (level_var.(levels - 1).(s), -.cost))
+                super_cpu.(tp)))
+          Lp.Problem.Le
+          (budget -. Array.fold_left ( +. ) 0. super_cpu.(tp))
+    end
+  done;
+  (* per-edge rows; link k is crossed when d_k differs across the edge *)
+  let net_terms = Array.make levels [] in
+  let edge_vars = ref [] in
+  (match encoding with
+  | Restricted ->
+      (* eq. (6) per level: d_k(u) >= d_k(v); eq. (7): each link's load
+         telescopes to sum r (d_k(u) - d_k(v)) *)
+      Array.iter
+        (fun (u, v, r) ->
+          for k = 0 to levels - 1 do
+            Lp.Problem.add_constr
+              ~name:(Printf.sprintf "dir%d_%d_%d" k u v)
+              p
+              [ (level_var.(k).(u), 1.); (level_var.(k).(v), -1.) ]
+              Lp.Problem.Ge 0.;
+            let b = t.links.(k).beta in
+            obj.(level_var.(k).(u)) <- obj.(level_var.(k).(u)) +. (b *. r);
+            obj.(level_var.(k).(v)) <- obj.(level_var.(k).(v)) -. (b *. r);
+            net_terms.(k) <-
+              (level_var.(k).(u), r)
+              :: (level_var.(k).(v), -.r)
+              :: net_terms.(k)
+          done)
+        c.Preprocess.edges
+  | General ->
+      (* eq. (3) per level: e >= d_k(v) - d_k(u), e' >= d_k(u) - d_k(v) *)
+      Array.iter
+        (fun (u, v, r) ->
+          for k = 0 to levels - 1 do
+            let e =
+              Lp.Problem.add_var ~name:(Printf.sprintf "e%d_%d_%d" k u v) p
+            in
+            let e' =
+              Lp.Problem.add_var ~name:(Printf.sprintf "e'%d_%d_%d" k u v) p
+            in
+            Lp.Problem.add_constr p
+              [ (level_var.(k).(u), 1.); (level_var.(k).(v), -1.); (e, 1.) ]
+              Lp.Problem.Ge 0.;
+            Lp.Problem.add_constr p
+              [ (level_var.(k).(v), 1.); (level_var.(k).(u), -1.); (e', 1.) ]
+              Lp.Problem.Ge 0.;
+            edge_vars := (k, u, v, e, e') :: !edge_vars;
+            net_terms.(k) <- (e, r) :: (e', r) :: net_terms.(k)
+          done)
+        c.Preprocess.edges);
+  (* link bandwidth rows, eq. (4) per link *)
+  for k = 0 to levels - 1 do
+    if Float.is_finite t.links.(k).net_budget then
+      Lp.Problem.add_constr
+        ~name:(Printf.sprintf "net_%s" t.links.(k).lname)
+        p net_terms.(k) Lp.Problem.Le
+        (Float.min t.links.(k).net_budget total_bw)
+  done;
+  (* optional resource rows: consumed on tier 0 *)
+  let n_orig = Graph.n_ops t.spec.Spec.graph in
+  List.iter
+    (fun r ->
+      if Array.length r.per_op <> n_orig then
+        (* the historical message: callers reach this through the
+           [Ilp.encode] facade and its tests pin the string *)
+        invalid_arg
+          (Printf.sprintf "Ilp.encode: resource %s has wrong length" r.rname);
+      let terms =
+        Array.to_list
+          (Array.mapi
+             (fun s members ->
+               let cost =
+                 List.fold_left (fun acc i -> acc +. r.per_op.(i)) 0. members
+               in
+               (level_var.(0).(s), cost))
+             c.Preprocess.members)
+      in
+      let total = Array.fold_left ( +. ) 1. r.per_op in
+      Lp.Problem.add_constr ~name:r.rname p terms Lp.Problem.Le
+        (Float.min r.budget total))
+    resources;
+  (* objective, eq. (5) generalised *)
+  let obj_terms =
+    let base = ref [] in
+    Array.iteri
+      (fun var coef -> if coef <> 0. then base := (var, coef) :: !base)
+      obj;
+    (match encoding with
+    | Restricted -> ()
+    | General ->
+        (* the e/e' variables carry each link's network cost directly *)
+        for k = 0 to levels - 1 do
+          List.iter
+            (fun (var, r) ->
+              if r <> 0. then base := (var, t.links.(k).beta *. r) :: !base)
+            net_terms.(k)
+        done);
+    !base
+  in
+  Lp.Problem.set_objective p Lp.Problem.Minimize obj_terms;
+  {
+    problem = p;
+    level_var;
+    encoding;
+    edge_vars = Array.of_list (List.rev !edge_vars);
+  }
+
+let super_tiers enc (c : Preprocess.contracted) (sol : Lp.Solution.t) =
+  let levels = Array.length enc.level_var in
+  Array.init c.Preprocess.n_super (fun s ->
+      let rec find k =
+        if k >= levels then levels
+        else if sol.Lp.Solution.x.(enc.level_var.(k).(s)) >= 0.5 then k
+        else find (k + 1)
+      in
+      find 0)
+
+let tiers_of_solution enc (c : Preprocess.contracted) sol =
+  let st = super_tiers enc c sol in
+  Array.map (fun s -> st.(s)) c.Preprocess.super_of
+
+let initial_point enc (c : Preprocess.contracted) (tier_of : int array) =
+  if Array.length tier_of <> Array.length c.Preprocess.super_of then None
+  else begin
+    let levels = Array.length enc.level_var in
+    let x = Array.make (Lp.Problem.n_vars enc.problem) 0. in
+    (* every member of a supernode must sit on the same tier, or the
+       assignment does not survive the contraction *)
+    let consistent = ref true in
+    Array.iteri
+      (fun s members ->
+        match members with
+        | [] -> ()
+        | first :: rest ->
+            let tier = tier_of.(first) in
+            if List.exists (fun i -> tier_of.(i) <> tier) rest then
+              consistent := false
+            else
+              for k = 0 to levels - 1 do
+                if tier <= k then x.(enc.level_var.(k).(s)) <- 1.
+              done)
+      c.Preprocess.members;
+    if not !consistent then None
+    else begin
+      (* general encoding: crossing variables at their minimal values *)
+      Array.iter
+        (fun (k, u, v, e, e') ->
+          let du = x.(enc.level_var.(k).(u))
+          and dv = x.(enc.level_var.(k).(v)) in
+          x.(e) <- Float.max 0. (dv -. du);
+          x.(e') <- Float.max 0. (du -. dv))
+        enc.edge_vars;
+      Some x
+    end
+  end
+
+let stats t ~tier_of =
+  let n_tiers = Array.length t.tiers in
+  let tier_cpu = Array.make n_tiers 0. in
+  Array.iteri
+    (fun i tp -> tier_cpu.(tp) <- tier_cpu.(tp) +. t.tiers.(tp).cpu.(i))
+    tier_of;
+  let link_net = Array.make (n_tiers - 1) 0. in
+  Array.iter
+    (fun (e : Graph.edge) ->
+      let lo = Int.min tier_of.(e.src) tier_of.(e.dst)
+      and hi = Int.max tier_of.(e.src) tier_of.(e.dst) in
+      for k = lo to hi - 1 do
+        link_net.(k) <- link_net.(k) +. t.spec.Spec.bandwidth.(e.eid)
+      done)
+    (Graph.edges t.spec.Spec.graph);
+  (tier_cpu, link_net)
+
+let objective_value t ~tier_of =
+  let tier_cpu, link_net = stats t ~tier_of in
+  let obj = ref 0. in
+  Array.iteri (fun tp c -> obj := !obj +. (t.tiers.(tp).alpha *. c)) tier_cpu;
+  Array.iteri (fun k n -> obj := !obj +. (t.links.(k).beta *. n)) link_net;
+  !obj
+
+let feasible ?(require_monotone = true) t ~tier_of =
+  let top = Array.length t.tiers - 1 in
+  let pin_ok =
+    Array.for_all2
+      (fun p tier ->
+        match p with
+        | Movable.Pin_node -> tier = 0
+        | Movable.Pin_server -> tier = top
+        | Movable.Movable -> true)
+      t.spec.Spec.placement tier_of
+  in
+  let monotone =
+    Array.for_all
+      (fun (e : Graph.edge) -> tier_of.(e.src) <= tier_of.(e.dst))
+      (Graph.edges t.spec.Spec.graph)
+  in
+  let tier_cpu, link_net = stats t ~tier_of in
+  let cpu_ok =
+    Array.for_all2
+      (fun (tier : tier) c ->
+        (not (Float.is_finite tier.cpu_budget))
+        || c <= tier.cpu_budget +. 1e-9)
+      t.tiers tier_cpu
+  in
+  let net_ok =
+    Array.for_all2
+      (fun (l : link) n ->
+        (not (Float.is_finite l.net_budget)) || n <= l.net_budget +. 1e-6)
+      t.links link_net
+  in
+  pin_ok && ((not require_monotone) || monotone) && cpu_ok && net_ok
+
+type report = {
+  tier_of : int array;
+  tier_cpu : float array;
+  link_net : float array;
+  objective : float;
+  solver : Lp.Branch_bound.stats;
+  supernodes : int;
+  movable_supernodes : int;
+  encoding : encoding;
+  preprocessed : bool;
+}
+
+type outcome =
+  | Partitioned of report
+  | No_feasible_partition
+  | Solver_failure of string
+
+let solve ?(encoding = Restricted) ?(preprocess = true) ?options
+    ?(resources = []) ?initial ?root_basis t =
+  (* contraction's dominance argument needs monotone descent (§2.1.2),
+     so under the general encoding the uncontracted graph is solved —
+     the PR 2 fuzz-oracle finding, preserved across the refactor *)
+  let c =
+    if preprocess && encoding = Restricted then Preprocess.contract t.spec
+    else Preprocess.identity t.spec
+  in
+  let enc = encode ~resources encoding t c in
+  let initial = Option.bind initial (fun a -> initial_point enc c a) in
+  let status, solver_stats =
+    Lp.Branch_bound.solve ?options ?initial ?root_basis enc.problem
+  in
+  match status with
+  | Lp.Solution.Optimal sol ->
+      let tier_of = tiers_of_solution enc c sol in
+      let require_monotone = encoding = Restricted in
+      if not (feasible ~require_monotone t ~tier_of) then
+        Solver_failure
+          "internal error: ILP solution violates the original constraints"
+      else
+        let tier_cpu, link_net = stats t ~tier_of in
+        Partitioned
+          {
+            tier_of;
+            tier_cpu;
+            link_net;
+            objective = objective_value t ~tier_of;
+            solver = solver_stats;
+            supernodes = c.Preprocess.n_super;
+            movable_supernodes = Movable.movable_count c.Preprocess.placement;
+            encoding;
+            preprocessed = preprocess;
+          }
+  | Lp.Solution.Infeasible -> No_feasible_partition
+  | Lp.Solution.Unbounded ->
+      Solver_failure "partitioning ILP unbounded (bad cost data?)"
+  | Lp.Solution.Iteration_limit -> Solver_failure "solver budget exhausted"
+
+let pp_report graph t ppf r =
+  let counts = Array.make (Array.length t.tiers) 0 in
+  Array.iter (fun tp -> counts.(tp) <- counts.(tp) + 1) r.tier_of;
+  let enc =
+    match r.encoding with Restricted -> "restricted" | General -> "general"
+  in
+  Format.fprintf ppf "@[<v>placement:";
+  Array.iteri
+    (fun tp (tier : tier) ->
+      Format.fprintf ppf "@,  %-12s %3d ops, CPU %.1f%%%s" tier.tname
+        counts.(tp)
+        (100. *. r.tier_cpu.(tp))
+        (if tp < Array.length t.links then
+           Printf.sprintf ", downlink %.1f B/s" r.link_net.(tp)
+         else ""))
+    t.tiers;
+  Format.fprintf ppf
+    "@,objective %g, %d supernodes (%d movable), %s encoding%s@,\
+     solver: %d nodes, %d LPs, %.3fs (proved=%b)@,ops by tier: %s@]"
+    r.objective r.supernodes r.movable_supernodes enc
+    (if r.preprocessed then " (preprocessed)" else "")
+    r.solver.Lp.Branch_bound.nodes_explored
+    r.solver.Lp.Branch_bound.lp_solves r.solver.Lp.Branch_bound.time_total
+    r.solver.Lp.Branch_bound.proved_optimal
+    (String.concat "; "
+       (Array.to_list
+          (Array.mapi
+             (fun tp (tier : tier) ->
+               let ops =
+                 List.filteri (fun i _ -> r.tier_of.(i) = tp)
+                   (List.init (Array.length r.tier_of) Fun.id)
+               in
+               Printf.sprintf "%s=%s" tier.tname
+                 (String.concat ","
+                    (List.map
+                       (fun i -> (Graph.op graph i).Op.name)
+                       ops)))
+             t.tiers)))

@@ -1,0 +1,166 @@
+(** The generic placement core: one assignment ILP over a tier graph.
+
+    The paper states its ILP for a single node/server cut (§4.2.1) and
+    sketches multi-node and mixed deployments (§4.2.2, §9).  This
+    module is the single encoder behind all of them: platforms are the
+    vertices of a {e tier chain} — tier 0 is the embedded node, the
+    last tier the central server — each with a CPU budget, and
+    consecutive tiers are connected by links with bandwidth budgets
+    and per-byte objective weights.  Two-way partitioning
+    ({!Partitioner}), three-tier placement ({!Three_tier}) and mixed
+    networks ({!Mixed}) are all instances of {!solve}; none of them
+    encodes costs or crossings itself.
+
+    The encoding generalises the paper's two formulations with {e
+    level} variables: for a chain of [P] tiers, each supernode [s]
+    carries binaries [d_k(s)] ("[s] sits at tier [<= k]") for
+    [k = 0 .. P-2], ordered [d_k <= d_(k+1)].  Tier [p]'s CPU load is
+    [sum cpu_p(s) (d_p(s) - d_(p-1)(s))] and link [k] is crossed by an
+    edge exactly when [d_k] differs across it.  With [P = 2] this is
+    byte-for-byte the §4.2.1 ILP ([d_0 = f]); with [P = 3] it is the
+    two-level [x <= y] encoding of {!Three_tier}. *)
+
+(** {!General} is the bidirectional eqs. (1)–(5) formulation (two
+    continuous crossing variables per edge and link); {!Restricted}
+    the single-crossing eqs. (6)–(7) form (monotone tier descent along
+    every edge, no crossing variables). *)
+type encoding = General | Restricted
+
+(** An additional per-operator resource (RAM, code storage) consumed
+    only by tier-0 residents — §4.2.1's optional rows. *)
+type resource = {
+  rname : string;
+  per_op : float array;  (** indexed by original operator id *)
+  budget : float;
+}
+
+type tier = {
+  tname : string;
+  cpu : float array;
+      (** per original operator: CPU fraction consumed when the
+          operator runs on this tier.  Tier 0's array must equal the
+          spec's [cpu] (it is what {!Preprocess} contracts over). *)
+  cpu_budget : float;  (** [infinity] = unbudgeted: no ILP row *)
+  alpha : float;  (** objective weight of this tier's CPU load *)
+}
+
+type link = {
+  lname : string;
+  net_budget : float;  (** bytes/s, [infinity] = unbudgeted *)
+  beta : float;  (** objective weight per cut byte on this link *)
+}
+
+type t = {
+  spec : Spec.t;
+      (** the tier-0 problem: graph, placement pins, tier-0 CPU costs,
+          edge bandwidths.  The spec's own budgets and objective
+          weights are {e not} read — tiers and links carry them. *)
+  tiers : tier array;  (** node-most first, central server last *)
+  links : link array;  (** [links.(k)] connects tiers [k] and [k+1] *)
+}
+
+val v : spec:Spec.t -> tiers:tier list -> links:link list -> t
+(** Validating constructor: at least two tiers, [links] one shorter
+    than [tiers], every cost array as long as the operator count, and
+    tier 0's costs equal to the spec's.
+    @raise Invalid_argument otherwise. *)
+
+val of_spec : Spec.t -> t
+(** The classic two-way instance: tier 0 is the node (the spec's CPU
+    costs, budget and [alpha]), tier 1 an unbudgeted server, and the
+    single link carries the spec's network budget and [beta].
+    [solve (of_spec spec)] is exactly {!Partitioner.solve}'s ILP. *)
+
+val n_tiers : t -> int
+
+val scale_rate : t -> float -> t
+(** Scale every CPU cost and edge bandwidth by a factor — the §4.3
+    data-rate free variable, across all tiers. *)
+
+(** A built (not yet solved) ILP instance. *)
+type encoded = {
+  problem : Lp.Problem.t;
+  level_var : int array array;
+      (** [level_var.(k).(s)]: the [d_k] binary of supernode [s] *)
+  edge_vars : (int * int * int * int * int) array;
+      (** [General] only: (link, src supernode, dst supernode, e, e')
+          crossing-variable pairs; empty for [Restricted] *)
+  encoding : encoding;
+}
+
+val encode :
+  ?resources:resource list -> encoding -> t -> Preprocess.contracted -> encoded
+(** Build the ILP over a contraction of [t.spec].  Variable and
+    constraint order is deterministic: level variables
+    ([k]-major, supernode-minor), then per-supernode level ordering,
+    budgeted tier CPU rows, per-edge rows (crossing variables created
+    in place under [General]), link bandwidth rows, resource rows.
+    With two tiers this reproduces the historical {!Ilp.encode}
+    problem exactly — same variables, same constraints, same
+    objective, in the same order.
+    @raise Invalid_argument when a resource array has the wrong
+    length. *)
+
+val tiers_of_solution :
+  encoded -> Preprocess.contracted -> Lp.Solution.t -> int array
+(** Per-original-operator tier indices from a solved instance. *)
+
+val initial_point :
+  encoded -> Preprocess.contracted -> int array -> float array option
+(** Lift a per-original-operator tier assignment to a full variable
+    vector (crossing variables at their minimal feasible values),
+    suitable as {!Lp.Branch_bound.solve}'s incumbent seed.  [None]
+    when the assignment straddles a supernode or has the wrong
+    length.  Feasibility is not checked here. *)
+
+val stats : t -> tier_of:int array -> float array * float array
+(** [(tier_cpu, link_net)] of an assignment: per-tier CPU load and
+    per-link cut bandwidth (an edge loads link [k] when its endpoints
+    lie on opposite sides of the [k]/[k+1] boundary). *)
+
+val objective_value : t -> tier_of:int array -> float
+(** [sum_p alpha_p * tier_cpu_p + sum_k beta_k * link_net_k]. *)
+
+val feasible : ?require_monotone:bool -> t -> tier_of:int array -> bool
+(** Pins respected, budgeted tiers and links within their budgets
+    (with the same numeric slack {!Spec.feasible} uses), and — by
+    default — tiers descend monotonically along every edge (the
+    single-crossing restriction, per link).  Pass
+    [~require_monotone:false] for {!General} solutions. *)
+
+type report = {
+  tier_of : int array;  (** per original operator *)
+  tier_cpu : float array;
+  link_net : float array;
+  objective : float;
+  solver : Lp.Branch_bound.stats;
+  supernodes : int;
+  movable_supernodes : int;
+  encoding : encoding;
+  preprocessed : bool;
+}
+
+type outcome =
+  | Partitioned of report
+  | No_feasible_partition
+  | Solver_failure of string
+
+val solve :
+  ?encoding:encoding ->
+  ?preprocess:bool ->
+  ?options:Lp.Branch_bound.options ->
+  ?resources:resource list ->
+  ?initial:int array ->
+  ?root_basis:Lp.Basis.t ->
+  t ->
+  outcome
+(** Contract (under [Restricted]; the dominance argument behind
+    {!Preprocess.contract} needs monotone descent, so [General] solves
+    the uncontracted graph — the PR 2 fuzz finding, preserved here),
+    encode, branch & bound, verify the returned assignment against
+    {!feasible}, and expand to original operators.  [initial] (a
+    per-original-operator tier assignment) seeds the incumbent and
+    [root_basis] warm-starts the root relaxation — the PR 1 machinery,
+    unchanged. *)
+
+val pp_report : Dataflow.Graph.t -> t -> Format.formatter -> report -> unit

@@ -1,5 +1,10 @@
 type result = { rate_multiplier : float; report : Partitioner.report }
 
+type placement_result = {
+  placement_multiplier : float;
+  placement_report : Placement.report;
+}
+
 (* Near the feasibility boundary the CPU constraint becomes a tight
    knapsack and exact branch & bound can take minutes (the paper saw
    12-minute proof tails, §7.1, and suggests terminating on an
@@ -20,33 +25,11 @@ let feasible_at ?encoding ?preprocess ?(options = default_search_options) spec
   Partitioner.solve ?encoding ?preprocess ~options
     (Spec.scale_rate spec factor)
 
-let search ?encoding ?preprocess ?(options = default_search_options)
-    ?(tol = 0.01) ?(max_multiplier = 65536.) ?(incremental = true) spec =
-  (* Incremental state threaded across bracket/bisection steps.  Every
-     step solves the same ILP with uniformly rescaled coefficients, so
-     (a) the last feasible assignment, re-evaluated under the new
-     scale, seeds the incumbent — a valid primal bound that prunes
-     most of the tree near the feasibility boundary — and (b) the
-     previous root basis warm-starts the root relaxation.  Both are
-     hints: disabling [incremental] changes work, not answers. *)
-  let prev_assignment = ref None in
-  let root_basis = ref None in
-  let attempt factor =
-    let initial = if incremental then !prev_assignment else None in
-    let basis = if incremental then !root_basis else None in
-    match
-      Partitioner.solve ?encoding ?preprocess ~options ?initial
-        ?root_basis:basis
-        (Spec.scale_rate spec factor)
-    with
-    | Partitioner.Partitioned r ->
-        prev_assignment := Some r.Partitioner.assignment;
-        (match r.Partitioner.solver.Lp.Branch_bound.root_basis with
-        | Some b -> root_basis := Some b
-        | None -> ());
-        Some r
-    | Partitioner.No_feasible_partition | Partitioner.Solver_failure _ -> None
-  in
+(* The monotone bracket-and-bisect skeleton shared by the two-tier and
+   tier-graph searches.  [attempt factor] solves at one rate multiple,
+   returning the report when feasible; feasibility must be monotone in
+   [factor] for the bisection to be exact (up to [tol]). *)
+let bracket ~tol ~max_multiplier attempt =
   (* establish a feasible lower bracket *)
   let rec find_lo factor =
     if factor < 1e-9 then None
@@ -77,4 +60,60 @@ let search ?encoding ?preprocess ?(options = default_search_options)
             lo := mid
         | None -> hi := mid
       done;
-      Some { rate_multiplier = !lo; report = !best }
+      Some (!lo, !best)
+
+let search ?encoding ?preprocess ?(options = default_search_options)
+    ?(tol = 0.01) ?(max_multiplier = 65536.) ?(incremental = true) spec =
+  (* Incremental state threaded across bracket/bisection steps.  Every
+     step solves the same ILP with uniformly rescaled coefficients, so
+     (a) the last feasible assignment, re-evaluated under the new
+     scale, seeds the incumbent — a valid primal bound that prunes
+     most of the tree near the feasibility boundary — and (b) the
+     previous root basis warm-starts the root relaxation.  Both are
+     hints: disabling [incremental] changes work, not answers. *)
+  let prev_assignment = ref None in
+  let root_basis = ref None in
+  let attempt factor =
+    let initial = if incremental then !prev_assignment else None in
+    let basis = if incremental then !root_basis else None in
+    match
+      Partitioner.solve ?encoding ?preprocess ~options ?initial
+        ?root_basis:basis
+        (Spec.scale_rate spec factor)
+    with
+    | Partitioner.Partitioned r ->
+        prev_assignment := Some r.Partitioner.assignment;
+        (match r.Partitioner.solver.Lp.Branch_bound.root_basis with
+        | Some b -> root_basis := Some b
+        | None -> ());
+        Some r
+    | Partitioner.No_feasible_partition | Partitioner.Solver_failure _ -> None
+  in
+  Option.map
+    (fun (m, r) -> { rate_multiplier = m; report = r })
+    (bracket ~tol ~max_multiplier attempt)
+
+let search_placement ?encoding ?preprocess
+    ?(options = default_search_options) ?(tol = 0.01)
+    ?(max_multiplier = 65536.) ?(incremental = true) pl =
+  let prev_tiers = ref None in
+  let root_basis = ref None in
+  let attempt factor =
+    let initial = if incremental then !prev_tiers else None in
+    let basis = if incremental then !root_basis else None in
+    match
+      Placement.solve ?encoding ?preprocess ~options ?initial
+        ?root_basis:basis
+        (Placement.scale_rate pl factor)
+    with
+    | Placement.Partitioned r ->
+        prev_tiers := Some r.Placement.tier_of;
+        (match r.Placement.solver.Lp.Branch_bound.root_basis with
+        | Some b -> root_basis := Some b
+        | None -> ());
+        Some r
+    | Placement.No_feasible_partition | Placement.Solver_failure _ -> None
+  in
+  Option.map
+    (fun (m, r) -> { placement_multiplier = m; placement_report = r })
+    (bracket ~tol ~max_multiplier attempt)

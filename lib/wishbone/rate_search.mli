@@ -12,6 +12,12 @@ type result = {
   report : Partitioner.report;  (** the partition at that rate *)
 }
 
+type placement_result = {
+  placement_multiplier : float;
+      (** highest feasible multiple of the profiled input rate *)
+  placement_report : Placement.report;  (** the placement at that rate *)
+}
+
 val default_search_options : Lp.Branch_bound.options
 (** A small optimality gap (0.5%) and a per-solve node/time budget.
     Near the feasibility boundary the CPU constraint is a tight
@@ -46,6 +52,22 @@ val search :
     budget-bound instances the incremental search can find a
     ({e genuinely feasible}) rate the cold search misses — never the
     other way around.  Pass [false] to measure the cold baseline. *)
+
+val search_placement :
+  ?encoding:Placement.encoding ->
+  ?preprocess:bool ->
+  ?options:Lp.Branch_bound.options ->
+  ?tol:float ->
+  ?max_multiplier:float ->
+  ?incremental:bool ->
+  Placement.t ->
+  placement_result option
+(** {!search} generalised to an arbitrary tier chain: the same
+    bracket-and-bisect loop (and the same defaults) driven through
+    {!Placement.solve} via {!Placement.scale_rate}, threading the last
+    feasible tier assignment and root basis across steps when
+    [incremental].  [search] on a spec and [search_placement] on
+    [Placement.of_spec spec] explore identical rate sequences. *)
 
 val feasible_at : ?encoding:Ilp.encoding -> ?preprocess:bool ->
   ?options:Lp.Branch_bound.options -> Spec.t -> float ->

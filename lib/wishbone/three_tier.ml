@@ -2,50 +2,81 @@ open Dataflow
 
 type tier = Mote | Microserver | Central
 
-type t = {
-  contracted : Preprocess.contracted;
-  micro_cpu : float array;  (* per supernode, on the microserver *)
-  mote_cpu_budget : float;
-  micro_cpu_budget : float;
-  mote_net_budget : float;
-  micro_net_budget : float;
-  beta_mote : float;
-  beta_micro : float;
-}
+(* Since the tier-graph refactor the three-tier ILP is the three-tier
+   instance of [Placement]; this module only builds the instance and
+   translates reports.  [brute_force] stays an independent enumeration
+   — it is the test oracle the placement core is checked against. *)
+type t = { pl : Placement.t }
+
+let of_spec ?mote_cpu_budget ?micro_cpu_budget ?mote_net_budget
+    ?micro_net_budget ?(beta_mote = 1.) ?(beta_micro = 0.3) ~micro_cpu
+    (spec : Spec.t) =
+  let n = Graph.n_ops spec.Spec.graph in
+  if Array.length micro_cpu <> n then
+    invalid_arg "Three_tier.of_spec: micro_cpu has wrong length";
+  let dflt o v = match o with Some x -> x | None -> v in
+  {
+    pl =
+      Placement.v ~spec
+        ~tiers:
+          [
+            {
+              Placement.tname = "mote";
+              cpu = spec.Spec.cpu;
+              cpu_budget = dflt mote_cpu_budget spec.Spec.cpu_budget;
+              alpha = 0.;
+            };
+            {
+              Placement.tname = "microserver";
+              cpu = micro_cpu;
+              cpu_budget = dflt micro_cpu_budget infinity;
+              alpha = 0.;
+            };
+            {
+              Placement.tname = "central";
+              cpu = Array.make n 0.;
+              cpu_budget = infinity;
+              alpha = 0.;
+            };
+          ]
+        ~links:
+          [
+            {
+              Placement.lname = "mote_radio";
+              net_budget = dflt mote_net_budget spec.Spec.net_budget;
+              beta = beta_mote;
+            };
+            {
+              Placement.lname = "micro_uplink";
+              net_budget = dflt micro_net_budget infinity;
+              beta = beta_micro;
+            };
+          ];
+  }
 
 let of_profile ?(mode = Movable.Conservative) ?mote_cpu_budget
-    ?micro_cpu_budget ?mote_net_budget ?micro_net_budget ?(beta_mote = 1.)
-    ?(beta_micro = 0.3) ~mote ~micro raw =
+    ?micro_cpu_budget ?mote_net_budget ?micro_net_budget ?beta_mote
+    ?beta_micro ~mote ~micro raw =
   match Spec.of_profile ~mode ~node_platform:mote raw with
   | Error _ as e -> e
   | Ok spec ->
-      let contracted = Preprocess.contract spec in
       let micro_costed = Profiler.Profile.cost raw micro in
-      let micro_cpu =
-        Array.map
-          (fun members ->
-            List.fold_left
-              (fun acc i ->
-                acc +. micro_costed.Profiler.Profile.cpu_fraction.(i))
-              0. members)
-          contracted.Preprocess.members
-      in
-      let dflt o v = match o with Some x -> x | None -> v in
       Ok
-        {
-          contracted;
-          micro_cpu;
-          mote_cpu_budget =
-            dflt mote_cpu_budget mote.Profiler.Platform.cpu_budget;
-          micro_cpu_budget =
-            dflt micro_cpu_budget micro.Profiler.Platform.cpu_budget;
-          mote_net_budget =
-            dflt mote_net_budget mote.Profiler.Platform.radio_bytes_per_sec;
-          micro_net_budget =
-            dflt micro_net_budget micro.Profiler.Platform.radio_bytes_per_sec;
-          beta_mote;
-          beta_micro;
-        }
+        (of_spec
+           ~mote_cpu_budget:
+             (Option.value mote_cpu_budget
+                ~default:mote.Profiler.Platform.cpu_budget)
+           ~micro_cpu_budget:
+             (Option.value micro_cpu_budget
+                ~default:micro.Profiler.Platform.cpu_budget)
+           ~mote_net_budget:
+             (Option.value mote_net_budget
+                ~default:mote.Profiler.Platform.radio_bytes_per_sec)
+           ~micro_net_budget:
+             (Option.value micro_net_budget
+                ~default:micro.Profiler.Platform.radio_bytes_per_sec)
+           ?beta_mote ?beta_micro
+           ~micro_cpu:micro_costed.Profiler.Profile.cpu_fraction spec)
 
 type report = {
   tiers : tier array;
@@ -62,139 +93,54 @@ type outcome =
   | No_feasible_partition
   | Solver_failure of string
 
+let tier_of_index = function 0 -> Mote | 1 -> Microserver | _ -> Central
+
 let solve ?options t =
-  let c = t.contracted in
-  let p = Lp.Problem.create () in
-  let bounds s =
-    match c.Preprocess.placement.(s) with
-    | Movable.Pin_node -> (1., 1.)
-    | Movable.Pin_server -> (0., 0.)
-    | Movable.Movable -> (0., 1.)
-  in
-  let x =
-    Array.init c.Preprocess.n_super (fun s ->
-        let lo, hi = bounds s in
-        Lp.Problem.add_var ~name:(Printf.sprintf "x%d" s) ~lo ~hi
-          ~integer:true p)
-  in
-  let y =
-    Array.init c.Preprocess.n_super (fun s ->
-        let lo, hi = bounds s in
-        Lp.Problem.add_var ~name:(Printf.sprintf "y%d" s) ~lo ~hi
-          ~integer:true p)
-  in
-  (* tier ordering: on the mote implies at least microserver depth *)
-  for s = 0 to c.Preprocess.n_super - 1 do
-    Lp.Problem.add_constr p [ (y.(s), 1.); (x.(s), -1.) ] Lp.Problem.Ge 0.
-  done;
-  (* monotone descent along edges, both levels *)
-  Array.iter
-    (fun (u, v, _) ->
-      Lp.Problem.add_constr p [ (x.(u), 1.); (x.(v), -1.) ] Lp.Problem.Ge 0.;
-      Lp.Problem.add_constr p [ (y.(u), 1.); (y.(v), -1.) ] Lp.Problem.Ge 0.)
-    c.Preprocess.edges;
-  (* CPU budgets: mote runs x, microserver runs y - x *)
-  let clamp budget costs =
-    Float.min budget (Array.fold_left ( +. ) 1. costs)
-  in
-  Lp.Problem.add_constr ~name:"mote_cpu" p
-    (Array.to_list (Array.mapi (fun s cost -> (x.(s), cost)) c.Preprocess.cpu))
-    Lp.Problem.Le
-    (clamp t.mote_cpu_budget c.Preprocess.cpu);
-  Lp.Problem.add_constr ~name:"micro_cpu" p
-    (List.concat
-       (Array.to_list
-          (Array.mapi
-             (fun s cost -> [ (y.(s), cost); (x.(s), -.cost) ])
-             t.micro_cpu)))
-    Lp.Problem.Le
-    (clamp t.micro_cpu_budget t.micro_cpu);
-  (* bandwidth budgets and objective *)
-  let total_bw =
-    Array.fold_left (fun acc (_, _, r) -> acc +. r) 1. c.Preprocess.edges
-  in
-  let mote_net_terms = ref [] and micro_net_terms = ref [] in
-  let obj = Hashtbl.create 64 in
-  let add_obj v coef =
-    Hashtbl.replace obj v (coef +. Option.value ~default:0. (Hashtbl.find_opt obj v))
-  in
-  Array.iter
-    (fun (u, v, r) ->
-      mote_net_terms := (x.(u), r) :: (x.(v), -.r) :: !mote_net_terms;
-      micro_net_terms := (y.(u), r) :: (y.(v), -.r) :: !micro_net_terms;
-      add_obj x.(u) (t.beta_mote *. r);
-      add_obj x.(v) (-.t.beta_mote *. r);
-      add_obj y.(u) (t.beta_micro *. r);
-      add_obj y.(v) (-.t.beta_micro *. r))
-    c.Preprocess.edges;
-  Lp.Problem.add_constr ~name:"mote_net" p !mote_net_terms Lp.Problem.Le
-    (Float.min t.mote_net_budget total_bw);
-  Lp.Problem.add_constr ~name:"micro_net" p !micro_net_terms Lp.Problem.Le
-    (Float.min t.micro_net_budget total_bw);
-  Lp.Problem.set_objective p Lp.Problem.Minimize
-    (Hashtbl.fold (fun v coef acc -> (v, coef) :: acc) obj []);
-  match Lp.Branch_bound.solve ?options p with
-  | Lp.Solution.Optimal sol, stats ->
-      let n = Graph.n_ops c.Preprocess.spec.Spec.graph in
-      let tiers =
-        Array.init n (fun i ->
-            let s = c.Preprocess.super_of.(i) in
-            if sol.x.(x.(s)) >= 0.5 then Mote
-            else if sol.x.(y.(s)) >= 0.5 then Microserver
-            else Central)
-      in
-      let spec = c.Preprocess.spec in
-      let mote_cpu = ref 0. and micro_cpu = ref 0. in
-      Array.iteri
-        (fun s members ->
-          ignore members;
-          if sol.x.(x.(s)) >= 0.5 then
-            mote_cpu := !mote_cpu +. c.Preprocess.cpu.(s)
-          else if sol.x.(y.(s)) >= 0.5 then
-            micro_cpu := !micro_cpu +. t.micro_cpu.(s))
-        c.Preprocess.members;
-      let mote_net = ref 0. and micro_net = ref 0. in
-      Array.iter
-        (fun (e : Graph.edge) ->
-          let tu = tiers.(e.src) and tv = tiers.(e.dst) in
-          let r = spec.Spec.bandwidth.(e.eid) in
-          (match (tu, tv) with
-          | Mote, (Microserver | Central) -> mote_net := !mote_net +. r
-          | _ -> ());
-          match (tu, tv) with
-          | (Mote | Microserver), Central -> micro_net := !micro_net +. r
-          | _ -> ())
-        (Graph.edges spec.Spec.graph);
+  match Placement.solve ?options t.pl with
+  | Placement.Partitioned r ->
       Partitioned
         {
-          tiers;
-          mote_cpu = !mote_cpu;
-          micro_cpu = !micro_cpu;
-          mote_net = !mote_net;
-          micro_net = !micro_net;
-          objective = sol.objective;
-          solver = stats;
+          tiers = Array.map tier_of_index r.Placement.tier_of;
+          mote_cpu = r.Placement.tier_cpu.(0);
+          micro_cpu = r.Placement.tier_cpu.(1);
+          mote_net = r.Placement.link_net.(0);
+          micro_net = r.Placement.link_net.(1);
+          objective = r.Placement.objective;
+          solver = r.Placement.solver;
         }
-  | Lp.Solution.Infeasible, _ -> No_feasible_partition
-  | Lp.Solution.Unbounded, _ -> Solver_failure "three-tier ILP unbounded"
-  | Lp.Solution.Iteration_limit, _ -> Solver_failure "solver budget exhausted"
+  | Placement.No_feasible_partition -> No_feasible_partition
+  | Placement.Solver_failure m -> Solver_failure m
 
 let brute_force ?(max_super = 12) t =
-  let c = t.contracted in
+  let spec = t.pl.Placement.spec in
+  let c = Preprocess.contract spec in
   let n = c.Preprocess.n_super in
   if n > max_super then
     invalid_arg "Three_tier.brute_force: too many supernodes";
+  let micro_cpu_per_op = t.pl.Placement.tiers.(1).Placement.cpu in
+  let micro_cpu =
+    Array.map
+      (fun members ->
+        List.fold_left (fun acc i -> acc +. micro_cpu_per_op.(i)) 0. members)
+      c.Preprocess.members
+  in
+  let mote_cpu_budget_raw = t.pl.Placement.tiers.(0).Placement.cpu_budget in
+  let micro_cpu_budget_raw = t.pl.Placement.tiers.(1).Placement.cpu_budget in
+  let mote_net_budget_raw = t.pl.Placement.links.(0).Placement.net_budget in
+  let micro_net_budget_raw = t.pl.Placement.links.(1).Placement.net_budget in
+  let beta_mote = t.pl.Placement.links.(0).Placement.beta in
+  let beta_micro = t.pl.Placement.links.(1).Placement.beta in
   (* the same vacuous-budget clamp the ILP encoding applies *)
   let clamp budget costs =
     Float.min budget (Array.fold_left ( +. ) 1. costs)
   in
-  let mote_cpu_budget = clamp t.mote_cpu_budget c.Preprocess.cpu in
-  let micro_cpu_budget = clamp t.micro_cpu_budget t.micro_cpu in
+  let mote_cpu_budget = clamp mote_cpu_budget_raw c.Preprocess.cpu in
+  let micro_cpu_budget = clamp micro_cpu_budget_raw micro_cpu in
   let total_bw =
     Array.fold_left (fun acc (_, _, r) -> acc +. r) 1. c.Preprocess.edges
   in
-  let mote_net_budget = Float.min t.mote_net_budget total_bw in
-  let micro_net_budget = Float.min t.micro_net_budget total_bw in
+  let mote_net_budget = Float.min mote_net_budget_raw total_bw in
+  let micro_net_budget = Float.min micro_net_budget_raw total_bw in
   let rank = function Mote -> 2 | Microserver -> 1 | Central -> 0 in
   let allowed s =
     match c.Preprocess.placement.(s) with
@@ -211,12 +157,12 @@ let brute_force ?(max_super = 12) t =
         c.Preprocess.edges
     in
     if monotone then begin
-      let mote_cpu = ref 0. and micro_cpu = ref 0. in
+      let mote_cpu = ref 0. and micro_used = ref 0. in
       Array.iteri
         (fun s tier ->
           match tier with
           | Mote -> mote_cpu := !mote_cpu +. c.Preprocess.cpu.(s)
-          | Microserver -> micro_cpu := !micro_cpu +. t.micro_cpu.(s)
+          | Microserver -> micro_used := !micro_used +. micro_cpu.(s)
           | Central -> ())
         tiers;
       let mote_net = ref 0. and micro_net = ref 0. in
@@ -229,13 +175,11 @@ let brute_force ?(max_super = 12) t =
         c.Preprocess.edges;
       if
         !mote_cpu <= mote_cpu_budget +. 1e-9
-        && !micro_cpu <= micro_cpu_budget +. 1e-9
+        && !micro_used <= micro_cpu_budget +. 1e-9
         && !mote_net <= mote_net_budget +. 1e-6
         && !micro_net <= micro_net_budget +. 1e-6
       then begin
-        let obj =
-          (t.beta_mote *. !mote_net) +. (t.beta_micro *. !micro_net)
-        in
+        let obj = (beta_mote *. !mote_net) +. (beta_micro *. !micro_net) in
         match !best with
         | Some (_, b) when b <= obj -> ()
         | _ -> best := Some (Array.copy tiers, obj)
@@ -254,10 +198,8 @@ let brute_force ?(max_super = 12) t =
   go 0;
   Option.map
     (fun (super_tiers, obj) ->
-      let n_orig = Graph.n_ops c.Preprocess.spec.Spec.graph in
-      ( Array.init n_orig (fun i ->
-            super_tiers.(c.Preprocess.super_of.(i))),
-        obj ))
+      let n_orig = Graph.n_ops spec.Spec.graph in
+      (Array.init n_orig (fun i -> super_tiers.(c.Preprocess.super_of.(i))), obj))
     !best
 
 let tier_counts r =

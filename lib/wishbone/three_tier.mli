@@ -9,11 +9,34 @@
     as the mote") and [y_v] ("at least as deep as a microserver"),
     with [x_v <= y_v]; per-edge monotonicity [x_u >= x_v],
     [y_u >= y_v]; CPU budgets per tier and bandwidth budgets per link
-    layer; objective a weighted sum of the two cut bandwidths. *)
+    layer; objective a weighted sum of the two cut bandwidths.
+
+    Since the tier-graph refactor that ILP is built and solved by
+    {!Placement} (the mote/microserver/central chain is its three-tier
+    instance); this module constructs the instance and translates the
+    report.  {!brute_force} remains an independent enumeration — the
+    oracle the placement core is fuzzed against. *)
 
 type tier = Mote | Microserver | Central
 
 type t
+
+val of_spec :
+  ?mote_cpu_budget:float ->
+  ?micro_cpu_budget:float ->
+  ?mote_net_budget:float ->
+  ?micro_net_budget:float ->
+  ?beta_mote:float ->
+  ?beta_micro:float ->
+  micro_cpu:float array ->
+  Spec.t ->
+  t
+(** Build an instance directly from a two-way spec (the mote tier)
+    plus per-operator microserver CPU costs.  Mote budgets default to
+    the spec's; microserver budgets default to unbudgeted; [beta_mote]
+    defaults to 1 and [beta_micro] to 0.3.  Used by {!of_profile} and
+    by the placement-equivalence fuzz oracle.
+    @raise Invalid_argument when [micro_cpu] has the wrong length. *)
 
 val of_profile :
   ?mode:Movable.mode ->

@@ -203,7 +203,9 @@ let test_fuzz_bounded_pass () =
   let summary =
     Fuzz.run { Fuzz.default with Fuzz.count = 40; size = 7; seed = 42 }
   in
-  Alcotest.(check int) "ran all cases" (5 * 40) summary.Fuzz.cases_run;
+  Alcotest.(check int) "ran all cases"
+    (List.length Fuzz.all_oracles * 40)
+    summary.Fuzz.cases_run;
   Alcotest.(check bool) "all oracles passed" true (Fuzz.all_passed summary)
 
 let test_fuzz_replay_deterministic () =

@@ -1,0 +1,368 @@
+(* Tier-graph refactor regression suite.
+
+   Four groups:
+   - pinned Splitrun runs: the two-tier wrapper over Multirun must
+     reproduce the pre-refactor engine bit-for-bit (sink digests,
+     traffic counters, per-operator drop counts) on frozen seeds;
+   - Figure 3 goldens solved through the generic placement core;
+   - a hand-checked three-tier fixture where the optimum is computed
+     on paper, solved via Three_tier (now a Placement instance) and
+     cross-checked against the independent brute force;
+   - a Multirun three-tier end-to-end run exercising per-link offered
+     traffic, drop accounting, queue inspection and reset. *)
+
+open Dataflow
+open Wishbone
+
+let feq ?(tol = 1e-6) = Alcotest.(check (float tol))
+
+(* ---- pinned Splitrun regressions ---------------------------------- *)
+
+(* Frozen before the Multirun refactor (see CHANGES.md): random specs
+   and cuts from the check-library generator, 12 rounds of injections
+   plus a final drain, under four shed configurations.  The digest is
+   [Hashtbl.hash] of the ordered sink-value list; the tuple is
+   (seed, digest, crossing elems, crossing bytes, dropped,
+   per-op drop counts). *)
+
+let pin_scenario ~seed ~shed =
+  let rng = Prng.create seed in
+  let cfg =
+    {
+      Check.Gen.default_cfg with
+      Check.Gen.n_ops = 8;
+      extra_edge_prob = 0.25;
+      stateful_prob = 0.3;
+      mode = Movable.Conservative;
+      tightness = 0.5;
+    }
+  in
+  let spec = Check.Gen.spec rng cfg in
+  let cut = Check.Gen.random_cut rng spec in
+  let g = spec.Spec.graph in
+  let sources =
+    Array.to_list (Graph.ops g)
+    |> List.filter (fun (o : Op.t) -> o.side_effect = Op.Sensor_input)
+    |> List.map (fun (o : Op.t) -> o.id)
+  in
+  let split = Runtime.Splitrun.create ?shed ~node_of:(fun i -> cut.(i)) g in
+  let sinks = ref [] in
+  for k = 0 to 11 do
+    List.iter
+      (fun src ->
+        let v = Value.Int ((17 * k) + src) in
+        sinks :=
+          List.rev_append (Runtime.Splitrun.inject split ~source:src v) !sinks)
+      sources
+  done;
+  sinks := List.rev_append (Runtime.Splitrun.drain split) !sinks;
+  let elems, bytes = Runtime.Splitrun.crossing_traffic split in
+  ( Hashtbl.hash (List.rev !sinks),
+    elems,
+    bytes,
+    Runtime.Splitrun.dropped split,
+    Array.to_list (Runtime.Splitrun.drop_counts split) )
+
+let pin_configs =
+  [
+    ("perfect", None);
+    ( "drop_newest",
+      Some
+        {
+          Runtime.Splitrun.policy = Runtime.Shed.Drop_newest;
+          capacity = 2;
+          service = 1;
+          seed = 11;
+        } );
+    ( "drop_oldest",
+      Some
+        {
+          Runtime.Splitrun.policy = Runtime.Shed.Drop_oldest;
+          capacity = 3;
+          service = 0;
+          seed = 12;
+        } );
+    ( "sample_hold",
+      Some
+        {
+          Runtime.Splitrun.policy = Runtime.Shed.Sample_hold 0.5;
+          capacity = 2;
+          service = 1;
+          seed = 13;
+        } );
+  ]
+
+(* (seed, digest, elems, bytes, dropped, drop_counts) per config *)
+let pins =
+  [
+    ( "perfect",
+      [
+        (1, 289291826, 61, 244, 0, [ 0; 0; 0; 0; 0; 0; 0; 0 ]);
+        (2, 947484496, 64, 256, 0, [ 0; 0; 0; 0; 0; 0; 0; 0 ]);
+        (3, 443827067, 1680, 6720, 0, [ 0; 0; 0; 0; 0; 0; 0; 0 ]);
+        (4, 624045902, 30, 120, 0, [ 0; 0; 0; 0; 0; 0; 0; 0 ]);
+        (5, 679183688, 72, 288, 0, [ 0; 0; 0; 0; 0; 0; 0; 0 ]);
+      ] );
+    ( "drop_newest",
+      [
+        (1, 801792612, 61, 244, 48, [ 12; 8; 0; 0; 0; 0; 28; 0 ]);
+        (2, 391751413, 64, 256, 51, [ 0; 0; 0; 23; 0; 8; 20; 0 ]);
+        (3, 571993385, 1680, 6720, 1667, [ 0; 0; 0; 0; 0; 0; 1667; 0 ]);
+        (4, 624045902, 30, 120, 17, [ 0; 0; 11; 0; 6; 0; 0; 0 ]);
+        (5, 507801830, 72, 288, 59, [ 12; 0; 23; 0; 24; 0; 0; 0 ]);
+      ] );
+    ( "drop_oldest",
+      [
+        (1, 1007542413, 61, 244, 58, [ 11; 15; 0; 0; 0; 0; 32; 0 ]);
+        (2, 723223200, 64, 256, 61, [ 0; 0; 0; 28; 0; 9; 24; 0 ]);
+        (3, 216106577, 1680, 6720, 1677, [ 0; 0; 0; 0; 0; 0; 1677; 0 ]);
+        (4, 305261850, 30, 120, 27, [ 0; 5; 11; 0; 11; 0; 0; 0 ]);
+        (5, 1027448750, 72, 288, 69, [ 23; 0; 22; 0; 24; 0; 0; 0 ]);
+      ] );
+    ( "sample_hold",
+      [
+        (1, 350400753, 61, 244, 48, [ 11; 9; 0; 0; 0; 0; 28; 0 ]);
+        (2, 563632509, 64, 256, 51, [ 0; 0; 0; 21; 0; 7; 23; 0 ]);
+        (3, 687985414, 1680, 6720, 1667, [ 0; 0; 0; 0; 0; 0; 1667; 0 ]);
+        (4, 71636410, 30, 120, 17, [ 0; 1; 11; 0; 5; 0; 0; 0 ]);
+        (5, 436312242, 72, 288, 59, [ 22; 0; 21; 0; 16; 0; 0; 0 ]);
+      ] );
+  ]
+
+let test_splitrun_pins () =
+  List.iter
+    (fun (cname, expected) ->
+      let shed = List.assoc cname pin_configs in
+      List.iter
+        (fun (seed, digest, elems, bytes, dropped, drop_counts) ->
+          let d, e, b, dr, dc = pin_scenario ~seed ~shed in
+          let lbl what = Printf.sprintf "%s seed %d: %s" cname seed what in
+          Alcotest.(check int) (lbl "sink digest") digest d;
+          Alcotest.(check int) (lbl "crossing elems") elems e;
+          Alcotest.(check int) (lbl "crossing bytes") bytes b;
+          Alcotest.(check int) (lbl "dropped") dropped dr;
+          Alcotest.(check (list int)) (lbl "drop counts") drop_counts dc)
+        expected)
+    pins
+
+(* ---- Figure 3 goldens through the generic core -------------------- *)
+
+let solve_fig3 budget =
+  let spec = Apps.Synthetic.fig3_spec ~cpu_budget:budget in
+  match Placement.solve (Placement.of_spec spec) with
+  | Placement.Partitioned r -> r
+  | Placement.No_feasible_partition ->
+      Alcotest.fail (Printf.sprintf "fig3 budget %g: no placement" budget)
+  | Placement.Solver_failure m -> Alcotest.fail m
+
+let test_fig3_cut_bandwidths () =
+  List.iter
+    (fun (budget, bw) ->
+      let r = solve_fig3 budget in
+      feq
+        (Printf.sprintf "budget %g -> cut bandwidth %g" budget bw)
+        bw
+        r.Placement.link_net.(0))
+    [ (2., 8.); (3., 6.); (4., 5.) ]
+
+let test_fig3_partition_shape () =
+  let r = solve_fig3 4. in
+  let node_ops =
+    List.filter
+      (fun i -> r.Placement.tier_of.(i) = 0)
+      (List.init (Array.length r.Placement.tier_of) Fun.id)
+  in
+  Alcotest.(check (list int)) "ops on the node at budget 4" [ 0; 1; 2 ]
+    node_ops;
+  feq "objective = cut bandwidth" r.Placement.link_net.(0)
+    r.Placement.objective
+
+(* ---- hand-checked three-tier fixture ------------------------------ *)
+
+let passthrough () =
+  Op.stateless_instance (fun v -> ([ v ], Workload.make ~call_ops:1. ()))
+
+let mk_op ?(namespace = Op.Node) ?(stateful = false) ?(side_effect = Op.Pure)
+    id name =
+  { Op.id; name; kind = "t"; namespace; stateful; side_effect;
+    fresh = passthrough }
+
+(* src -> a -> b -> sink with edge bandwidths 10 / 4 / 2 B/s *)
+let chain_graph () =
+  let ops =
+    [|
+      mk_op ~side_effect:Op.Sensor_input 0 "src";
+      mk_op 1 "a";
+      mk_op 2 "b";
+      mk_op ~namespace:Op.Server ~side_effect:Op.Display_output 3 "sink";
+    |]
+  in
+  Graph.make ops [ (0, 1, 0); (1, 2, 0); (2, 3, 0) ]
+
+let chain_spec () =
+  let g = chain_graph () in
+  match Movable.classify Movable.Conservative g with
+  | Error m -> Alcotest.fail m
+  | Ok placement ->
+      {
+        Spec.graph = g;
+        placement;
+        cpu = [| 0.5; 0.4; 0.4; 0. |];
+        bandwidth = [| 10.; 4.; 2. |];
+        cpu_budget = 1.0;
+        net_budget = 1e9;
+        alpha = 0.;
+        beta = 1.;
+      }
+
+(* Worked by hand.  src is pinned to the mote, sink to the central
+   server; a and b are free but must descend monotonically.  The mote
+   (budget 1.0) cannot hold src+a+b (1.3), the microserver (budget
+   0.15) can hold at most one of a/b (0.1 each).  A mote->central
+   crossing is carried by both radio layers.  Candidates:
+
+     a=mote,  b=micro   : 1.0*4  + 0.3*2  = 4.6   <- optimum
+     a=mote,  b=central : 1.0*4  + 0.3*4  = 5.2
+     a=micro, b=central : 1.0*10 + 0.3*4  = 11.2
+     a=micro, b=micro   : micro CPU 0.2 > 0.15, infeasible
+     a=b=mote           : mote CPU 1.3 > 1.0, infeasible
+     a=b=central        : 1.0*10 + 0.3*10 = 13. *)
+let test_three_tier_hand_checked () =
+  let tt =
+    Three_tier.of_spec ~micro_cpu_budget:0.15
+      ~micro_cpu:[| 0.; 0.1; 0.1; 0. |] (chain_spec ())
+  in
+  (match Three_tier.solve tt with
+  | Three_tier.Partitioned r ->
+      Alcotest.(check bool) "tiers = [mote; mote; micro; central]" true
+        (r.Three_tier.tiers
+        = [| Three_tier.Mote; Three_tier.Mote; Three_tier.Microserver;
+             Three_tier.Central |]);
+      feq "objective" 4.6 r.Three_tier.objective;
+      feq "mote cut" 4. r.Three_tier.mote_net;
+      feq "micro cut" 2. r.Three_tier.micro_net;
+      feq "mote cpu" 0.9 r.Three_tier.mote_cpu;
+      feq "micro cpu" 0.1 r.Three_tier.micro_cpu;
+      Alcotest.(check (pair (pair int int) int)) "tier counts" ((2, 1), 1)
+        (let m, mi, c = Three_tier.tier_counts r in
+         ((m, mi), c))
+  | _ -> Alcotest.fail "three-tier solve failed");
+  match Three_tier.brute_force tt with
+  | Some (tiers, obj) ->
+      Alcotest.(check bool) "brute force agrees on tiers" true
+        (tiers
+        = [| Three_tier.Mote; Three_tier.Mote; Three_tier.Microserver;
+             Three_tier.Central |]);
+      feq "brute force agrees on objective" 4.6 obj
+  | None -> Alcotest.fail "brute force found no feasible assignment"
+
+(* tightening the microserver out of the picture collapses to the
+   two-tier optimum on the same chain *)
+let test_three_tier_collapses_to_two () =
+  let tt =
+    Three_tier.of_spec ~micro_cpu_budget:0.
+      ~micro_cpu:[| 0.; 0.1; 0.1; 0. |] (chain_spec ())
+  in
+  match Three_tier.solve tt with
+  | Three_tier.Partitioned r ->
+      (* a on the mote, b forced past the empty microserver: the b->sink
+         edge rides both layers, so 1.0*4 + 0.3*4 *)
+      Alcotest.(check bool) "nobody on the microserver" true
+        (Array.for_all (fun t -> t <> Three_tier.Microserver)
+           r.Three_tier.tiers);
+      feq "objective" 5.2 r.Three_tier.objective
+  | _ -> Alcotest.fail "three-tier solve failed"
+
+(* ---- Multirun three-tier end-to-end ------------------------------- *)
+
+(* The same chain at tiers [0;0;1;2]: the a->b crossing parks in a
+   capacity-1 service-0 channel on link 0 (so only drain moves it),
+   link 1 is perfect.  Injecting k samples offers k crossings on
+   link 0, keeps 1 queued, drops k-1 — all charged to operator a. *)
+let test_multirun_three_tier_e2e () =
+  let g = chain_graph () in
+  let tier_of = [| 0; 0; 1; 2 |] in
+  let mr =
+    Runtime.Multirun.create
+      ~links:
+        [
+          Some
+            {
+              Runtime.Multirun.policy = Runtime.Shed.Drop_newest;
+              capacity = 1;
+              service = 0;
+              seed = 7;
+            };
+          None;
+        ]
+      ~n_tiers:3
+      ~tier_of:(fun i -> tier_of.(i))
+      g
+  in
+  Alcotest.(check int) "3 tiers" 3 (Runtime.Multirun.n_tiers mr);
+  Alcotest.(check int) "tier of b" 1 (Runtime.Multirun.tier_of mr 2);
+  let rounds = 5 in
+  for k = 1 to rounds do
+    let out = Runtime.Multirun.inject mr ~source:0 (Value.Int k) in
+    Alcotest.(check int)
+      (Printf.sprintf "inject %d: nothing reaches the sink yet" k)
+      0 (List.length out)
+  done;
+  let e0, b0 = Runtime.Multirun.link_traffic mr 0 in
+  Alcotest.(check int) "link 0 offered elems" rounds e0;
+  Alcotest.(check bool) "link 0 offered bytes" true (b0 > 0);
+  Alcotest.(check int) "link 0 queued" 1 (Runtime.Multirun.link_queued mr 0);
+  Alcotest.(check int) "link 0 dropped" (rounds - 1)
+    (Runtime.Multirun.link_dropped mr 0);
+  Alcotest.(check (list int)) "link 0 drops charged to a" [ 0; rounds - 1; 0; 0 ]
+    (Array.to_list (Runtime.Multirun.link_drop_counts mr 0));
+  (* link 1 is untouched until the queued crossing is serviced *)
+  Alcotest.(check (pair int int)) "link 1 idle" (0, 0)
+    (Runtime.Multirun.link_traffic mr 1);
+  let sinks = Runtime.Multirun.drain mr in
+  (* the surviving crossing fires b on tier 1; its output rides the
+     perfect link 1 straight into the sink *)
+  Alcotest.(check int) "one value reaches the sink" 1 (List.length sinks);
+  Alcotest.(check int) "link 0 drained" 0 (Runtime.Multirun.link_queued mr 0);
+  let e1, _ = Runtime.Multirun.link_traffic mr 1 in
+  Alcotest.(check int) "link 1 carried the serviced crossing" 1 e1;
+  Alcotest.(check int) "link 1 dropped nothing" 0
+    (Runtime.Multirun.link_dropped mr 1);
+  (* reset zeroes traffic and per-op drop accounting *)
+  Runtime.Multirun.reset mr;
+  Alcotest.(check (pair int int)) "reset: link 0 traffic" (0, 0)
+    (Runtime.Multirun.link_traffic mr 0);
+  Alcotest.(check int) "reset: link 0 queue flushed" 0
+    (Runtime.Multirun.link_queued mr 0);
+  Alcotest.(check (list int)) "reset: drop counts" [ 0; 0; 0; 0 ]
+    (Array.to_list (Runtime.Multirun.link_drop_counts mr 0));
+  let out = Runtime.Multirun.inject mr ~source:0 (Value.Int 99) in
+  Alcotest.(check int) "engine still runs after reset" 0 (List.length out);
+  Alcotest.(check int) "fresh crossing queued" 1
+    (Runtime.Multirun.link_queued mr 0)
+
+let () =
+  Alcotest.run "placement"
+    [
+      ( "splitrun-pins",
+        [ Alcotest.test_case "pinned regressions" `Quick test_splitrun_pins ]
+      );
+      ( "fig3-golden",
+        [
+          Alcotest.test_case "cut bandwidths" `Quick test_fig3_cut_bandwidths;
+          Alcotest.test_case "partition shape" `Quick
+            test_fig3_partition_shape;
+        ] );
+      ( "three-tier",
+        [
+          Alcotest.test_case "hand-checked fixture" `Quick
+            test_three_tier_hand_checked;
+          Alcotest.test_case "collapses to two tiers" `Quick
+            test_three_tier_collapses_to_two;
+        ] );
+      ( "multirun",
+        [
+          Alcotest.test_case "three-tier end-to-end" `Quick
+            test_multirun_three_tier_e2e;
+        ] );
+    ]
