@@ -110,6 +110,47 @@ let write_json ~n_channels ~(cold : mode_result) ~(warm : mode_result)
     (cold.wall_s /. Float.max 1e-9 warm.wall_s);
   close_out oc
 
+(* CI smoke: partition the speech and eeg14 instances once with the
+   dense tableau and once with the sparse revised simplex forced, and
+   fail loudly if the engines disagree on the objective.  Kept small
+   enough that the CI step's wall-clock ceiling (see
+   .github/workflows/ci.yml) catches any solver-path regression that
+   turns sub-second solves into minutes. *)
+let smoke () =
+  Bench_util.header "bench smoke: dense vs sparse LP engines, speech + eeg14";
+  let run name rate spec =
+    let spec = Wishbone.Spec.scale_rate spec rate in
+    let solve solver =
+      let options = { Lp.Branch_bound.default_options with solver } in
+      let t0 = Unix.gettimeofday () in
+      match Wishbone.Partitioner.solve ~options spec with
+      | Wishbone.Partitioner.Partitioned r ->
+          (r.Wishbone.Partitioner.objective, Unix.gettimeofday () -. t0)
+      | Wishbone.Partitioner.No_feasible_partition ->
+          Printf.eprintf "smoke %s: unexpectedly infeasible\n" name;
+          exit 1
+      | Wishbone.Partitioner.Solver_failure m ->
+          Printf.eprintf "smoke %s: solver failure: %s\n" name m;
+          exit 1
+    in
+    let od, td = solve Lp.Branch_bound.Dense in
+    let os, ts = solve Lp.Branch_bound.Sparse_revised in
+    Bench_util.row "%-8s dense %12.6f (%6.3f s)   sparse %12.6f (%6.3f s)\n"
+      name od td os ts;
+    if Float.abs (od -. os) > 1e-6 *. Float.max 1. (Float.abs od) then (
+      Printf.eprintf "smoke %s: engines disagree: dense %.9g sparse %.9g\n"
+        name od os;
+      exit 1)
+  in
+  run "speech" 0.05
+    (Bench_util.spec_exn ~platform:Profiler.Platform.tmote_sky
+       (Lazy.force Bench_util.speech_profile));
+  run "eeg14" 1.0
+    (Bench_util.spec_exn ~mode:Wishbone.Movable.Permissive
+       ~platform:Profiler.Platform.tmote_sky
+       (Apps.Eeg.profile ~duration:30. (Apps.Eeg.build ~n_channels:14 ())));
+  Bench_util.row "smoke ok\n"
+
 (* Default to 14 channels: the largest EEG instance where neither mode
    hits the rate search's 10 s per-attempt solver budget, so cold and
    warm provably agree on the found rate and the comparison is

@@ -20,6 +20,7 @@ let experiments =
     ("ablations", fun () -> Ablations.run ());
     ("micro", fun () -> Micro.run ());
     ("lp", fun () -> Lp_micro.run ());
+    ("smoke", fun () -> Lp_micro.smoke ());
     ("faults", fun () -> Faults.run ());
     ("placement", fun () -> Placement_bench.run ());
   ]

@@ -269,7 +269,83 @@ let partition_cmd =
           ~doc:"Binary-search the maximum sustainable rate instead of \
                 partitioning at --rate.")
   in
-  let run app platform duration mode rate dot search tiers =
+  let max_pivots_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-pivots" ] ~docv:"N"
+          ~doc:
+            "Simplex pivot budget per LP relaxation.  When the budget \
+             runs out mid-search the best incumbent found so far is \
+             reported together with its optimality gap.")
+  in
+  let time_limit_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-limit-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock budget for the branch & bound, in milliseconds. \
+             On expiry the best incumbent found so far is reported \
+             together with its optimality gap.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Concurrent branch & bound node expansions (deterministic: \
+             the partition returned is the same for any worker count).")
+  in
+  let solver_options base max_pivots time_limit_ms workers =
+    let o = base in
+    {
+      o with
+      Lp.Branch_bound.workers;
+      time_limit =
+        (match time_limit_ms with
+        | Some ms -> ms /. 1000.
+        | None -> o.Lp.Branch_bound.time_limit);
+      simplex =
+        (match max_pivots with
+        | Some p -> { o.Lp.Branch_bound.simplex with Lp.Simplex.max_pivots = p }
+        | None -> o.Lp.Branch_bound.simplex);
+    }
+  in
+  (* on budget exhaustion the solver keeps its best incumbent; surface
+     it with the gap to the strongest remaining bound instead of
+     failing *)
+  let report_budget ~objective (stats : Lp.Branch_bound.stats) =
+    if not stats.Lp.Branch_bound.proved_optimal then
+      let bound = stats.Lp.Branch_bound.best_bound in
+      if Float.is_nan bound then
+        Printf.printf
+          "budget exhausted: best incumbent so far (no dual bound available)\n"
+      else
+        Printf.printf
+          "budget exhausted: best incumbent so far, gap %.2f%% (objective \
+           %g, strongest bound %g)\n"
+          (100. *. Float.abs (objective -. bound)
+          /. Float.max 1. (Float.abs objective))
+          objective bound
+  in
+  let budget_failure m =
+    Printf.eprintf
+      "%s before any feasible partition was found; raise --max-pivots or \
+       --time-limit-ms\n"
+      m;
+    exit 1
+  in
+  let run app platform duration mode rate dot search tiers max_pivots
+      time_limit_ms workers =
+    (* the rate search keeps its looser per-solve budgets unless
+       overridden explicitly *)
+    let options =
+      solver_options
+        (if search then Wishbone.Rate_search.default_search_options
+         else Lp.Branch_bound.default_options)
+        max_pivots time_limit_ms workers
+    in
     let b = build_app app in
     let raw = b.profile ~duration in
     let chain =
@@ -304,10 +380,11 @@ let partition_cmd =
               Format.printf "%a@."
                 (Wishbone.Partitioner.pp_report b.graph)
                 report;
+              report_budget ~objective:report.objective report.solver;
               write_dot report.assignment
             in
             if search then
-              match Wishbone.Rate_search.search spec with
+              match Wishbone.Rate_search.search ~options spec with
               | Some { rate_multiplier; report } ->
                   Printf.printf "maximum sustainable rate: x%.4f\n"
                     rate_multiplier;
@@ -317,12 +394,15 @@ let partition_cmd =
                   exit 1
             else
               let spec = Wishbone.Spec.scale_rate spec rate in
-              match Wishbone.Partitioner.solve spec with
+              match Wishbone.Partitioner.solve ~options spec with
               | Wishbone.Partitioner.Partitioned report -> finish report
               | Wishbone.Partitioner.No_feasible_partition ->
                   print_endline
                     "no feasible partition at this rate; try --search";
                   exit 1
+              | Wishbone.Partitioner.Solver_failure m
+                when m = "solver budget exhausted" ->
+                  budget_failure m
               | Wishbone.Partitioner.Solver_failure m ->
                   Printf.eprintf "solver failure: %s\n" m;
                   exit 1)
@@ -330,10 +410,11 @@ let partition_cmd =
             let pl = placement_of_chain spec raw (List.tl chain) in
             let finish pl (r : Wishbone.Placement.report) =
               Format.printf "%a@." (Wishbone.Placement.pp_report b.graph pl) r;
+              report_budget ~objective:r.objective r.solver;
               write_dot (Array.map (fun tier -> tier = 0) r.tier_of)
             in
             if search then
-              match Wishbone.Rate_search.search_placement pl with
+              match Wishbone.Rate_search.search_placement ~options pl with
               | Some { placement_multiplier; placement_report } ->
                   Printf.printf "maximum sustainable rate: x%.4f\n"
                     placement_multiplier;
@@ -345,12 +426,15 @@ let partition_cmd =
                   exit 1
             else
               let pl = Wishbone.Placement.scale_rate pl rate in
-              match Wishbone.Placement.solve pl with
+              match Wishbone.Placement.solve ~options pl with
               | Wishbone.Placement.Partitioned r -> finish pl r
               | Wishbone.Placement.No_feasible_partition ->
                   print_endline
                     "no feasible placement at this rate; try --search";
                   exit 1
+              | Wishbone.Placement.Solver_failure m
+                when m = "solver budget exhausted" ->
+                  budget_failure m
               | Wishbone.Placement.Solver_failure m ->
                   Printf.eprintf "solver failure: %s\n" m;
                   exit 1))
@@ -363,7 +447,8 @@ let partition_cmd =
           chain.")
     Term.(
       const run $ app_arg $ platform_arg $ duration_arg $ mode_arg $ rate_arg
-      $ dot_arg $ search_arg $ tiers_arg)
+      $ dot_arg $ search_arg $ tiers_arg $ max_pivots_arg $ time_limit_arg
+      $ workers_arg)
 
 let sweep_cmd =
   let from_arg =

@@ -47,7 +47,21 @@ let lp_certificate rng problem =
       let cold = Lp.Simplex.solve_warm ~lo ~hi problem in
       let warm = Lp.Simplex.solve_warm ?warm:r0.basis ~lo ~hi problem in
       let hot = Lp.Simplex.solve_warm ?hot:r0.hot ~lo ~hi problem in
-      let runs = [ ("cold", cold); ("warm", warm); ("hot", hot) ] in
+      (* the sparse revised simplex must agree with every dense path,
+         cold and warm-started from a dense basis alike; its bases are
+         certified by the same dense reconstruction *)
+      let sdata = Lp.Sparse.of_problem problem in
+      let sparse_cold = Lp.Sparse.solve_warm ~lo ~hi sdata in
+      let sparse_warm = Lp.Sparse.solve_warm ?warm:r0.basis ~lo ~hi sdata in
+      let runs =
+        [
+          ("cold", cold);
+          ("warm", warm);
+          ("hot", hot);
+          ("sparse-cold", sparse_cold);
+          ("sparse-warm", sparse_warm);
+        ]
+      in
       if
         List.exists
           (fun (_, (r : Lp.Simplex.result)) ->

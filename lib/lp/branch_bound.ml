@@ -1,9 +1,13 @@
+type lp_solver = Auto | Dense | Sparse_revised
+
 type options = {
   max_nodes : int;
   int_tol : float;
   gap_tol : float;
   time_limit : float;
   warm_start : bool;
+  workers : int;
+  solver : lp_solver;
   simplex : Simplex.options;
 }
 
@@ -14,8 +18,15 @@ let default_options =
     gap_tol = 0.;
     time_limit = infinity;
     warm_start = true;
+    workers = 1;
+    solver = Auto;
     simplex = Simplex.default_options;
   }
+
+(* Auto picks the sparse revised simplex once the LP is big enough
+   for the revised machinery to pay for itself; tiny models (fig3,
+   unit fixtures) stay on the dense tableau they were tuned on. *)
+let sparse_threshold = 48
 
 type stats = {
   nodes_explored : int;
@@ -36,9 +47,9 @@ type node = {
   relax : Solution.t;
   basis : Basis.t option;  (* optimal basis of this node's relaxation *)
   mutable hot : Simplex.hot option;
-      (* final tableau of this node's relaxation, kept for at most
-         [hot_cache] recent nodes so child LPs can skip
-         refactorisation; dropped tableaus degrade to [basis] *)
+      (* final tableau of this node's relaxation (dense solver only),
+         kept for at most [hot_cache] recent nodes so child LPs can
+         skip refactorisation; dropped tableaus degrade to [basis] *)
 }
 
 (* How many recent nodes keep their full tableau alive.  Each costs
@@ -75,6 +86,43 @@ let snap ~int_tol int_vars (x : float array) =
     int_vars;
   x
 
+(* Deterministic incumbent tie-breaking: when two feasible points have
+   (numerically) the same objective, keep the lexicographically
+   smallest.  With parallel waves, tied integral leaves can surface in
+   the same batch in any exploration order; this makes the returned
+   point a pure function of the *set* discovered, not the schedule. *)
+let lex_smaller (a : float array) (b : float array) =
+  let n = Array.length a in
+  let rec go i =
+    if i >= n then false
+    else if a.(i) < b.(i) -. 1e-9 then true
+    else if a.(i) > b.(i) +. 1e-9 then false
+    else go (i + 1)
+  in
+  go 0
+
+(* One wave entry: a popped, non-stale open node.  Integral leaves
+   carry no LP work; branch entries are expanded by a worker, results
+   applied later in deterministic batch order. *)
+type task = {
+  t_node : node;
+  t_var : int;
+  mutable t_rec : Simplex.result option;
+      (* dense-mode hot-tableau recovery solve, when one was needed *)
+  mutable t_down : Simplex.result option;
+  mutable t_up : Simplex.result option;
+}
+
+type entry = Leaf of node | Branch of task
+
+let child_bounds (node : node) v =
+  let xv = node.relax.x.(v) in
+  let hi_down = Array.copy node.hi in
+  hi_down.(v) <- Float.of_int (int_of_float (Float.floor xv));
+  let lo_up = Array.copy node.lo in
+  lo_up.(v) <- Float.of_int (int_of_float (Float.ceil xv));
+  (hi_down, lo_up)
+
 let solve ?(options = default_options) ?initial ?root_basis problem =
   let t0 = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. t0 in
@@ -82,23 +130,40 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
   (* internal keys are always "minimize": smaller is better *)
   let key_of_obj obj = if minimize then obj else -.obj in
   let obj_of_key key = if minimize then key else -.key in
+  (* force every lazy accessor cache before any domain is spawned:
+     workers treat the problem as strictly read-only *)
+  let vars = Problem.vars problem in
+  ignore (Problem.constrs problem);
+  ignore (Problem.objective problem);
   let int_vars = Problem.integer_vars problem in
+  let use_sparse =
+    match options.solver with
+    | Dense -> false
+    | Sparse_revised -> true
+    | Auto -> Problem.n_constrs problem >= sparse_threshold
+  in
+  let sdata = if use_sparse then Some (Sparse.of_problem problem) else None in
+  let workers = Int.max 1 options.workers in
   let lp_solves = ref 0 in
   let hot_solves = ref 0 in
   let pivots = ref 0 in
   let root_b = ref None in
+  (* pure LP relaxation solve — no shared counters, so safe from any
+     worker domain; accounting happens on the main thread via
+     [account] when the result is applied *)
   let relaxation ?hot ~warm ~lo ~hi () =
+    let warm, hot = if options.warm_start then (warm, hot) else (None, None) in
+    match sdata with
+    | Some data ->
+        Sparse.solve_warm ~options:options.simplex ?warm ~lo ~hi data
+    | None ->
+        Simplex.solve_warm ~options:options.simplex ?warm ?hot
+          ~keep_hot:options.warm_start ~lo ~hi problem
+  in
+  let account (r : Simplex.result) =
     incr lp_solves;
-    let warm, hot =
-      if options.warm_start then (warm, hot) else (None, None)
-    in
-    let r =
-      Simplex.solve_warm ~options:options.simplex ?warm ?hot
-        ~keep_hot:options.warm_start ~lo ~hi problem
-    in
     if r.Simplex.hot_used then incr hot_solves;
-    pivots := !pivots + r.Simplex.pivots;
-    r
+    pivots := !pivots + r.Simplex.pivots
   in
   (* ring of nodes currently holding a hot tableau, newest first *)
   let hot_nodes = ref [] in
@@ -127,7 +192,6 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
       hot_nodes := List.filter (fun o -> o != node) !hot_nodes
     end
   in
-  let vars = Problem.vars problem in
   let lo0 = Array.map (fun (v : Problem.var_info) -> v.lo) vars in
   let hi0 = Array.map (fun (v : Problem.var_info) -> v.hi) vars in
   let finish status ~proved ~best_bound ~t_inc ~nodes ~trace =
@@ -146,6 +210,7 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
       } )
   in
   let root = relaxation ~warm:root_basis ~lo:lo0 ~hi:hi0 () in
+  account root;
   root_b := root.Simplex.basis;
   match root.Simplex.status with
   | Solution.Infeasible ->
@@ -175,14 +240,21 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
         let x = snap ~int_tol:options.int_tol int_vars sol.x in
         let obj = Problem.objective_value problem x in
         let key = key_of_obj obj in
-        if
-          Problem.constraint_violation problem x <= 1e-5
-          && key < !incumbent_key -. 1e-12
-        then begin
-          incumbent := Some { Solution.x; objective = obj };
-          incumbent_key := key;
-          t_incumbent := elapsed ();
-          trace := (!t_incumbent, obj) :: !trace
+        if Problem.constraint_violation problem x <= 1e-5 then begin
+          if key < !incumbent_key -. 1e-12 then begin
+            incumbent := Some { Solution.x; objective = obj };
+            incumbent_key := key;
+            t_incumbent := elapsed ();
+            trace := (!t_incumbent, obj) :: !trace
+          end
+          else if key <= !incumbent_key +. 1e-12 then
+            match !incumbent with
+            | Some cur when lex_smaller x cur.Solution.x ->
+                (* numerically tied objective: keep the canonical
+                   (lexicographically smallest) point *)
+                incumbent := Some { Solution.x; objective = obj };
+                incumbent_key := Float.min key !incumbent_key
+            | _ -> ()
         end
       in
       (* incremental callers (rate search) seed the incumbent with the
@@ -201,95 +273,148 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
             gap <= options.gap_tol *. Float.max 1. (Float.abs !incumbent_key)
                    +. 1e-9
       in
+      (* expansion body run by a worker (or inline when [workers = 1]):
+         both children, plus the dense-mode tableau recovery when the
+         node's hot value was evicted.  Writes only into its own task
+         record; [Domain.join] publishes the writes to the applier. *)
+      let run_task tk =
+        let node = tk.t_node in
+        let parent_hot =
+          match node.hot with
+          | Some _ as h -> h
+          | None when options.warm_start && sdata = None -> (
+              match relaxation ~warm:node.basis ~lo:node.lo ~hi:node.hi () with
+              | { Simplex.status = Solution.Optimal _; hot; _ } as r ->
+                  tk.t_rec <- Some r;
+                  hot
+              | r ->
+                  tk.t_rec <- Some r;
+                  None)
+          | None -> None
+        in
+        let hi_down, lo_up = child_bounds node tk.t_var in
+        tk.t_down <-
+          Some (relaxation ?hot:parent_hot ~warm:node.basis ~lo:node.lo
+                  ~hi:hi_down ());
+        tk.t_up <-
+          Some (relaxation ?hot:parent_hot ~warm:node.basis ~lo:lo_up
+                  ~hi:node.hi ())
+      in
       let continue = ref true in
       while !continue do
-        match Heap.Pqueue.min_key open_nodes with
-        | None -> continue := false
-        | Some bound_key when gap_closed bound_key -> continue := false
-        | Some _ ->
-            if !nodes >= options.max_nodes || elapsed () > options.time_limit
-            then begin
-              hit_budget := true;
-              continue := false
-            end
-            else begin
-              match Heap.Pqueue.pop open_nodes with
-              | None -> continue := false
-              | Some (key, node) ->
-                  (* stale-node pruning: the bound was checked when the
-                     node was pushed, but the incumbent may have
-                     improved since; discard without branching.  (With
-                     best-first order the loop-head gap check usually
-                     fires first — this is the safety net for any
-                     other exploration order and for nodes pushed
-                     within one expansion batch.) *)
-                  if key >= !incumbent_key -. 1e-12 || gap_closed key then
-                    release_hot node
-                  else begin
-                    incr nodes;
-                    match
-                      fractional_var ~int_tol:options.int_tol int_vars
-                        node.relax.x
-                    with
-                    | None ->
-                        release_hot node;
-                        try_incumbent node.relax
-                    | Some v ->
-                        let xv = node.relax.x.(v) in
-                        (* one refactorisation per expansion at most:
-                           if the node's tableau was evicted from the
-                           hot ring, rebuild it from the basis
-                           snapshot once and let both children clone
-                           it instead of refactorising twice *)
-                        let parent_hot =
-                          match node.hot with
-                          | Some _ as h -> h
-                          | None when options.warm_start -> (
-                              match
-                                relaxation ~warm:node.basis ~lo:node.lo
-                                  ~hi:node.hi ()
-                              with
-                              | { Simplex.status = Solution.Optimal _; hot; _ }
-                                ->
-                                  hot
-                              | _ -> None)
-                          | None -> None
+        (* ---- collect a wave of up to [workers] non-stale nodes ----
+           The first collection attempt of a wave replays the
+           sequential loop-head checks exactly (so [workers = 1]
+           reproduces the sequential search verbatim); a trigger after
+           the wave already has entries merely closes the wave, and
+           the next wave's head re-evaluates it against the applied
+           results. *)
+        let batch = ref [] in
+        let batch_n = ref 0 in
+        let collecting = ref true in
+        while !collecting do
+          if !batch_n >= workers then collecting := false
+          else
+            match Heap.Pqueue.min_key open_nodes with
+            | None ->
+                if !batch_n = 0 then continue := false;
+                collecting := false
+            | Some bound_key when gap_closed bound_key ->
+                if !batch_n = 0 then continue := false;
+                collecting := false
+            | Some _ ->
+                if !nodes >= options.max_nodes || elapsed () > options.time_limit
+                then begin
+                  if !batch_n = 0 then begin
+                    hit_budget := true;
+                    continue := false
+                  end;
+                  collecting := false
+                end
+                else begin
+                  match Heap.Pqueue.pop open_nodes with
+                  | None ->
+                      if !batch_n = 0 then continue := false;
+                      collecting := false
+                  | Some (key, node) ->
+                      (* stale-node pruning: the bound was checked when
+                         the node was pushed, but the incumbent may
+                         have improved since; discard without
+                         branching *)
+                      if key >= !incumbent_key -. 1e-12 || gap_closed key then
+                        release_hot node
+                      else begin
+                        incr nodes;
+                        match
+                          fractional_var ~int_tol:options.int_tol int_vars
+                            node.relax.x
+                        with
+                        | None ->
+                            release_hot node;
+                            batch := Leaf node :: !batch;
+                            incr batch_n
+                        | Some v ->
+                            batch :=
+                              Branch
+                                { t_node = node; t_var = v; t_rec = None;
+                                  t_down = None; t_up = None }
+                              :: !batch;
+                            incr batch_n
+                      end
+                end
+        done;
+        let batch = List.rev !batch in
+        (* ---- expand all branch entries, in parallel past one ---- *)
+        let tasks =
+          List.filter_map
+            (function Branch tk -> Some tk | Leaf _ -> None)
+            batch
+        in
+        (match tasks with
+        | [] -> ()
+        | [ tk ] -> run_task tk
+        | tk0 :: rest ->
+            let doms =
+              List.map (fun tk -> Domain.spawn (fun () -> run_task tk)) rest
+            in
+            run_task tk0;
+            List.iter Domain.join doms);
+        (* ---- apply results in deterministic batch order ---- *)
+        List.iter
+          (function
+            | Leaf node -> try_incumbent node.relax
+            | Branch tk ->
+                (match tk.t_rec with Some r -> account r | None -> ());
+                let node = tk.t_node in
+                release_hot node;
+                let hi_down, lo_up = child_bounds node tk.t_var in
+                let apply_child r ~lo ~hi =
+                  account r;
+                  match r.Simplex.status with
+                  | Solution.Optimal relax ->
+                      let key = key_of_obj relax.Solution.objective in
+                      if key < !incumbent_key -. 1e-12 then begin
+                        let child =
+                          { lo; hi; relax; basis = r.Simplex.basis;
+                            hot = r.Simplex.hot }
                         in
-                        release_hot node;
-                        let expand ~lo ~hi =
-                          match
-                            relaxation ?hot:parent_hot ~warm:node.basis ~lo
-                              ~hi ()
-                          with
-                          | { Simplex.status = Solution.Optimal relax; basis;
-                              hot; _ } ->
-                              let key = key_of_obj relax.objective in
-                              if key < !incumbent_key -. 1e-12 then begin
-                                let child = { lo; hi; relax; basis; hot } in
-                                retain_hot child;
-                                Heap.Pqueue.push open_nodes key child
-                              end
-                          | { Simplex.status = Solution.Infeasible; _ } -> ()
-                          | { Simplex.status = Solution.Unbounded; _ } ->
-                              (* a bounded parent cannot have an unbounded
-                                 child; treat as numerical noise *)
-                              ()
-                          | { Simplex.status = Solution.Iteration_limit; _ }
-                            ->
-                              hit_budget := true
-                        in
-                        (* down child: x_v <= floor *)
-                        let hi_down = Array.copy node.hi in
-                        hi_down.(v) <-
-                          Float.of_int (int_of_float (Float.floor xv));
-                        expand ~lo:node.lo ~hi:hi_down;
-                        (* up child: x_v >= ceil *)
-                        let lo_up = Array.copy node.lo in
-                        lo_up.(v) <-
-                          Float.of_int (int_of_float (Float.ceil xv));
-                        expand ~lo:lo_up ~hi:node.hi
-                  end
-            end
+                        retain_hot child;
+                        Heap.Pqueue.push open_nodes key child
+                      end
+                  | Solution.Infeasible -> ()
+                  | Solution.Unbounded ->
+                      (* a bounded parent cannot have an unbounded
+                         child; treat as numerical noise *)
+                      ()
+                  | Solution.Iteration_limit -> hit_budget := true
+                in
+                (match tk.t_down with
+                | Some r -> apply_child r ~lo:node.lo ~hi:hi_down
+                | None -> ());
+                (match tk.t_up with
+                | Some r -> apply_child r ~lo:lo_up ~hi:node.hi
+                | None -> ()))
+          batch
       done;
       let best_bound_key =
         match Heap.Pqueue.min_key open_nodes with
@@ -309,4 +434,4 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
               ~trace:!trace
           else
             finish Solution.Infeasible ~proved:true ~best_bound:nan ~t_inc:0.
-              ~nodes:!nodes ~trace:!trace)
+              ~nodes:!nodes ~trace:[])

@@ -19,9 +19,31 @@
     [warm_start = false] to measure the difference (see
     [bench/lp_micro.ml]).
 
+    LP relaxations run on either the dense tableau ({!Simplex}) or
+    the sparse revised simplex ({!Sparse}); [Auto] picks sparse once
+    the model has enough rows for the revised machinery to pay for
+    itself.  In sparse mode the warm-start vehicle is the basis
+    snapshot alone (refactorising one is cheap), so the hot-tableau
+    ring stays empty.
+
+    With [workers > 1] the search runs in bulk-synchronous waves: up
+    to [workers] open nodes are popped per wave, their children solved
+    on concurrent [Domain]s, and the results applied to the frontier
+    and incumbent in deterministic batch order — so the search, the
+    returned optimum, and every statistic except wall-clock time are a
+    pure function of [workers], reproducible run-to-run.  [workers =
+    1] reproduces the sequential best-first search verbatim.  Tied
+    incumbents are broken lexicographically, keeping the returned
+    point stable across exploration schedules.
+
     Statistics record when the final incumbent was found
     ([time_to_incumbent]) separately from when optimality was proved
     ([time_total]). *)
+
+type lp_solver =
+  | Auto  (** sparse for models with >= 48 rows, dense below *)
+  | Dense  (** always the dense tableau ({!Simplex}) *)
+  | Sparse_revised  (** always the sparse revised simplex ({!Sparse}) *)
 
 type options = {
   max_nodes : int;  (** open-node exploration budget *)
@@ -34,6 +56,11 @@ type options = {
       (** start child LPs from the parent's optimal basis (default
           [true]; results are identical either way, only pivot counts
           differ) *)
+  workers : int;
+      (** concurrent node expansions per wave (default [1] =
+          sequential); the optimum returned is deterministic for any
+          fixed value *)
+  solver : lp_solver;  (** LP engine selection (default [Auto]) *)
   simplex : Simplex.options;
 }
 

@@ -1,0 +1,333 @@
+(* Product-form basis factorisation: B^-1 = E_K ... E_1, each eta one
+   pivot.  See factor.mli for the contract. *)
+
+module A1 = Bigarray.Array1
+
+type pool = (float, Bigarray.float64_elt, Bigarray.c_layout) A1.t
+
+let pool_create n : pool = A1.create Bigarray.float64 Bigarray.c_layout n
+
+type t = {
+  m : int;
+  (* eta file; eta k pivots row er.(k) with diagonal ed.(k) and
+     off-diagonal entries estart.(k) .. estart.(k+1)-1 *)
+  mutable n_eta : int;
+  mutable er : int array;
+  mutable ed : float array;
+  mutable estart : int array;  (* length = eta capacity + 1 *)
+  mutable eidx : int array;
+  mutable epool : pool;
+  mutable nnz : int;
+  mutable base_etas : int;  (* etas from the last factorize *)
+  (* factorisation scratch: dense accumulator with touched tracking *)
+  work : float array;
+  stamp : int array;
+  mutable gen : int;
+  mutable touched : int array;
+  mutable n_touched : int;
+}
+
+let create ~m =
+  {
+    m;
+    n_eta = 0;
+    er = Array.make 64 0;
+    ed = Array.make 64 0.;
+    estart = Array.make 65 0;
+    eidx = Array.make 256 0;
+    epool = pool_create 256;
+    nnz = 0;
+    base_etas = 0;
+    work = Array.make m 0.;
+    stamp = Array.make m (-1);
+    gen = 0;
+    touched = Array.make m 0;
+    n_touched = 0;
+  }
+
+let m f = f.m
+let updates_since_refresh f = f.n_eta - f.base_etas
+let eta_entries f = f.nnz
+
+let set_identity f =
+  f.n_eta <- 0;
+  f.nnz <- 0;
+  f.base_etas <- 0
+
+let grow_etas f =
+  let cap = Array.length f.er in
+  let cap' = 2 * cap in
+  let er = Array.make cap' 0 in
+  Array.blit f.er 0 er 0 cap;
+  f.er <- er;
+  let ed = Array.make cap' 0. in
+  Array.blit f.ed 0 ed 0 cap;
+  f.ed <- ed;
+  let es = Array.make (cap' + 1) 0 in
+  Array.blit f.estart 0 es 0 (cap + 1);
+  f.estart <- es
+
+let grow_pool f need =
+  let cap = ref (A1.dim f.epool) in
+  while !cap < need do
+    cap := 2 * !cap
+  done;
+  if !cap > A1.dim f.epool then begin
+    let p = pool_create !cap in
+    A1.blit f.epool (A1.sub p 0 (A1.dim f.epool));
+    f.epool <- p;
+    let idx = Array.make !cap 0 in
+    Array.blit f.eidx 0 idx 0 f.nnz;
+    f.eidx <- idx
+  end
+
+(* Append the eta for pivot row [r] taken from the dense vector [w]
+   (entries exactly zero are structural zeros and skipped). *)
+let push_eta f ~(w : float array) ~r =
+  if f.n_eta >= Array.length f.er then grow_etas f;
+  let k = f.n_eta in
+  f.er.(k) <- r;
+  f.ed.(k) <- w.(r);
+  let count = ref 0 in
+  for i = 0 to f.m - 1 do
+    if i <> r && w.(i) <> 0. then incr count
+  done;
+  grow_pool f (f.nnz + !count);
+  let p = ref f.nnz in
+  for i = 0 to f.m - 1 do
+    if i <> r && w.(i) <> 0. then begin
+      f.eidx.(!p) <- i;
+      A1.unsafe_set f.epool !p w.(i);
+      incr p
+    end
+  done;
+  f.nnz <- !p;
+  f.estart.(k + 1) <- !p;
+  f.n_eta <- k + 1
+
+(* Sparse variant used during factorisation: the nonzeros of [work]
+   are exactly the touched indices. *)
+let push_eta_touched f ~r =
+  if f.n_eta >= Array.length f.er then grow_etas f;
+  let k = f.n_eta in
+  f.er.(k) <- r;
+  f.ed.(k) <- f.work.(r);
+  grow_pool f (f.nnz + f.n_touched);
+  let p = ref f.nnz in
+  for t = 0 to f.n_touched - 1 do
+    let i = f.touched.(t) in
+    if i <> r && f.work.(i) <> 0. then begin
+      f.eidx.(!p) <- i;
+      A1.unsafe_set f.epool !p f.work.(i);
+      incr p
+    end
+  done;
+  f.nnz <- !p;
+  f.estart.(k + 1) <- !p;
+  f.n_eta <- k + 1
+
+let update f ~w ~r = push_eta f ~w ~r
+
+let ftran f (x : float array) =
+  for k = 0 to f.n_eta - 1 do
+    let r = f.er.(k) in
+    let xr = x.(r) in
+    if xr <> 0. then begin
+      let t = xr /. f.ed.(k) in
+      x.(r) <- t;
+      if t <> 0. then
+        for p = f.estart.(k) to f.estart.(k + 1) - 1 do
+          let i = Array.unsafe_get f.eidx p in
+          Array.unsafe_set x i
+            (Array.unsafe_get x i -. (t *. A1.unsafe_get f.epool p))
+        done
+    end
+  done
+
+let btran f (y : float array) =
+  for k = f.n_eta - 1 downto 0 do
+    let r = f.er.(k) in
+    let s = ref 0. in
+    for p = f.estart.(k) to f.estart.(k + 1) - 1 do
+      s :=
+        !s
+        +. (A1.unsafe_get f.epool p *. Array.unsafe_get y (Array.unsafe_get f.eidx p))
+    done;
+    y.(r) <- (y.(r) -. !s) /. f.ed.(k)
+  done
+
+(* ---- factorize: singleton-first PFI insertion ------------------- *)
+
+let touch f i =
+  if f.stamp.(i) <> f.gen then begin
+    f.stamp.(i) <- f.gen;
+    f.touched.(f.n_touched) <- i;
+    f.n_touched <- f.n_touched + 1
+  end
+
+(* FTRAN through the current (partial) eta file with touched tracking:
+   [work] holds column [j]'s image; only touched indices are nonzero. *)
+let ftran_touched f ~ptr ~idx ~(vs : float array) j =
+  f.gen <- f.gen + 1;
+  f.n_touched <- 0;
+  (* [work] is all-zero outside the touched set (cleared after every
+     column), so scatter-add is safe *)
+  for p = ptr.(j) to ptr.(j + 1) - 1 do
+    let i = idx.(p) in
+    touch f i;
+    f.work.(i) <- f.work.(i) +. vs.(p)
+  done;
+  for k = 0 to f.n_eta - 1 do
+    let r = f.er.(k) in
+    if f.stamp.(r) = f.gen && f.work.(r) <> 0. then begin
+      let t = f.work.(r) /. f.ed.(k) in
+      f.work.(r) <- t;
+      if t <> 0. then
+        for p = f.estart.(k) to f.estart.(k + 1) - 1 do
+          let i = f.eidx.(p) in
+          touch f i;
+          f.work.(i) <- f.work.(i) -. (t *. A1.unsafe_get f.epool p)
+        done
+    end
+  done
+
+let clear_touched f =
+  for t = 0 to f.n_touched - 1 do
+    f.work.(f.touched.(t)) <- 0.
+  done;
+  f.n_touched <- 0
+
+let singular_tol = 1e-11
+
+let factorize f ~basis ~ptr ~idx ~vs =
+  set_identity f;
+  let m = f.m in
+  (* make sure the lazy-cleared scratch starts truly clean *)
+  Array.fill f.work 0 m 0.;
+  Array.fill f.stamp 0 m (-1);
+  f.gen <- 0;
+  (* ---- symbolic peel: repeated column singletons ---- *)
+  let col_cnt = Array.make m 0 in
+  let row_cnt = Array.make m 0 in
+  for k = 0 to m - 1 do
+    let j = basis.(k) in
+    col_cnt.(k) <- ptr.(j + 1) - ptr.(j);
+    for p = ptr.(j) to ptr.(j + 1) - 1 do
+      row_cnt.(idx.(p)) <- row_cnt.(idx.(p)) + 1
+    done
+  done;
+  (* row -> basis positions containing it (counting sort) *)
+  let row_ptr = Array.make (m + 1) 0 in
+  for i = 0 to m - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i) + row_cnt.(i)
+  done;
+  let fill = Array.copy row_ptr in
+  let total = row_ptr.(m) in
+  let row_pos = Array.make (Int.max 1 total) 0 in
+  for k = 0 to m - 1 do
+    let j = basis.(k) in
+    for p = ptr.(j) to ptr.(j + 1) - 1 do
+      let i = idx.(p) in
+      row_pos.(fill.(i)) <- k;
+      fill.(i) <- fill.(i) + 1
+    done
+  done;
+  let row_active = Array.make m true in
+  let col_done = Array.make m false in
+  let order = Array.make m 0 in
+  let pivot_of = Array.make m (-1) in
+  let n_order = ref 0 in
+  let stack = Array.make m 0 in
+  let sp = ref 0 in
+  for k = 0 to m - 1 do
+    if col_cnt.(k) = 1 then begin
+      stack.(!sp) <- k;
+      incr sp
+    end
+  done;
+  while !sp > 0 do
+    decr sp;
+    let k = stack.(!sp) in
+    if (not col_done.(k)) && col_cnt.(k) = 1 then begin
+      (* its single active row *)
+      let j = basis.(k) in
+      let r = ref (-1) in
+      for p = ptr.(j) to ptr.(j + 1) - 1 do
+        if row_active.(idx.(p)) then r := idx.(p)
+      done;
+      if !r >= 0 then begin
+        let r = !r in
+        col_done.(k) <- true;
+        row_active.(r) <- false;
+        order.(!n_order) <- k;
+        pivot_of.(k) <- r;
+        incr n_order;
+        for q = row_ptr.(r) to row_ptr.(r + 1) - 1 do
+          let k' = row_pos.(q) in
+          if not col_done.(k') then begin
+            col_cnt.(k') <- col_cnt.(k') - 1;
+            if col_cnt.(k') = 1 then begin
+              stack.(!sp) <- k';
+              incr sp
+            end
+          end
+        done
+      end
+    end
+  done;
+  (* bump columns: everything not peeled, in position order *)
+  for k = 0 to m - 1 do
+    if not col_done.(k) then begin
+      order.(!n_order) <- k;
+      incr n_order
+    end
+  done;
+  (* ---- numeric insertion in peel order ---- *)
+  let assigned = Array.make m false in
+  let slot_col = Array.make m (-1) in
+  let ok = ref true in
+  let t = ref 0 in
+  while !ok && !t < m do
+    let k = order.(!t) in
+    let j = basis.(k) in
+    ftran_touched f ~ptr ~idx ~vs j;
+    let r =
+      if pivot_of.(k) >= 0 then pivot_of.(k)
+      else begin
+        (* bump: numeric partial pivoting over unassigned rows *)
+        let best = ref (-1) in
+        let mag = ref singular_tol in
+        for q = 0 to f.n_touched - 1 do
+          let i = f.touched.(q) in
+          if not assigned.(i) then begin
+            let a = Float.abs f.work.(i) in
+            if a > !mag then begin
+              mag := a;
+              best := i
+            end
+          end
+        done;
+        !best
+      end
+    in
+    if r < 0 || Float.abs f.work.(r) <= singular_tol || assigned.(r) then
+      ok := false
+    else begin
+      push_eta_touched f ~r;
+      assigned.(r) <- true;
+      slot_col.(r) <- j
+    end;
+    clear_touched f;
+    incr t
+  done;
+  if !ok then begin
+    (* the factorisation defines the slot order: basis.(r) is the
+       column pivoted at row r *)
+    Array.blit slot_col 0 basis 0 m;
+    f.base_etas <- f.n_eta;
+    true
+  end
+  else begin
+    set_identity f;
+    false
+  end

@@ -1,0 +1,57 @@
+(** Basis factorisation for the sparse revised simplex.
+
+    Maintains [B^-1] in product form: an ordered eta file where each
+    eta records one pivot (a column [w = B^-1 a_q] entering at row
+    [r]).  {!factorize} builds the file from scratch for an arbitrary
+    basis by inserting the basis columns one at a time in a
+    singleton-first order — column singletons are peeled symbolically
+    (the near-triangular part of a network-flow-like basis, which is
+    almost all of it), and the small residual bump is pivoted with
+    numeric partial pivoting over a dense float64 scratch.  {!update}
+    appends one eta per simplex pivot between refactorisations; the
+    caller refreshes the factorisation (and its right-hand side) when
+    {!updates_since_refresh} passes its cadence.
+
+    Eta values live in a [Bigarray] float64 pool so the hot
+    {!ftran}/{!btran} kernels run over flat unboxed memory. *)
+
+type t
+
+val create : m:int -> t
+(** Workspace for bases with [m] rows.  The eta pool grows on demand. *)
+
+val m : t -> int
+
+val set_identity : t -> unit
+(** Reset to [B = I] (the all-artificial start): an empty eta file. *)
+
+val factorize :
+  t -> basis:int array -> ptr:int array -> idx:int array -> vs:float array ->
+  bool
+(** [factorize f ~basis ~ptr ~idx ~vs] rebuilds the factorisation for
+    the basis formed by columns [basis] of the CSC matrix
+    ([ptr]/[idx]/[vs], column [j] spanning [ptr.(j) .. ptr.(j+1)-1]).
+    [basis] is treated as a {e set}: on success it is permuted in
+    place so that [basis.(r)] is the column pivoted at row [r] — the
+    caller must rebuild its row map and basic values afterwards.
+    Returns [false] when the basis is numerically singular (the eta
+    file is left empty; fall back to a cold or dense solve). *)
+
+val ftran : t -> float array -> unit
+(** [ftran f x] overwrites the dense vector [x] with [B^-1 x]. *)
+
+val btran : t -> float array -> unit
+(** [btran f y] overwrites the dense vector [y] with [B^-T y]. *)
+
+val update : t -> w:float array -> r:int -> unit
+(** [update f ~w ~r] appends the eta for a simplex pivot: entering
+    column with FTRAN image [w] replaces the basic variable of row
+    [r].  [w.(r)] must be the (nonzero) pivot element; the caller is
+    responsible for rejecting numerically marginal pivots first. *)
+
+val updates_since_refresh : t -> int
+(** Etas appended by {!update} since the last {!factorize} /
+    {!set_identity}; the refresh cadence trigger. *)
+
+val eta_entries : t -> int
+(** Total off-diagonal entries in the eta file (diagnostic). *)

@@ -27,10 +27,13 @@ type tableau = {
 }
 
 (* ---- process-wide pivot accounting: benchmarks read the deltas to
-   aggregate across whole branch & bound trees and rate searches. ---- *)
-let cumulative = ref 0
-let cumulative_pivots () = !cumulative
-let reset_cumulative_pivots () = cumulative := 0
+   aggregate across whole branch & bound trees and rate searches.
+   Atomic so parallel branch & bound workers account correctly. ---- *)
+let cumulative = Atomic.make 0
+let cumulative_pivots () = Atomic.get cumulative
+let reset_cumulative_pivots () = Atomic.set cumulative 0
+
+let add_pivots k = if k <> 0 then ignore (Atomic.fetch_and_add cumulative k)
 
 (* Value of column [j] in shifted space. *)
 let col_value tab j =
@@ -763,7 +766,7 @@ let solve_warm ?(options = default_options) ?warm ?hot ?(keep_hot = false) ?lo
     let status, basis, tab =
       match attempt with Some r -> r | None -> cold ()
     in
-    cumulative := !cumulative + spent ();
+    add_pivots (spent ());
     let hot_out =
       if keep_hot then
         match tab with

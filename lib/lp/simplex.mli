@@ -107,3 +107,7 @@ val solve_warm :
 
 val cumulative_pivots : unit -> int
 val reset_cumulative_pivots : unit -> unit
+
+val add_pivots : int -> unit
+(** Credit externally-performed pivots (the sparse revised simplex
+    reports through the same counter).  Atomic: safe from any domain. *)

@@ -1,0 +1,804 @@
+(* Sparse revised simplex.  See sparse.mli for the contract; the
+   solve semantics deliberately mirror simplex.ml line for line where
+   they overlap (column layout, equilibration, tolerances, pricing
+   eligibility, ratio-test tie-breaking, dual-repair ladder) so that
+   the two solvers agree bit-for-bit on which bases are optimal and
+   basis snapshots stay interchangeable. *)
+
+type cstat = Basis.cstat = At_lower | At_upper | Basic
+
+(* ---- compiled problem: CSC over the dense solver's column layout --- *)
+
+type data = {
+  problem : Problem.t;
+  n : int;  (* structural columns *)
+  n_slack : int;
+  m : int;  (* rows *)
+  n_real : int;  (* n + n_slack *)
+  ncols : int;  (* n + n_slack + m: artificials are real CSC columns *)
+  ptr : int array;  (* ncols + 1 *)
+  idx : int array;
+  vs : float array;  (* row-equilibrated values, same scales as dense *)
+  rhs0 : float array;  (* equilibrated rhs, before the lower-bound shift *)
+  cobj : float array;  (* structural costs in minimize space, length n *)
+  minimize : bool;
+}
+
+let problem d = d.problem
+let n_rows d = d.m
+
+let of_problem problem =
+  (* force the accessor caches now: [data] must be safe to share
+     across domains read-only *)
+  let vars = Problem.vars problem in
+  ignore (Problem.integer_vars problem);
+  let n = Array.length vars in
+  let constrs = Problem.constrs problem in
+  let m = Array.length constrs in
+  let n_slack =
+    Array.fold_left
+      (fun acc (c : Problem.constr) ->
+        match c.sense with Le | Ge -> acc + 1 | Eq -> acc)
+      0 constrs
+  in
+  let n_real = n + n_slack in
+  let ncols = n_real + m in
+  (* per-column entry lists, rows appended in increasing order *)
+  let cols : (int * float) list array = Array.make ncols [] in
+  let rhs0 = Array.make m 0. in
+  let nnz = ref 0 in
+  let acc = Array.make (Int.max 1 n) 0. in
+  let stamp = Array.make (Int.max 1 n) (-1) in
+  let touched = Array.make (Int.max 1 n) 0 in
+  let slack_idx = ref n in
+  Array.iteri
+    (fun i (c : Problem.constr) ->
+      (* sum duplicate terms, exactly as the dense row fill does *)
+      let n_touched = ref 0 in
+      List.iter
+        (fun (v, coef) ->
+          if stamp.(v) <> i then begin
+            stamp.(v) <- i;
+            acc.(v) <- 0.;
+            touched.(!n_touched) <- v;
+            incr n_touched
+          end;
+          acc.(v) <- acc.(v) +. coef)
+        c.terms;
+      let slack =
+        match c.sense with
+        | Le ->
+            let s = !slack_idx in
+            incr slack_idx;
+            Some (s, 1.)
+        | Ge ->
+            let s = !slack_idx in
+            incr slack_idx;
+            Some (s, -1.)
+        | Eq -> None
+      in
+      (* row equilibration: same norm and threshold as the dense
+         build (slack included, artificial not) *)
+      let norm = ref 0. in
+      for t = 0 to !n_touched - 1 do
+        norm := Float.max !norm (Float.abs acc.(touched.(t)))
+      done;
+      if slack <> None then norm := Float.max !norm 1.;
+      let scale =
+        if !norm > 0. && (!norm > 16. || !norm < 1. /. 16.) then 1. /. !norm
+        else 1.
+      in
+      for t = 0 to !n_touched - 1 do
+        let v = touched.(t) in
+        let a = acc.(v) *. scale in
+        if a <> 0. then begin
+          cols.(v) <- (i, a) :: cols.(v);
+          incr nnz
+        end
+      done;
+      (match slack with
+      | Some (s, sv) ->
+          cols.(s) <- [ (i, sv *. scale) ];
+          incr nnz
+      | None -> ());
+      cols.(n_real + i) <- [ (i, 1.) ];
+      incr nnz;
+      rhs0.(i) <- c.rhs *. scale)
+    constrs;
+  let ptr = Array.make (ncols + 1) 0 in
+  for j = 0 to ncols - 1 do
+    ptr.(j + 1) <- ptr.(j) + List.length cols.(j)
+  done;
+  let idx = Array.make (Int.max 1 !nnz) 0 in
+  let vs = Array.make (Int.max 1 !nnz) 0. in
+  for j = 0 to ncols - 1 do
+    let p = ref ptr.(j + 1) in
+    (* lists were built backwards: fill from the end *)
+    List.iter
+      (fun (i, a) ->
+        decr p;
+        idx.(!p) <- i;
+        vs.(!p) <- a)
+      cols.(j)
+  done;
+  let minimize = Problem.direction problem = Problem.Minimize in
+  let cobj = Array.make (Int.max 1 n) 0. in
+  List.iter
+    (fun (v, coef) ->
+      cobj.(v) <- cobj.(v) +. (if minimize then coef else -.coef))
+    (Problem.objective problem);
+  { problem; n; n_slack; m; n_real; ncols; ptr; idx; vs; rhs0; cobj; minimize }
+
+(* ---- per-solve state ---------------------------------------------- *)
+
+(* Raised whenever the sparse path cannot be trusted (singular
+   refactorisation mid-solve, pivot value disagreeing with its BTRAN
+   image, post-solve feasibility breach): the caller retries a colder
+   path, ultimately the dense solver. *)
+exception Decline
+
+type state = {
+  d : data;
+  opts : Simplex.options;
+  wlo : float array;  (* working bounds per column, shifted space *)
+  wup : float array;
+  stat : cstat array;
+  basis : int array;  (* slot -> column *)
+  in_row : int array;  (* column -> slot, -1 when nonbasic *)
+  beta : float array;  (* basic values per slot *)
+  y : float array;  (* duals for the current [cost] and basis *)
+  cost : float array;  (* current phase cost per column *)
+  rhs : float array;  (* equilibrated rhs after the lower-bound shift *)
+  f : Factor.t;
+  w : float array;  (* FTRAN scratch *)
+  rho : float array;  (* BTRAN scratch (dual row) *)
+  pivots_left : int ref;
+}
+
+(* Refactorise every [refresh_every] eta updates: keeps FTRAN/BTRAN
+   cost bounded and flushes accumulated drift out of [beta]. *)
+let refresh_every = 64
+
+let col_value st j =
+  match st.stat.(j) with
+  | Basic -> st.beta.(st.in_row.(j))
+  | At_lower -> st.wlo.(j)
+  | At_upper -> st.wup.(j)
+
+let movable st j =
+  st.stat.(j) <> Basic && st.wup.(j) -. st.wlo.(j) > st.opts.feas_tol
+
+(* beta = B^-1 (rhs - sum_{nonbasic j} A_j * rest_j) *)
+let compute_beta st =
+  let d = st.d in
+  Array.blit st.rhs 0 st.beta 0 d.m;
+  for j = 0 to d.ncols - 1 do
+    if st.stat.(j) <> Basic then begin
+      let v = match st.stat.(j) with At_upper -> st.wup.(j) | _ -> st.wlo.(j) in
+      if v <> 0. then
+        for p = d.ptr.(j) to d.ptr.(j + 1) - 1 do
+          st.beta.(d.idx.(p)) <- st.beta.(d.idx.(p)) -. (d.vs.(p) *. v)
+        done
+    end
+  done;
+  Factor.ftran st.f st.beta
+
+(* y = B^-T c_B *)
+let compute_y st =
+  for r = 0 to st.d.m - 1 do
+    st.y.(r) <- st.cost.(st.basis.(r))
+  done;
+  Factor.btran st.f st.y
+
+(* Reduced cost of column [j] under the maintained duals. *)
+let price st j =
+  let d = st.d in
+  let s = ref st.cost.(j) in
+  for p = d.ptr.(j) to d.ptr.(j + 1) - 1 do
+    s := !s -. (st.y.(d.idx.(p)) *. d.vs.(p))
+  done;
+  !s
+
+let rebuild_in_row st =
+  Array.fill st.in_row 0 st.d.ncols (-1);
+  for r = 0 to st.d.m - 1 do
+    st.in_row.(st.basis.(r)) <- r
+  done
+
+(* Full refresh: refactorise the current basis and recompute the
+   derived state.  Raises [Decline] when the basis has gone singular. *)
+let refresh st =
+  if not (Factor.factorize st.f ~basis:st.basis ~ptr:st.d.ptr ~idx:st.d.idx ~vs:st.d.vs)
+  then raise Decline;
+  rebuild_in_row st;
+  compute_beta st;
+  compute_y st
+
+let maybe_refresh st =
+  if Factor.updates_since_refresh st.f >= refresh_every then refresh st
+
+(* FTRAN of column [j] into the scratch [st.w]. *)
+let ftran_col st j =
+  let d = st.d in
+  Array.fill st.w 0 d.m 0.;
+  for p = d.ptr.(j) to d.ptr.(j + 1) - 1 do
+    st.w.(d.idx.(p)) <- d.vs.(p)
+  done;
+  Factor.ftran st.f st.w
+
+(* Replace the basic variable of slot [r] by column [j] whose FTRAN
+   image is in [st.w]; [leaving_stat] is where the old variable rests.
+   [enter_val] is the new basic value of [j].  Shared by the primal
+   and dual pivots. *)
+let pivot st ~r ~j ~leaving_stat ~enter_val =
+  let old = st.basis.(r) in
+  st.stat.(old) <- leaving_stat;
+  st.in_row.(old) <- -1;
+  st.basis.(r) <- j;
+  st.in_row.(j) <- r;
+  st.stat.(j) <- Basic;
+  Factor.update st.f ~w:st.w ~r;
+  st.beta.(r) <- enter_val;
+  compute_y st;
+  maybe_refresh st
+
+(* ---- primal simplex with candidate-list pricing ------------------- *)
+
+type step = Optimal_reached | Unbounded_ray | Budget_exhausted
+
+let cand_cap = 24
+
+let primal st ~allowed =
+  let opts = st.opts in
+  let ncols = st.d.ncols in
+  let degen_run = ref 0 in
+  let result = ref None in
+  let cand = Array.make cand_cap (-1) in
+  let n_cand = ref 0 in
+  let eligible j dj =
+    match st.stat.(j) with
+    | At_lower -> dj < -.opts.cost_tol
+    | At_upper -> dj > opts.cost_tol
+    | Basic -> false
+  in
+  (* Bland's rule: lowest-index eligible column, exactly as the dense
+     loop degrades after [degen_window] non-improving pivots *)
+  let bland_scan () =
+    let enter = ref (-1) in
+    let j = ref 0 in
+    while !j < ncols && !enter < 0 do
+      let jj = !j in
+      if movable st jj && allowed jj && eligible jj (price st jj) then
+        enter := jj;
+      incr j
+    done;
+    !enter
+  in
+  (* Full Dantzig scan; refills the candidate list with the runners-up
+     so the next [cand_cap - 1] pivots price only the short list. *)
+  let full_scan () =
+    n_cand := 0;
+    let enter = ref (-1) in
+    let best = ref 0. in
+    let worst_cand = ref 0 in
+    (* index into cand of the smallest score *)
+    let scores = Array.make cand_cap 0. in
+    for j = 0 to ncols - 1 do
+      if movable st j && allowed j then begin
+        let dj = price st j in
+        if eligible j dj then begin
+          let score = Float.abs dj in
+          if score > !best then begin
+            best := score;
+            enter := j
+          end;
+          if !n_cand < cand_cap then begin
+            cand.(!n_cand) <- j;
+            scores.(!n_cand) <- score;
+            incr n_cand;
+            if score < scores.(!worst_cand) then worst_cand := !n_cand - 1
+          end
+          else if score > scores.(!worst_cand) then begin
+            cand.(!worst_cand) <- j;
+            scores.(!worst_cand) <- score;
+            worst_cand := 0;
+            for k = 1 to cand_cap - 1 do
+              if scores.(k) < scores.(!worst_cand) then worst_cand := k
+            done
+          end
+        end
+      end
+    done;
+    !enter
+  in
+  let pick_entering () =
+    (* price the candidate list first; fall back to a full scan when
+       it has gone stale *)
+    let enter = ref (-1) in
+    let best = ref 0. in
+    for k = 0 to !n_cand - 1 do
+      let j = cand.(k) in
+      if j >= 0 && movable st j && allowed j then begin
+        let dj = price st j in
+        if eligible j dj then begin
+          let score = Float.abs dj in
+          if score > !best then begin
+            best := score;
+            enter := j
+          end
+        end
+      end
+    done;
+    if !enter >= 0 then !enter else full_scan ()
+  in
+  while !result = None do
+    if !(st.pivots_left) <= 0 then result := Some Budget_exhausted
+    else begin
+      decr st.pivots_left;
+      let use_bland = !degen_run > opts.degen_window in
+      let enter = if use_bland then bland_scan () else pick_entering () in
+      if enter < 0 then result := Some Optimal_reached
+      else begin
+        let j = enter in
+        let dj = price st j in
+        let sigma = if st.stat.(j) = At_lower then 1. else -1. in
+        ftran_col st j;
+        let w = st.w in
+        (* --- ratio test: identical limits and tie-breaks to dense --- *)
+        let tmax = ref (st.wup.(j) -. st.wlo.(j)) in
+        let leave = ref (-1) in
+        let leave_to_upper = ref false in
+        let best_alpha = ref 0. in
+        for i = 0 to st.d.m - 1 do
+          let alpha = w.(i) in
+          let rate = sigma *. alpha in
+          if rate > opts.feas_tol then begin
+            (* basic variable decreases towards its lower bound *)
+            let bi = st.basis.(i) in
+            let limit = Float.max 0. ((st.beta.(i) -. st.wlo.(bi)) /. rate) in
+            if
+              limit < !tmax -. opts.feas_tol
+              || (limit <= !tmax +. opts.feas_tol
+                  && !leave >= 0
+                  && Float.abs alpha > !best_alpha)
+            then begin
+              tmax := Float.min limit !tmax;
+              leave := i;
+              leave_to_upper := false;
+              best_alpha := Float.abs alpha
+            end
+          end
+          else if rate < -.opts.feas_tol then begin
+            let bi = st.basis.(i) in
+            let ub = st.wup.(bi) in
+            if Float.is_finite ub then begin
+              (* basic variable increases towards its upper bound *)
+              let limit = Float.max 0. ((ub -. st.beta.(i)) /. -.rate) in
+              if
+                limit < !tmax -. opts.feas_tol
+                || (limit <= !tmax +. opts.feas_tol
+                    && !leave >= 0
+                    && Float.abs alpha > !best_alpha)
+              then begin
+                tmax := Float.min limit !tmax;
+                leave := i;
+                leave_to_upper := true;
+                best_alpha := Float.abs alpha
+              end
+            end
+          end
+        done;
+        if Float.is_finite !tmax then begin
+          let t = !tmax in
+          let improvement = t *. Float.abs dj in
+          if improvement <= opts.cost_tol then incr degen_run
+          else degen_run := 0;
+          for i = 0 to st.d.m - 1 do
+            st.beta.(i) <- st.beta.(i) -. (sigma *. t *. w.(i))
+          done;
+          if !leave < 0 then
+            st.stat.(j) <-
+              (if st.stat.(j) = At_lower then At_upper else At_lower)
+          else begin
+            let r = !leave in
+            let enter_val =
+              (if st.stat.(j) = At_lower then st.wlo.(j) else st.wup.(j))
+              +. (sigma *. t)
+            in
+            pivot st ~r ~j
+              ~leaving_stat:(if !leave_to_upper then At_upper else At_lower)
+              ~enter_val
+          end
+        end
+        else result := Some Unbounded_ray
+      end
+    end
+  done;
+  match !result with Some s -> s | None -> assert false
+
+(* ---- bounded-variable dual simplex -------------------------------- *)
+
+type dual_step =
+  | Dual_feasible_point
+  | Primal_infeasible
+  | Dual_budget
+  | Dual_stalled
+
+let dual st =
+  let opts = st.opts in
+  let d = st.d in
+  let result = ref None in
+  while !result = None do
+    if !(st.pivots_left) <= 0 then result := Some Dual_budget
+    else begin
+      (* --- leaving row: the largest bound violation --- *)
+      let r = ref (-1) in
+      let worst = ref opts.feas_tol in
+      let above = ref false in
+      for i = 0 to d.m - 1 do
+        let bi = st.basis.(i) in
+        let below_by = st.wlo.(bi) -. st.beta.(i) in
+        if below_by > !worst then begin
+          worst := below_by;
+          r := i;
+          above := false
+        end;
+        let ub = st.wup.(bi) in
+        if Float.is_finite ub && st.beta.(i) -. ub > !worst then begin
+          worst := st.beta.(i) -. ub;
+          r := i;
+          above := true
+        end
+      done;
+      if !r < 0 then result := Some Dual_feasible_point
+      else begin
+        decr st.pivots_left;
+        let r = !r and above = !above in
+        (* dual row: rho = B^-T e_r, alpha_rj = rho . A_j on demand *)
+        Array.fill st.rho 0 d.m 0.;
+        st.rho.(r) <- 1.;
+        Factor.btran st.f st.rho;
+        let enter = ref (-1) in
+        let enter_alpha = ref 0. in
+        let best_ratio = ref infinity in
+        let best_mag = ref 0. in
+        let marginal = ref false in
+        for j = 0 to d.ncols - 1 do
+          if movable st j then begin
+            let a = ref 0. in
+            for p = d.ptr.(j) to d.ptr.(j + 1) - 1 do
+              a := !a +. (st.rho.(d.idx.(p)) *. d.vs.(p))
+            done;
+            let a = !a in
+            let good_sign =
+              match (st.stat.(j), above) with
+              | At_lower, false -> a < 0.
+              | At_upper, false -> a > 0.
+              | At_lower, true -> a > 0.
+              | At_upper, true -> a < 0.
+              | Basic, _ -> false
+            in
+            let mag = Float.abs a in
+            if good_sign && mag > 1e-9 then begin
+              if mag <= opts.feas_tol then marginal := true
+              else begin
+                let dc = price st j in
+                let dj =
+                  match st.stat.(j) with
+                  | At_lower -> Float.max dc 0.
+                  | _ -> Float.max (-.dc) 0.
+                in
+                let ratio = dj /. mag in
+                if
+                  ratio < !best_ratio -. 1e-12
+                  || (ratio <= !best_ratio +. 1e-12 && mag > !best_mag)
+                then begin
+                  best_ratio := ratio;
+                  best_mag := mag;
+                  enter := j;
+                  enter_alpha := a
+                end
+              end
+            end
+          end
+        done;
+        if !enter < 0 then
+          result := Some (if !marginal then Dual_stalled else Primal_infeasible)
+        else begin
+          let j = !enter in
+          ftran_col st j;
+          (* the FTRAN image must agree with the BTRAN row value; a
+             disagreement means the eta file has drifted — decline
+             rather than pivot on noise *)
+          if
+            Float.abs st.w.(r) <= 0.5 *. opts.feas_tol
+            || Float.abs (st.w.(r) -. !enter_alpha)
+               > 1e-6 *. (1. +. Float.abs !enter_alpha)
+          then raise Decline;
+          let bi = st.basis.(r) in
+          let target = if above then st.wup.(bi) else st.wlo.(bi) in
+          let delta = (st.beta.(r) -. target) /. st.w.(r) in
+          for i = 0 to d.m - 1 do
+            st.beta.(i) <- st.beta.(i) -. (delta *. st.w.(i))
+          done;
+          let enter_val =
+            (match st.stat.(j) with At_upper -> st.wup.(j) | _ -> st.wlo.(j))
+            +. delta
+          in
+          pivot st ~r ~j
+            ~leaving_stat:(if above then At_upper else At_lower)
+            ~enter_val
+        end
+      end
+    end
+  done;
+  match !result with Some s -> s | None -> assert false
+
+(* ---- solve driver -------------------------------------------------- *)
+
+let fallbacks = Atomic.make 0
+let dense_fallbacks () = Atomic.get fallbacks
+
+let solve_warm ?(options = Simplex.default_options) ?warm ?lo ?hi data =
+  let d = data in
+  let n = d.n in
+  let vars = Problem.vars d.problem in
+  let lo =
+    match lo with
+    | Some a ->
+        if Array.length a <> n then
+          invalid_arg "Sparse.solve: lo override has wrong length";
+        a
+    | None -> Array.map (fun (v : Problem.var_info) -> v.lo) vars
+  in
+  let hi =
+    match hi with
+    | Some a ->
+        if Array.length a <> n then
+          invalid_arg "Sparse.solve: hi override has wrong length";
+        a
+    | None -> Array.map (fun (v : Problem.var_info) -> v.hi) vars
+  in
+  let bound_conflict = ref false in
+  for j = 0 to n - 1 do
+    if lo.(j) > hi.(j) +. options.feas_tol then bound_conflict := true
+  done;
+  if !bound_conflict then
+    { Simplex.status = Solution.Infeasible; basis = None; hot = None;
+      pivots = 0; warm_used = false; hot_used = false }
+  else begin
+    let pivots_left = ref options.max_pivots in
+    let spent () = options.max_pivots - !pivots_left in
+    let warm_used = ref false in
+    (* shifted rhs for the current lower bounds *)
+    let rhs = Array.copy d.rhs0 in
+    for j = 0 to n - 1 do
+      if lo.(j) <> 0. then
+        for p = d.ptr.(j) to d.ptr.(j + 1) - 1 do
+          rhs.(d.idx.(p)) <- rhs.(d.idx.(p)) -. (d.vs.(p) *. lo.(j))
+        done
+    done;
+    let fresh () =
+      let wlo = Array.make d.ncols 0. in
+      let wup = Array.make d.ncols infinity in
+      for j = 0 to n - 1 do
+        wup.(j) <- Float.max 0. (hi.(j) -. lo.(j))
+      done;
+      (* artificials default to fixed-at-zero; the cold path widens
+         them for phase 1 *)
+      for j = d.n_real to d.ncols - 1 do
+        wup.(j) <- 0.
+      done;
+      {
+        d;
+        opts = options;
+        wlo;
+        wup;
+        stat = Array.make d.ncols At_lower;
+        basis = Array.init d.m (fun i -> d.n_real + i);
+        in_row = Array.make d.ncols (-1);
+        beta = Array.make d.m 0.;
+        y = Array.make d.m 0.;
+        cost = Array.make d.ncols 0.;
+        rhs;
+        f = Factor.create ~m:d.m;
+        w = Array.make d.m 0.;
+        rho = Array.make d.m 0.;
+        pivots_left;
+      }
+    in
+    let set_phase2_cost st =
+      Array.fill st.cost 0 d.ncols 0.;
+      Array.blit d.cobj 0 st.cost 0 n
+    in
+    let violated st =
+      let x_now = Array.init n (fun j -> lo.(j) +. col_value st j) in
+      Array.exists
+        (fun (c : Problem.constr) ->
+          let lhs =
+            List.fold_left
+              (fun acc (v, coef) -> acc +. (coef *. x_now.(v)))
+              0. c.terms
+          in
+          let viol =
+            match c.sense with
+            | Problem.Le -> lhs -. c.rhs
+            | Problem.Ge -> c.rhs -. lhs
+            | Problem.Eq -> Float.abs (lhs -. c.rhs)
+          in
+          let tol =
+            options.feas_tol *. 100. *. (1. +. (1e-6 *. Float.abs c.rhs))
+          in
+          viol > tol)
+        (Problem.constrs d.problem)
+    in
+    let extract st =
+      let x = Array.make n 0. in
+      let obj = ref 0. in
+      for j = 0 to n - 1 do
+        let v = col_value st j in
+        x.(j) <- lo.(j) +. v;
+        obj := !obj +. (d.cobj.(j) *. x.(j))
+      done;
+      let obj = if d.minimize then !obj else -. !obj in
+      Solution.Optimal { Solution.x; objective = obj }
+    in
+    let snapshot st =
+      { Basis.rows = Array.copy st.basis; stat = Array.copy st.stat }
+    in
+    (* shared tail of warm starts: dual repair, primal cleanup, then
+       accept only a verified-feasible point (mirrors
+       Simplex.reoptimise) *)
+    let reoptimise st ~on_fallback =
+      set_phase2_cost st;
+      compute_y st;
+      match dual st with
+      | Dual_budget -> Some (Solution.Iteration_limit, None)
+      | Primal_infeasible -> Some (Solution.Infeasible, None)
+      | Dual_stalled ->
+          on_fallback ();
+          None
+      | Dual_feasible_point -> (
+          match primal st ~allowed:(fun j -> j < d.n_real) with
+          | Budget_exhausted -> Some (Solution.Iteration_limit, None)
+          | Unbounded_ray -> Some (Solution.Unbounded, None)
+          | Optimal_reached ->
+              if violated st then begin
+                on_fallback ();
+                None
+              end
+              else Some (extract st, Some (snapshot st)))
+    in
+    (* ---- warm path: refactorise a basis snapshot, then repair ---- *)
+    let try_warm b =
+      if not (Basis.compatible b ~rows:d.m ~cols:d.ncols) then None
+      else begin
+        let st = fresh () in
+        for j = 0 to d.ncols - 1 do
+          st.stat.(j) <-
+            (match b.Basis.stat.(j) with
+            | Basis.At_upper when Float.is_finite st.wup.(j) -> At_upper
+            | _ -> At_lower)
+        done;
+        Array.blit b.Basis.rows 0 st.basis 0 d.m;
+        Array.iter (fun j -> st.stat.(j) <- Basic) st.basis;
+        set_phase2_cost st;
+        match refresh st with
+        | () ->
+            warm_used := true;
+            reoptimise st ~on_fallback:(fun () -> warm_used := false)
+        | exception Decline -> None
+      end
+    in
+    (* ---- cold path: two-phase primal from the artificial basis ---- *)
+    let cold () =
+      let st = fresh () in
+      (* phase 1: artificial i spans [min(0, rhs_i), max(0, rhs_i)]
+         with cost sign(rhs_i) — the sparse build keeps row signs
+         as-is (no dense-style rhs flip), so infeasibility is driven
+         out symmetrically from either side *)
+      for i = 0 to d.m - 1 do
+        let j = d.n_real + i in
+        let b = st.rhs.(i) in
+        st.wlo.(j) <- Float.min 0. b;
+        st.wup.(j) <- Float.max 0. b;
+        st.cost.(j) <- (if b >= 0. then 1. else -1.);
+        st.stat.(j) <- Basic;
+        st.in_row.(j) <- i;
+        st.beta.(i) <- b
+      done;
+      Factor.set_identity st.f;
+      compute_y st;
+      (match primal st ~allowed:(fun _ -> true) with
+      | Budget_exhausted -> (Solution.Iteration_limit, None)
+      | Unbounded_ray ->
+          (* cannot happen: the phase-1 objective is bounded below *)
+          (Solution.Infeasible, None)
+      | Optimal_reached ->
+          if violated st then (Solution.Infeasible, None)
+          else begin
+            (* pivot artificials out of the basis where possible, then
+               fix every artificial at zero *)
+            for r = 0 to d.m - 1 do
+              if st.basis.(r) >= d.n_real then begin
+                Array.fill st.rho 0 d.m 0.;
+                st.rho.(r) <- 1.;
+                Factor.btran st.f st.rho;
+                let best = ref (-1) in
+                let best_mag = ref 1e-7 in
+                for j = 0 to d.n_real - 1 do
+                  if st.stat.(j) <> Basic then begin
+                    let a = ref 0. in
+                    for p = d.ptr.(j) to d.ptr.(j + 1) - 1 do
+                      a := !a +. (st.rho.(d.idx.(p)) *. d.vs.(p))
+                    done;
+                    let mag = Float.abs !a in
+                    if mag > !best_mag then begin
+                      best_mag := mag;
+                      best := j
+                    end
+                  end
+                done;
+                if !best >= 0 then begin
+                  let j = !best in
+                  ftran_col st j;
+                  if Float.abs st.w.(r) > 1e-9 then
+                    (* degenerate pivot: the artificial sits at zero,
+                       the entering column stays at its resting value *)
+                    pivot st ~r ~j ~leaving_stat:At_lower
+                      ~enter_val:(col_value st j)
+                end
+              end
+            done;
+            for jj = d.n_real to d.ncols - 1 do
+              st.wlo.(jj) <- 0.;
+              st.wup.(jj) <- 0.;
+              if st.stat.(jj) <> Basic then st.stat.(jj) <- At_lower
+            done;
+            set_phase2_cost st;
+            (* clamping the artificial bounds moved their resting
+               values; refresh recomputes beta and y exactly *)
+            refresh st;
+            match primal st ~allowed:(fun j -> j < d.n_real) with
+            | Budget_exhausted -> (Solution.Iteration_limit, None)
+            | Unbounded_ray -> (Solution.Unbounded, None)
+            | Optimal_reached ->
+                (* the dense cold path trusts its endpoint; the sparse
+                   one re-verifies and declines to the dense solver on
+                   any breach, so results never change *)
+                if violated st then raise Decline
+                else (extract st, Some (snapshot st))
+          end)
+    in
+    let attempt =
+      match warm with
+      | Some b -> ( try try_warm b with Decline -> warm_used := false; None)
+      | None -> None
+    in
+    match attempt with
+    | Some (status, basis) ->
+        Simplex.add_pivots (spent ());
+        { Simplex.status; basis; hot = None; pivots = spent ();
+          warm_used = !warm_used; hot_used = false }
+    | None -> (
+        match cold () with
+        | status, basis ->
+            Simplex.add_pivots (spent ());
+            { Simplex.status; basis; hot = None; pivots = spent ();
+              warm_used = !warm_used; hot_used = false }
+        | exception Decline ->
+            (* verified dense fallback, with the remaining budget *)
+            Atomic.incr fallbacks;
+            Simplex.add_pivots (spent ());
+            let sparse_spent = spent () in
+            let options =
+              { options with Simplex.max_pivots = Int.max 1 !pivots_left }
+            in
+            let r = Simplex.solve_warm ~options ?warm ~lo ~hi d.problem in
+            { r with
+              Simplex.pivots = r.Simplex.pivots + sparse_spent;
+              warm_used = !warm_used || r.Simplex.warm_used })
+  end
+
+let solve ?options ?lo ?hi problem =
+  (solve_warm ?options ?lo ?hi (of_problem problem)).Simplex.status

@@ -1,0 +1,54 @@
+(** Sparse revised simplex for the partitioning hot path.
+
+    The partition ILPs are near-network-flow: 2-3 nonzeros in almost
+    every row.  The dense tableau in {!Simplex} pays O(rows x cols)
+    per pivot regardless; this solver stores the constraint matrix
+    once in compressed sparse column form, keeps [B^-1] in product
+    form ({!Factor}: singleton-first refactorisation plus one eta per
+    pivot, refreshed on a fixed cadence), prices with a candidate
+    list over on-demand reduced costs, and so pays O(nnz) per pivot.
+
+    The solve semantics mirror {!Simplex.solve_warm} exactly: same
+    column layout (structural, slack, artificial), same {!Basis.t}
+    snapshots — a basis recorded by either solver warm-starts the
+    other — same bounded-variable dual-repair warm path, and the same
+    fallback discipline: whenever the sparse path cannot be trusted
+    (singular basis, marginal dual pivot, post-solve feasibility
+    breach) it falls back to a colder sparse start and finally to the
+    verified dense solver, so results never change, only the work to
+    reach them. *)
+
+type data
+(** A problem compiled to CSC form.  Immutable once built; safe to
+    share across domains (the underlying {!Problem.t} accessor caches
+    are forced at build time). *)
+
+val of_problem : Problem.t -> data
+val problem : data -> Problem.t
+val n_rows : data -> int
+
+val solve_warm :
+  ?options:Simplex.options ->
+  ?warm:Basis.t ->
+  ?lo:float array ->
+  ?hi:float array ->
+  data ->
+  Simplex.result
+(** Like {!Simplex.solve_warm} on the compiled problem.  The returned
+    [hot] field is always [None] — sparse refactorisation is cheap
+    enough that the basis snapshot {e is} the hot path.  [warm_used]
+    reports whether the supplied basis survived the sparse warm
+    start; [pivots] counts sparse and (rare) dense-fallback pivots
+    together and feeds the same process-wide cumulative counter. *)
+
+val solve :
+  ?options:Simplex.options ->
+  ?lo:float array ->
+  ?hi:float array ->
+  Problem.t ->
+  Solution.status
+(** One-shot convenience: compile and solve cold. *)
+
+val dense_fallbacks : unit -> int
+(** Process-wide count of solves that ended on the dense fallback
+    path; tests read deltas to assert the sparse path actually ran. *)

@@ -161,6 +161,12 @@ val solve :
     {!feasible}, and expand to original operators.  [initial] (a
     per-original-operator tier assignment) seeds the incumbent and
     [root_basis] warm-starts the root relaxation — the PR 1 machinery,
-    unchanged. *)
+    unchanged.
+
+    [options] also selects the LP engine and parallelism
+    ({!Lp.Branch_bound.options.solver} / [workers]): by default eeg-scale
+    encodings run on the sparse revised simplex and small ones on the
+    dense tableau, and any [workers] count returns the same partition
+    (deterministic waves, see DESIGN.md §14). *)
 
 val pp_report : Dataflow.Graph.t -> t -> Format.formatter -> report -> unit

@@ -24,7 +24,10 @@ val default_search_options : Lp.Branch_bound.options
     knapsack and exact proofs can take minutes (the paper's §7.1 tail);
     the search trades marginal optimality for bounded runtime, as the
     paper itself suggests ("use an approximate lower bound to establish
-    a termination condition"). *)
+    a termination condition").  Engine selection and worker count are
+    inherited from {!Lp.Branch_bound.default_options} ([Auto] /
+    sequential); override [solver]/[workers] here to force an engine or
+    parallelise each solve — the rates found are identical either way. *)
 
 val search :
   ?encoding:Ilp.encoding ->

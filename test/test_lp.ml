@@ -514,6 +514,238 @@ let prop_warm_bb_matches_cold_wishbone =
           QCheck.Test.fail_reportf "seed %d: cold=%a warm=%a" seed
             Solution.pp_status a Solution.pp_status b)
 
+(* ---- sparse revised simplex ---- *)
+
+let status_agrees ?(tol = 1e-5) seed tag (a : Solution.status)
+    (b : Solution.status) =
+  match (a, b) with
+  | Solution.Optimal x, Solution.Optimal y ->
+      let t = tol *. (1. +. Float.max (Float.abs x.objective) (Float.abs y.objective)) in
+      if Float.abs (x.objective -. y.objective) > t then
+        QCheck.Test.fail_reportf "seed %d: %s sparse=%.9g dense=%.9g" seed tag
+          x.objective y.objective
+      else true
+  | Solution.Infeasible, Solution.Infeasible -> true
+  | Solution.Unbounded, Solution.Unbounded -> true
+  (* a pivot budget exhausting on either side is inconclusive *)
+  | Solution.Iteration_limit, _ | _, Solution.Iteration_limit -> true
+  | a, b ->
+      QCheck.Test.fail_reportf "seed %d: %s sparse=%a dense=%a" seed tag
+        Solution.pp_status a Solution.pp_status b
+
+(* The tentpole property from ISSUE 5: on random LPs the sparse
+   revised simplex and the dense tableau agree on status and (within
+   tolerance) on the objective — cold, and warm-started from each
+   other's bases. *)
+let prop_sparse_matches_dense =
+  QCheck.Test.make ~count:1000 ~name:"sparse simplex matches dense (cold+warm)"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let p = Check.Gen.lp rng ~size:(3 + (seed mod 26)) in
+      let data = Sparse.of_problem p in
+      let dense = Simplex.solve_warm p in
+      let sparse = Sparse.solve_warm data in
+      let cold_ok =
+        status_agrees seed "cold" sparse.Simplex.status dense.Simplex.status
+      in
+      cold_ok
+      &&
+      (* tighten a bound branch&bound-style and warm both solvers from
+         the *dense* basis: snapshots must be interchangeable *)
+      match dense.Simplex.basis with
+      | Some b when Solution.is_optimal dense.Simplex.status ->
+          let vars = Problem.vars p in
+          let n = Array.length vars in
+          let lo = Array.map (fun (v : Problem.var_info) -> v.lo) vars in
+          let hi = Array.map (fun (v : Problem.var_info) -> v.hi) vars in
+          let v = Prng.int rng n in
+          if Prng.bool rng 0.5 then
+            hi.(v) <- Float.max lo.(v) (lo.(v) +. ((hi.(v) -. lo.(v)) /. 2.))
+          else lo.(v) <- lo.(v) +. Float.min 2. ((hi.(v) -. lo.(v)) /. 2.);
+          let dw = Simplex.solve_warm ~warm:b ~lo ~hi p in
+          let sw = Sparse.solve_warm ~warm:b ~lo ~hi data in
+          status_agrees seed "warm" sw.Simplex.status dw.Simplex.status
+      | _ -> true)
+
+let test_sparse_edge_cases () =
+  (* equality rows, negative bounds, duplicate terms, an infeasible
+     system, and an unbounded ray — the dense suite's corner cases
+     replayed through the sparse solver *)
+  let check_pair name build =
+    let p = build () in
+    let d = Simplex.solve p in
+    let s = Sparse.solve p in
+    match (d, s) with
+    | Solution.Optimal a, Solution.Optimal b ->
+        check_close (name ^ ": objective") a.objective b.objective
+    | a, b ->
+        if a <> b then
+          Alcotest.failf "%s: dense=%a sparse=%a" name Solution.pp_status a
+            Solution.pp_status b
+  in
+  check_pair "equality" (fun () ->
+      let p = Problem.create () in
+      let x = Problem.add_var p and y = Problem.add_var p in
+      Problem.add_constr p [ (x, 1.); (y, 1.) ] Problem.Eq 4.;
+      Problem.add_constr p [ (x, 1.); (y, -1.) ] Problem.Le 1.;
+      Problem.set_objective p Problem.Maximize [ (x, 3.); (y, 1.) ];
+      p);
+  check_pair "negative domain" (fun () ->
+      let p = Problem.create () in
+      let x = Problem.add_var ~lo:(-5.) ~hi:5. p in
+      let y = Problem.add_var ~lo:(-3.) ~hi:0. p in
+      Problem.add_constr p [ (x, 1.); (y, 2.) ] Problem.Ge (-4.);
+      Problem.set_objective p Problem.Minimize [ (x, 1.); (y, 1.) ];
+      p);
+  check_pair "duplicate terms" (fun () ->
+      let p = Problem.create () in
+      let x = Problem.add_var ~hi:10. p in
+      Problem.add_constr p [ (x, 1.); (x, 1.) ] Problem.Le 6.;
+      Problem.set_objective p Problem.Maximize [ (x, 1.) ];
+      p);
+  check_pair "infeasible" (fun () ->
+      let p = Problem.create () in
+      let x = Problem.add_var ~hi:1. p in
+      Problem.add_constr p [ (x, 1.) ] Problem.Ge 2.;
+      p);
+  check_pair "unbounded" (fun () ->
+      let p = Problem.create () in
+      let x = Problem.add_var p in
+      Problem.set_objective p Problem.Maximize [ (x, 1.) ];
+      p);
+  check_pair "no constraints" (fun () ->
+      let p = Problem.create () in
+      let x = Problem.add_var ~hi:7. p in
+      Problem.set_objective p Problem.Maximize [ (x, 2.) ];
+      p);
+  check_pair "mixed row scales" (fun () ->
+      let p = Problem.create () in
+      let x = Problem.add_var ~hi:100. p and y = Problem.add_var ~hi:100. p in
+      Problem.add_constr p [ (x, 4000.); (y, 1200.) ] Problem.Le 120_000.;
+      Problem.add_constr p [ (x, 0.002); (y, 0.009) ] Problem.Le 0.4;
+      Problem.set_objective p Problem.Maximize [ (x, 5.); (y, 4.) ];
+      p)
+
+let test_sparse_basis_roundtrip () =
+  (* a sparse-produced basis must warm-start the dense solver with no
+     extra pivots, and vice versa *)
+  let p = Problem.create () in
+  let vars = Array.init 8 (fun _ -> Problem.add_var ~hi:4. p) in
+  Array.iteri
+    (fun i v ->
+      Problem.add_constr p
+        [ (v, 1.); (vars.((i + 1) mod 8), 1.) ]
+        Problem.Le 5.)
+    vars;
+  Problem.set_objective p Problem.Maximize
+    (Array.to_list (Array.mapi (fun i v -> (v, Float.of_int (1 + (i mod 3)))) vars));
+  let data = Sparse.of_problem p in
+  let s = Sparse.solve_warm data in
+  let sb =
+    match s.Simplex.basis with
+    | Some b -> b
+    | None -> Alcotest.fail "sparse solve returned no basis"
+  in
+  let d = Simplex.solve_warm ~warm:sb p in
+  Alcotest.(check bool) "dense accepts sparse basis" true d.Simplex.warm_used;
+  let db = Option.get d.Simplex.basis in
+  let s2 = Sparse.solve_warm ~warm:db data in
+  Alcotest.(check bool) "sparse accepts dense basis" true s2.Simplex.warm_used;
+  check_close "objectives agree"
+    (Solution.get s.Simplex.status).objective
+    (Solution.get s2.Simplex.status).objective
+
+(* ---- parallel branch & bound ---- *)
+
+let solve_with ~workers ~solver p =
+  let options = { Branch_bound.default_options with workers; solver } in
+  Branch_bound.solve ~options p
+
+(* The acceptance property: the same optimum for workers 1, 2 and 4,
+   and for the dense and sparse LP engines. *)
+let prop_parallel_bb_same_optimum =
+  QCheck.Test.make ~count:120 ~name:"parallel B&B optimum independent of workers"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let p = Check.Gen.ilp rng ~size:(3 + (seed mod 10)) in
+      let base, _ = solve_with ~workers:1 ~solver:Branch_bound.Dense p in
+      List.for_all
+        (fun (workers, solver, tag) ->
+          let st, _ = solve_with ~workers ~solver p in
+          match (st, base) with
+          | Solution.Optimal a, Solution.Optimal b ->
+              let tol = 1e-6 *. Float.max 1. (Float.abs b.objective) in
+              if Float.abs (a.objective -. b.objective) > tol then
+                QCheck.Test.fail_reportf "seed %d: %s=%.9g base=%.9g" seed tag
+                  a.objective b.objective
+              else if Problem.constraint_violation p a.x > 1e-5 then
+                QCheck.Test.fail_reportf "seed %d: %s infeasible" seed tag
+              else true
+          | Solution.Infeasible, Solution.Infeasible -> true
+          | Solution.Iteration_limit, _ | _, Solution.Iteration_limit -> true
+          | a, b ->
+              QCheck.Test.fail_reportf "seed %d: %s=%a base=%a" seed tag
+                Solution.pp_status a Solution.pp_status b)
+        [
+          (2, Branch_bound.Dense, "dense-w2");
+          (4, Branch_bound.Dense, "dense-w4");
+          (1, Branch_bound.Sparse_revised, "sparse-w1");
+          (4, Branch_bound.Sparse_revised, "sparse-w4");
+        ])
+
+let test_parallel_bb_deterministic () =
+  (* same workers value, same problem: bit-identical solution vectors *)
+  let p = random_problem 4242 in
+  List.iter
+    (fun workers ->
+      match (solve_with ~workers ~solver:Branch_bound.Auto p,
+             solve_with ~workers ~solver:Branch_bound.Auto p)
+      with
+      | (Solution.Optimal a, _), (Solution.Optimal b, _) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "workers=%d reproducible" workers)
+            true (a.x = b.x && a.objective = b.objective)
+      | (a, _), (b, _) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "workers=%d same status" workers)
+            true
+            (Solution.pp_status Format.str_formatter a |> ignore;
+             let sa = Format.flush_str_formatter () in
+             Solution.pp_status Format.str_formatter b |> ignore;
+             sa = Format.flush_str_formatter ()))
+    [ 1; 3 ]
+
+let test_parallel_bb_knapsack () =
+  let p = Problem.create () in
+  let vars = Array.init 12 (fun _ -> Problem.add_var ~hi:1. ~integer:true p) in
+  Problem.add_constr p
+    (Array.to_list (Array.mapi (fun i v -> (v, Float.of_int (i + 2))) vars))
+    Problem.Le 31.;
+  Problem.set_objective p Problem.Maximize
+    (Array.to_list
+       (Array.mapi (fun i v -> (v, Float.of_int ((i * 5 mod 13) + 1))) vars));
+  let reference, _ = solve_with ~workers:1 ~solver:Branch_bound.Dense p in
+  let robj = (Solution.get reference).objective in
+  List.iter
+    (fun (workers, solver) ->
+      let st, stats = solve_with ~workers ~solver p in
+      check_close
+        (Printf.sprintf "workers=%d optimum" workers)
+        robj
+        (Solution.get st).objective;
+      Alcotest.(check bool)
+        (Printf.sprintf "workers=%d proved" workers)
+        true stats.Branch_bound.proved_optimal)
+    [
+      (2, Branch_bound.Dense);
+      (4, Branch_bound.Dense);
+      (1, Branch_bound.Sparse_revised);
+      (2, Branch_bound.Sparse_revised);
+      (4, Branch_bound.Auto);
+    ]
+
 (* ---- pqueue ---- *)
 
 let test_pqueue_order () =
@@ -587,6 +819,18 @@ let () =
           QCheck_alcotest.to_alcotest prop_lp_relaxation_bounds_ilp;
           QCheck_alcotest.to_alcotest prop_warm_lp_matches_cold;
           QCheck_alcotest.to_alcotest prop_warm_bb_matches_cold_wishbone;
+        ] );
+      ( "sparse",
+        [
+          tc "edge cases" test_sparse_edge_cases;
+          tc "basis round-trip" test_sparse_basis_roundtrip;
+          QCheck_alcotest.to_alcotest prop_sparse_matches_dense;
+        ] );
+      ( "parallel",
+        [
+          tc "knapsack all engines" test_parallel_bb_knapsack;
+          tc "deterministic" test_parallel_bb_deterministic;
+          QCheck_alcotest.to_alcotest prop_parallel_bb_same_optimum;
         ] );
       ( "pqueue",
         [ tc "heap order" test_pqueue_order; tc "empty" test_pqueue_empty ] );
