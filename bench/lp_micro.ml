@@ -15,6 +15,9 @@ type mode_result = {
   pivots : int;
   lp_solves : int;
   hot_solves : int;
+  refactorisations : int;
+  ft_updates : int;
+  ft_entries : int;
   wall_s : float;
   rate : float;
 }
@@ -27,12 +30,14 @@ let run_mode ~label ~warm spec =
     }
   in
   let p0 = Lp.Simplex.cumulative_pivots () in
+  let c0 = Lp.Sparse.counters () in
   let t0 = Unix.gettimeofday () in
   let result =
     Wishbone.Rate_search.search ~incremental:warm ~options spec
   in
   let wall_s = Unix.gettimeofday () -. t0 in
   let pivots = Lp.Simplex.cumulative_pivots () - p0 in
+  let c1 = Lp.Sparse.counters () in
   let lp_solves, hot_solves, rate =
     match result with
     | Some r ->
@@ -46,13 +51,29 @@ let run_mode ~label ~warm spec =
   in
   Bench_util.row "%-6s %10d pivots  %8.3f s  rate x%.4f\n" label pivots wall_s
     rate;
-  { pivots; lp_solves; hot_solves; wall_s; rate }
+  {
+    pivots;
+    lp_solves;
+    hot_solves;
+    refactorisations =
+      c1.Lp.Sparse.refactorisations - c0.Lp.Sparse.refactorisations;
+    ft_updates = c1.Lp.Sparse.ft_updates - c0.Lp.Sparse.ft_updates;
+    ft_entries = c1.Lp.Sparse.ft_entries - c0.Lp.Sparse.ft_entries;
+    wall_s;
+    rate;
+  }
 
 (* Fixed-rate comparison: partition the same scaled instance once with
    warm starts and once without, under a budget generous enough that
    both finish.  Same problem in, same partition out — this isolates
    the solver speedup from the rate search's budget dynamics. *)
-type resolve_result = { r_pivots : int; r_wall_s : float; objective : float }
+type resolve_result = {
+  r_pivots : int;
+  r_refactorisations : int;
+  r_ft_updates : int;
+  r_wall_s : float;
+  objective : float;
+}
 
 let resolve_at ~warm spec rate =
   let scaled = Wishbone.Spec.scale_rate spec rate in
@@ -64,12 +85,17 @@ let resolve_at ~warm spec rate =
     }
   in
   let p0 = Lp.Simplex.cumulative_pivots () in
+  let c0 = Lp.Sparse.counters () in
   let t0 = Unix.gettimeofday () in
   match Wishbone.Partitioner.solve ~options scaled with
   | Wishbone.Partitioner.Partitioned r ->
+      let c1 = Lp.Sparse.counters () in
       Some
         {
           r_pivots = Lp.Simplex.cumulative_pivots () - p0;
+          r_refactorisations =
+            c1.Lp.Sparse.refactorisations - c0.Lp.Sparse.refactorisations;
+          r_ft_updates = c1.Lp.Sparse.ft_updates - c0.Lp.Sparse.ft_updates;
           r_wall_s = Unix.gettimeofday () -. t0;
           objective = r.Wishbone.Partitioner.objective;
         }
@@ -81,22 +107,34 @@ let write_json ~n_channels ~(cold : mode_result) ~(warm : mode_result)
   let mode name (r : mode_result) =
     Printf.sprintf
       "  \"%s\": {\"total_pivots\": %d, \"final_solve_lps\": %d, \
-       \"final_solve_hot_lps\": %d, \"wall_s\": %.6f, \"rate_multiplier\": \
-       %.6f}"
-      name r.pivots r.lp_solves r.hot_solves r.wall_s r.rate
+       \"final_solve_hot_lps\": %d, \"refactorisations\": %d, \
+       \"ft_updates\": %d, \"ft_entries\": %d, \"wall_s\": %.6f, \
+       \"rate_multiplier\": %.6f}"
+      name r.pivots r.lp_solves r.hot_solves r.refactorisations r.ft_updates
+      r.ft_entries r.wall_s r.rate
   in
   let resolve name = function
     | Some r ->
         Printf.sprintf
-          "  \"resolve_%s\": {\"pivots\": %d, \"wall_s\": %.6f, \
-           \"objective\": %.6f}"
-          name r.r_pivots r.r_wall_s r.objective
+          "  \"resolve_%s\": {\"pivots\": %d, \"refactorisations\": %d, \
+           \"ft_updates\": %d, \"wall_s\": %.6f, \"objective\": %.6f}"
+          name r.r_pivots r.r_refactorisations r.r_ft_updates r.r_wall_s
+          r.objective
     | None -> Printf.sprintf "  \"resolve_%s\": null" name
+  in
+  let pricing =
+    match
+      Lp.Branch_bound.default_options.Lp.Branch_bound.simplex
+        .Lp.Simplex.pricing
+    with
+    | Lp.Simplex.Devex -> "devex"
+    | Lp.Simplex.Dantzig -> "dantzig"
   in
   Printf.fprintf oc
     "{\n\
     \  \"benchmark\": \"eeg_rate_search_warm_vs_cold\",\n\
     \  \"n_channels\": %d,\n\
+    \  \"pricing\": \"%s\",\n\
      %s,\n\
      %s,\n\
      %s,\n\
@@ -104,24 +142,36 @@ let write_json ~n_channels ~(cold : mode_result) ~(warm : mode_result)
     \  \"pivot_ratio\": %.3f,\n\
     \  \"speedup\": %.3f\n\
      }\n"
-    n_channels (mode "cold" cold) (mode "warm" warm) (resolve "cold" rc)
+    n_channels pricing (mode "cold" cold) (mode "warm" warm) (resolve "cold" rc)
     (resolve "warm" rw)
     (Float.of_int cold.pivots /. Float.max 1. (Float.of_int warm.pivots))
     (cold.wall_s /. Float.max 1e-9 warm.wall_s);
   close_out oc
 
-(* CI smoke: partition the speech and eeg14 instances once with the
-   dense tableau and once with the sparse revised simplex forced, and
-   fail loudly if the engines disagree on the objective.  Kept small
-   enough that the CI step's wall-clock ceiling (see
+(* CI smoke: partition the speech and eeg14 instances with the dense
+   tableau and with the sparse revised simplex forced under both
+   pricing rules — devex exercises the reference-framework weights
+   over the Forrest–Tomlin factor path, dantzig the candidate-list
+   rule over the same factors — and fail loudly if any engine pair
+   disagrees on the objective, or if the sparse runs never
+   refactorised (meaning the LU path silently did not run).  Kept
+   small enough that the CI step's wall-clock ceiling (see
    .github/workflows/ci.yml) catches any solver-path regression that
    turns sub-second solves into minutes. *)
 let smoke () =
-  Bench_util.header "bench smoke: dense vs sparse LP engines, speech + eeg14";
+  Bench_util.header
+    "bench smoke: dense vs sparse(devex|dantzig) LP engines, speech + eeg14";
   let run name rate spec =
     let spec = Wishbone.Spec.scale_rate spec rate in
-    let solve solver =
-      let options = { Lp.Branch_bound.default_options with solver } in
+    let solve solver pricing =
+      let base = Lp.Branch_bound.default_options in
+      let options =
+        {
+          base with
+          Lp.Branch_bound.solver;
+          simplex = { base.Lp.Branch_bound.simplex with Lp.Simplex.pricing };
+        }
+      in
       let t0 = Unix.gettimeofday () in
       match Wishbone.Partitioner.solve ~options spec with
       | Wishbone.Partitioner.Partitioned r ->
@@ -133,13 +183,26 @@ let smoke () =
           Printf.eprintf "smoke %s: solver failure: %s\n" name m;
           exit 1
     in
-    let od, td = solve Lp.Branch_bound.Dense in
-    let os, ts = solve Lp.Branch_bound.Sparse_revised in
-    Bench_util.row "%-8s dense %12.6f (%6.3f s)   sparse %12.6f (%6.3f s)\n"
-      name od td os ts;
-    if Float.abs (od -. os) > 1e-6 *. Float.max 1. (Float.abs od) then (
-      Printf.eprintf "smoke %s: engines disagree: dense %.9g sparse %.9g\n"
-        name od os;
+    let od, td = solve Lp.Branch_bound.Dense Lp.Simplex.Devex in
+    let c0 = Lp.Sparse.counters () in
+    let os, ts = solve Lp.Branch_bound.Sparse_revised Lp.Simplex.Devex in
+    let oz, tz = solve Lp.Branch_bound.Sparse_revised Lp.Simplex.Dantzig in
+    let c1 = Lp.Sparse.counters () in
+    Bench_util.row
+      "%-8s dense %12.6f (%6.3f s)   sparse/devex %12.6f (%6.3f s)   \
+       sparse/dantzig %12.6f (%6.3f s)\n"
+      name od td os ts oz tz;
+    let agree a b = Float.abs (a -. b) <= 1e-6 *. Float.max 1. (Float.abs a) in
+    if not (agree od os && agree od oz) then (
+      Printf.eprintf
+        "smoke %s: engines disagree: dense %.9g sparse/devex %.9g \
+         sparse/dantzig %.9g\n"
+        name od os oz;
+      exit 1);
+    if c1.Lp.Sparse.refactorisations <= c0.Lp.Sparse.refactorisations then (
+      Printf.eprintf
+        "smoke %s: sparse runs never refactorised — LU path did not run\n"
+        name;
       exit 1)
   in
   run "speech" 0.05

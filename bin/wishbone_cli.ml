@@ -297,20 +297,82 @@ let partition_cmd =
             "Concurrent branch & bound node expansions (deterministic: \
              the partition returned is the same for any worker count).")
   in
-  let solver_options base max_pivots time_limit_ms workers =
+  let pricing_arg =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("devex", Lp.Simplex.Devex); ("dantzig", Lp.Simplex.Dantzig) ]))
+          None
+      & info [ "pricing" ] ~docv:"RULE"
+          ~doc:
+            "Simplex pricing rule: $(b,devex) (reference-framework \
+             weights, the default) or $(b,dantzig) (candidate-list most \
+             negative reduced cost).  Either rule reaches the same \
+             optimum; only the pivot trajectory differs.")
+  in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [
+                  ("wave", Lp.Branch_bound.Wave);
+                  ("steal", Lp.Branch_bound.Steal);
+                ]))
+          None
+      & info [ "schedule" ] ~docv:"MODE"
+          ~doc:
+            "Node scheduling across --workers: $(b,wave) (deterministic \
+             bulk-synchronous waves, the default) or $(b,steal) \
+             (work-stealing worker domains; same optimum, \
+             timing-dependent node order).")
+  in
+  let solver_options base max_pivots time_limit_ms workers pricing schedule =
     let o = base in
     {
       o with
       Lp.Branch_bound.workers;
+      schedule =
+        (match schedule with
+        | Some s -> s
+        | None -> o.Lp.Branch_bound.schedule);
       time_limit =
         (match time_limit_ms with
         | Some ms -> ms /. 1000.
         | None -> o.Lp.Branch_bound.time_limit);
       simplex =
-        (match max_pivots with
-        | Some p -> { o.Lp.Branch_bound.simplex with Lp.Simplex.max_pivots = p }
-        | None -> o.Lp.Branch_bound.simplex);
+        (let s = o.Lp.Branch_bound.simplex in
+         let s =
+           match max_pivots with
+           | Some p -> { s with Lp.Simplex.max_pivots = p }
+           | None -> s
+         in
+         match pricing with
+         | Some p -> { s with Lp.Simplex.pricing = p }
+         | None -> s);
     }
+  in
+  (* process-wide solver work counters, reset at solve entry: the
+     verbose tail of the report, for eyeballing the effect of
+     --pricing / --schedule / --workers on actual work done *)
+  let report_counters (options : Lp.Branch_bound.options) ~fb0 =
+    let c = Lp.Sparse.counters () in
+    Printf.printf
+      "solver counters: pricing %s, schedule %s, %d pivots, %d \
+       refactorisations, %d FT updates (%d entries), %d dense fallbacks\n"
+      (match options.Lp.Branch_bound.simplex.Lp.Simplex.pricing with
+      | Lp.Simplex.Devex -> "devex"
+      | Lp.Simplex.Dantzig -> "dantzig")
+      (match options.Lp.Branch_bound.schedule with
+      | Lp.Branch_bound.Wave -> "wave"
+      | Lp.Branch_bound.Steal -> "steal")
+      (Lp.Simplex.cumulative_pivots ())
+      c.Lp.Sparse.refactorisations c.Lp.Sparse.ft_updates
+      c.Lp.Sparse.ft_entries
+      (Lp.Sparse.dense_fallbacks () - fb0)
   in
   (* on budget exhaustion the solver keeps its best incumbent; surface
      it with the gap to the strongest remaining bound instead of
@@ -337,15 +399,18 @@ let partition_cmd =
     exit 1
   in
   let run app platform duration mode rate dot search tiers max_pivots
-      time_limit_ms workers =
+      time_limit_ms workers pricing schedule =
     (* the rate search keeps its looser per-solve budgets unless
        overridden explicitly *)
     let options =
       solver_options
         (if search then Wishbone.Rate_search.default_search_options
          else Lp.Branch_bound.default_options)
-        max_pivots time_limit_ms workers
+        max_pivots time_limit_ms workers pricing schedule
     in
+    Lp.Simplex.reset_cumulative_pivots ();
+    Lp.Sparse.reset_counters ();
+    let fb0 = Lp.Sparse.dense_fallbacks () in
     let b = build_app app in
     let raw = b.profile ~duration in
     let chain =
@@ -380,6 +445,7 @@ let partition_cmd =
               Format.printf "%a@."
                 (Wishbone.Partitioner.pp_report b.graph)
                 report;
+              report_counters options ~fb0;
               report_budget ~objective:report.objective report.solver;
               write_dot report.assignment
             in
@@ -410,6 +476,7 @@ let partition_cmd =
             let pl = placement_of_chain spec raw (List.tl chain) in
             let finish pl (r : Wishbone.Placement.report) =
               Format.printf "%a@." (Wishbone.Placement.pp_report b.graph pl) r;
+              report_counters options ~fb0;
               report_budget ~objective:r.objective r.solver;
               write_dot (Array.map (fun tier -> tier = 0) r.tier_of)
             in
@@ -448,7 +515,7 @@ let partition_cmd =
     Term.(
       const run $ app_arg $ platform_arg $ duration_arg $ mode_arg $ rate_arg
       $ dot_arg $ search_arg $ tiers_arg $ max_pivots_arg $ time_limit_arg
-      $ workers_arg)
+      $ workers_arg $ pricing_arg $ schedule_arg)
 
 let sweep_cmd =
   let from_arg =

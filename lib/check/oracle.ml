@@ -49,10 +49,20 @@ let lp_certificate rng problem =
       let hot = Lp.Simplex.solve_warm ?hot:r0.hot ~lo ~hi problem in
       (* the sparse revised simplex must agree with every dense path,
          cold and warm-started from a dense basis alike; its bases are
-         certified by the same dense reconstruction *)
+         certified by the same dense reconstruction.  The default runs
+         use devex pricing over the Forrest–Tomlin factor path; the
+         dantzig-forced pair pins the pricing rules to the same
+         optimum on every case *)
       let sdata = Lp.Sparse.of_problem problem in
       let sparse_cold = Lp.Sparse.solve_warm ~lo ~hi sdata in
       let sparse_warm = Lp.Sparse.solve_warm ?warm:r0.basis ~lo ~hi sdata in
+      let dz =
+        { Lp.Simplex.default_options with pricing = Lp.Simplex.Dantzig }
+      in
+      let sparse_dz = Lp.Sparse.solve_warm ~options:dz ~lo ~hi sdata in
+      let sparse_dz_warm =
+        Lp.Sparse.solve_warm ~options:dz ?warm:r0.basis ~lo ~hi sdata
+      in
       let runs =
         [
           ("cold", cold);
@@ -60,6 +70,8 @@ let lp_certificate rng problem =
           ("hot", hot);
           ("sparse-cold", sparse_cold);
           ("sparse-warm", sparse_warm);
+          ("sparse-dantzig-cold", sparse_dz);
+          ("sparse-dantzig-warm", sparse_dz_warm);
         ]
       in
       if

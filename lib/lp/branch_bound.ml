@@ -1,4 +1,5 @@
 type lp_solver = Auto | Dense | Sparse_revised
+type schedule = Wave | Steal
 
 type options = {
   max_nodes : int;
@@ -7,6 +8,7 @@ type options = {
   time_limit : float;
   warm_start : bool;
   workers : int;
+  schedule : schedule;
   solver : lp_solver;
   simplex : Simplex.options;
 }
@@ -19,6 +21,7 @@ let default_options =
     time_limit = infinity;
     warm_start = true;
     workers = 1;
+    schedule = Wave;
     solver = Auto;
     simplex = Simplex.default_options;
   }
@@ -41,9 +44,31 @@ type stats = {
   root_basis : Basis.t option;
 }
 
+(* Node bounds are delta-encoded: each node records only the single
+   bound its branch tightened relative to its parent, and the full
+   [lo]/[hi] arrays are materialised when the node is popped for
+   expansion.  A tree of N open nodes then costs O(N) bound storage
+   instead of O(N * vars), and pushing a child is O(1).  Bounds only
+   tighten down a path, so replaying the deltas root-to-leaf with
+   plain assignments reproduces the eager arrays exactly. *)
+type bound_delta = {
+  bvar : int;  (* branching variable; -1 on the root *)
+  bup : bool;  (* true: raise lo to bval; false: lower hi to bval *)
+  bval : float;
+}
+
+let no_delta = { bvar = -1; bup = false; bval = 0. }
+
+let materialise ~lo0 ~hi0 deltas =
+  let lo = Array.copy lo0 and hi = Array.copy hi0 in
+  List.iter
+    (fun d -> if d.bup then lo.(d.bvar) <- d.bval else hi.(d.bvar) <- d.bval)
+    deltas;
+  (lo, hi)
+
 type node = {
-  lo : float array;
-  hi : float array;
+  parent : node option;  (* branching chain up to the root *)
+  delta : bound_delta;  (* the one bound this node tightened *)
   relax : Solution.t;
   basis : Basis.t option;  (* optimal basis of this node's relaxation *)
   mutable hot : Simplex.hot option;
@@ -51,6 +76,12 @@ type node = {
          kept for at most [hot_cache] recent nodes so child LPs can
          skip refactorisation; dropped tableaus degrade to [basis] *)
 }
+
+let deltas_of_node node =
+  let rec go nd acc =
+    match nd.parent with None -> acc | Some p -> go p (nd.delta :: acc)
+  in
+  go node []
 
 (* How many recent nodes keep their full tableau alive.  Each costs
    O(rows * cols) floats, so this bounds warm-start memory while still
@@ -115,13 +146,13 @@ type task = {
 
 type entry = Leaf of node | Branch of task
 
-let child_bounds (node : node) v =
+(* The integral bound values either side of the branching variable's
+   relaxed value; shared by the solve and apply phases so the bounds
+   solved and the deltas recorded always agree. *)
+let branch_vals (node : node) v =
   let xv = node.relax.x.(v) in
-  let hi_down = Array.copy node.hi in
-  hi_down.(v) <- Float.of_int (int_of_float (Float.floor xv));
-  let lo_up = Array.copy node.lo in
-  lo_up.(v) <- Float.of_int (int_of_float (Float.ceil xv));
-  (hi_down, lo_up)
+  ( Float.of_int (int_of_float (Float.floor xv)),
+    Float.of_int (int_of_float (Float.ceil xv)) )
 
 let solve ?(options = default_options) ?initial ?root_basis problem =
   let t0 = Unix.gettimeofday () in
@@ -151,14 +182,22 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
   (* pure LP relaxation solve — no shared counters, so safe from any
      worker domain; accounting happens on the main thread via
      [account] when the result is applied *)
-  let relaxation ?hot ~warm ~lo ~hi () =
+  let relaxation ?hot ?session ~warm ~lo ~hi () =
     let warm, hot = if options.warm_start then (warm, hot) else (None, None) in
     match sdata with
     | Some data ->
-        Sparse.solve_warm ~options:options.simplex ?warm ~lo ~hi data
+        Sparse.solve_warm ~options:options.simplex ?warm ~lo ~hi ?session data
     | None ->
         Simplex.solve_warm ~options:options.simplex ?warm ?hot
           ~keep_hot:options.warm_start ~lo ~hi problem
+  in
+  (* one reusable sparse solve session per worker slot: state arrays
+     are pooled across solves, and re-solving the warm basis the
+     session last refactorised (the second child of every node)
+     restores the snapshotted factorisation instead of rebuilding it.
+     Sessions never change results, only the work to reach them. *)
+  let sessions =
+    Array.init workers (fun _ -> Option.map Sparse.session sdata)
   in
   let account (r : Simplex.result) =
     incr lp_solves;
@@ -209,7 +248,7 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
         root_basis = !root_b;
       } )
   in
-  let root = relaxation ~warm:root_basis ~lo:lo0 ~hi:hi0 () in
+  let root = relaxation ?session:sessions.(0) ~warm:root_basis ~lo:lo0 ~hi:hi0 () in
   account root;
   root_b := root.Simplex.basis;
   match root.Simplex.status with
@@ -225,11 +264,12 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
   | Solution.Optimal root_relax -> (
       let open_nodes : node Heap.Pqueue.t = Heap.Pqueue.create () in
       let root_node =
-        { lo = lo0; hi = hi0; relax = root_relax; basis = root.Simplex.basis;
-          hot = root.Simplex.hot }
+        { parent = None; delta = no_delta; relax = root_relax;
+          basis = root.Simplex.basis; hot = root.Simplex.hot }
       in
       retain_hot root_node;
       Heap.Pqueue.push open_nodes (key_of_obj root_relax.objective) root_node;
+      let node_bounds node = materialise ~lo0 ~hi0 (deltas_of_node node) in
       let incumbent = ref None in
       let incumbent_key = ref infinity in
       let t_incumbent = ref 0. in
@@ -277,13 +317,14 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
          both children, plus the dense-mode tableau recovery when the
          node's hot value was evicted.  Writes only into its own task
          record; [Domain.join] publishes the writes to the applier. *)
-      let run_task tk =
+      let run_task ?session tk =
         let node = tk.t_node in
+        let lo, hi = node_bounds node in
         let parent_hot =
           match node.hot with
           | Some _ as h -> h
           | None when options.warm_start && sdata = None -> (
-              match relaxation ~warm:node.basis ~lo:node.lo ~hi:node.hi () with
+              match relaxation ~warm:node.basis ~lo ~hi () with
               | { Simplex.status = Solution.Optimal _; hot; _ } as r ->
                   tk.t_rec <- Some r;
                   hot
@@ -292,15 +333,165 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
                   None)
           | None -> None
         in
-        let hi_down, lo_up = child_bounds node tk.t_var in
+        let fl, ce = branch_vals node tk.t_var in
+        let hi_down = Array.copy hi in
+        hi_down.(tk.t_var) <- fl;
+        let lo_up = Array.copy lo in
+        lo_up.(tk.t_var) <- ce;
         tk.t_down <-
-          Some (relaxation ?hot:parent_hot ~warm:node.basis ~lo:node.lo
+          Some (relaxation ?hot:parent_hot ?session ~warm:node.basis ~lo
                   ~hi:hi_down ());
         tk.t_up <-
-          Some (relaxation ?hot:parent_hot ~warm:node.basis ~lo:lo_up
-                  ~hi:node.hi ())
+          Some (relaxation ?hot:parent_hot ?session ~warm:node.basis ~lo:lo_up
+                  ~hi ())
       in
-      let continue = ref true in
+      (* ---- work-stealing scheduler (schedule = Steal) ----
+         Long-lived worker domains, each with a private best-bound
+         heap; a worker whose heap runs dry steals the globally best
+         open node.  All shared state (heaps, incumbent, counters)
+         lives under one mutex — the point of this schedule is keeping
+         every worker busy on deep trees, not lock-free throughput —
+         and termination is by in-flight counting: the search is over
+         when every heap is empty and no node is being expanded.
+         Exploration order (and therefore node/pivot counts) depends
+         on timing, but the returned optimum does not: pruning only
+         discards nodes that provably cannot beat the incumbent, and
+         tied incumbents keep the lexicographically smallest point. *)
+      let steal_bound_key = ref infinity in
+      let run_steal () =
+        let mtx = Mutex.create () in
+        let cond = Condition.create () in
+        let heaps = Array.init workers (fun _ -> Heap.Pqueue.create ()) in
+        Heap.Pqueue.push heaps.(0) (key_of_obj root_relax.objective) root_node;
+        let in_flight = ref 0 in
+        let finished = ref false in
+        let heap_min_all () =
+          let best = ref None in
+          Array.iteri
+            (fun i h ->
+              match Heap.Pqueue.min_key h with
+              | Some k -> (
+                  match !best with
+                  | Some (bk, _) when bk <= k -> ()
+                  | _ -> best := Some (k, i))
+              | None -> ())
+            heaps;
+          !best
+        in
+        let worker w () =
+          let session = sessions.(w) in
+          let running = ref true in
+          while !running do
+            Mutex.lock mtx;
+            let acquired = ref None in
+            let waiting = ref true in
+            while !waiting do
+              if !finished then waiting := false
+              else if
+                !nodes >= options.max_nodes || elapsed () > options.time_limit
+              then begin
+                hit_budget := true;
+                finished := true;
+                Condition.broadcast cond;
+                waiting := false
+              end
+              else begin
+                let pick =
+                  match Heap.Pqueue.min_key heaps.(w) with
+                  | Some _ -> Some w
+                  | None -> (
+                      match heap_min_all () with
+                      | Some (_, i) -> Some i
+                      | None -> None)
+                in
+                match pick with
+                | Some i -> (
+                    match Heap.Pqueue.pop heaps.(i) with
+                    | Some (key, node) ->
+                        (* stale-node pruning, as in the wave driver *)
+                        if key >= !incumbent_key -. 1e-12 || gap_closed key
+                        then ()
+                        else begin
+                          incr nodes;
+                          incr in_flight;
+                          acquired := Some node;
+                          waiting := false
+                        end
+                    | None -> ())
+                | None ->
+                    if !in_flight = 0 then begin
+                      finished := true;
+                      Condition.broadcast cond;
+                      waiting := false
+                    end
+                    else Condition.wait cond mtx
+              end
+            done;
+            (match !acquired with None -> running := false | Some _ -> ());
+            Mutex.unlock mtx;
+            match !acquired with
+            | None -> ()
+            | Some node -> (
+                match
+                  fractional_var ~int_tol:options.int_tol int_vars node.relax.x
+                with
+                | None ->
+                    Mutex.lock mtx;
+                    try_incumbent node.relax;
+                    decr in_flight;
+                    Condition.broadcast cond;
+                    Mutex.unlock mtx
+                | Some v ->
+                    let lo, hi = node_bounds node in
+                    let fl, ce = branch_vals node v in
+                    let hi_down = Array.copy hi in
+                    hi_down.(v) <- fl;
+                    let lo_up = Array.copy lo in
+                    lo_up.(v) <- ce;
+                    let rdown =
+                      relaxation ?session ~warm:node.basis ~lo ~hi:hi_down ()
+                    in
+                    let rup =
+                      relaxation ?session ~warm:node.basis ~lo:lo_up ~hi ()
+                    in
+                    Mutex.lock mtx;
+                    let apply_child (r : Simplex.result) ~bup ~bval =
+                      account r;
+                      match r.Simplex.status with
+                      | Solution.Optimal relax ->
+                          let key = key_of_obj relax.Solution.objective in
+                          if key < !incumbent_key -. 1e-12 then
+                            Heap.Pqueue.push heaps.(w) key
+                              { parent = Some node;
+                                delta = { bvar = v; bup; bval };
+                                relax; basis = r.Simplex.basis; hot = None }
+                      | Solution.Infeasible -> ()
+                      | Solution.Unbounded -> ()
+                      | Solution.Iteration_limit -> hit_budget := true
+                    in
+                    apply_child rdown ~bup:false ~bval:fl;
+                    apply_child rup ~bup:true ~bval:ce;
+                    decr in_flight;
+                    Condition.broadcast cond;
+                    Mutex.unlock mtx)
+          done
+        in
+        (match workers with
+        | 1 -> worker 0 ()
+        | _ ->
+            let doms =
+              List.init (workers - 1) (fun i -> Domain.spawn (worker (i + 1)))
+            in
+            worker 0 ();
+            List.iter Domain.join doms);
+        steal_bound_key :=
+          (match heap_min_all () with
+          | Some (k, _) -> Float.min k !incumbent_key
+          | None -> !incumbent_key)
+      in
+      let use_steal = options.schedule = Steal in
+      if use_steal then run_steal ();
+      let continue = ref (not use_steal) in
       while !continue do
         (* ---- collect a wave of up to [workers] non-stale nodes ----
            The first collection attempt of a wave replays the
@@ -372,12 +563,15 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
         in
         (match tasks with
         | [] -> ()
-        | [ tk ] -> run_task tk
+        | [ tk ] -> run_task ?session:sessions.(0) tk
         | tk0 :: rest ->
             let doms =
-              List.map (fun tk -> Domain.spawn (fun () -> run_task tk)) rest
+              List.mapi
+                (fun i tk ->
+                  Domain.spawn (fun () -> run_task ?session:sessions.(i + 1) tk))
+                rest
             in
-            run_task tk0;
+            run_task ?session:sessions.(0) tk0;
             List.iter Domain.join doms);
         (* ---- apply results in deterministic batch order ---- *)
         List.iter
@@ -387,15 +581,17 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
                 (match tk.t_rec with Some r -> account r | None -> ());
                 let node = tk.t_node in
                 release_hot node;
-                let hi_down, lo_up = child_bounds node tk.t_var in
-                let apply_child r ~lo ~hi =
+                let fl, ce = branch_vals node tk.t_var in
+                let apply_child r ~bup ~bval =
                   account r;
                   match r.Simplex.status with
                   | Solution.Optimal relax ->
                       let key = key_of_obj relax.Solution.objective in
                       if key < !incumbent_key -. 1e-12 then begin
                         let child =
-                          { lo; hi; relax; basis = r.Simplex.basis;
+                          { parent = Some node;
+                            delta = { bvar = tk.t_var; bup; bval };
+                            relax; basis = r.Simplex.basis;
                             hot = r.Simplex.hot }
                         in
                         retain_hot child;
@@ -409,17 +605,19 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
                   | Solution.Iteration_limit -> hit_budget := true
                 in
                 (match tk.t_down with
-                | Some r -> apply_child r ~lo:node.lo ~hi:hi_down
+                | Some r -> apply_child r ~bup:false ~bval:fl
                 | None -> ());
                 (match tk.t_up with
-                | Some r -> apply_child r ~lo:lo_up ~hi:node.hi
+                | Some r -> apply_child r ~bup:true ~bval:ce
                 | None -> ()))
           batch
       done;
       let best_bound_key =
-        match Heap.Pqueue.min_key open_nodes with
-        | Some k -> Float.min k !incumbent_key
-        | None -> !incumbent_key
+        if use_steal then !steal_bound_key
+        else
+          match Heap.Pqueue.min_key open_nodes with
+          | Some k -> Float.min k !incumbent_key
+          | None -> !incumbent_key
       in
       match !incumbent with
       | Some sol ->

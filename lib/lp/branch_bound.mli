@@ -45,6 +45,19 @@ type lp_solver =
   | Dense  (** always the dense tableau ({!Simplex}) *)
   | Sparse_revised  (** always the sparse revised simplex ({!Sparse}) *)
 
+type schedule =
+  | Wave
+      (** bulk-synchronous waves of up to [workers] nodes, applied in
+          deterministic batch order: the search and every statistic
+          except wall-clock time are a pure function of [workers], and
+          [workers = 1] is the sequential search verbatim (default) *)
+  | Steal
+      (** long-lived worker domains with per-worker best-bound heaps;
+          an idle worker steals the globally best open node.  Keeps
+          all workers busy on deep uneven trees, at the cost of a
+          timing-dependent exploration order — the returned optimum is
+          unchanged, but node and pivot counts vary run to run *)
+
 type options = {
   max_nodes : int;  (** open-node exploration budget *)
   int_tol : float;  (** how close to integral a relaxed value must be *)
@@ -57,9 +70,10 @@ type options = {
           [true]; results are identical either way, only pivot counts
           differ) *)
   workers : int;
-      (** concurrent node expansions per wave (default [1] =
-          sequential); the optimum returned is deterministic for any
-          fixed value *)
+      (** concurrent node expansions (default [1] = sequential); under
+          [Wave] the optimum returned is deterministic for any fixed
+          value *)
+  schedule : schedule;  (** node scheduling across workers *)
   solver : lp_solver;  (** LP engine selection (default [Auto]) *)
   simplex : Simplex.options;
 }
@@ -95,6 +109,25 @@ val fractional_var : int_tol:float -> int list -> float array -> int option
 (** The integer variable whose value is farthest from any integer
     (ties broken towards the lowest index), or [None] when all are
     within [int_tol] of integrality.  Exposed for testing. *)
+
+type bound_delta = {
+  bvar : int;  (** branching variable *)
+  bup : bool;  (** [true]: raise [lo.(bvar)]; [false]: lower [hi.(bvar)] *)
+  bval : float;
+}
+(** Open nodes store their bounds delta-encoded: one tightened bound
+    per node plus a parent reference, materialised into full arrays
+    only when the node is popped for expansion. *)
+
+val materialise :
+  lo0:float array ->
+  hi0:float array ->
+  bound_delta list ->
+  float array * float array
+(** [materialise ~lo0 ~hi0 deltas] replays a root-to-leaf delta chain
+    over the root bounds with plain assignments and returns the
+    leaf's [(lo, hi)].  Exposed for testing the round-trip against
+    eagerly maintained bound arrays. *)
 
 val solve :
   ?options:options ->

@@ -1,12 +1,21 @@
+type pricing = Dantzig | Devex
+
 type options = {
   max_pivots : int;
   feas_tol : float;
   cost_tol : float;
   degen_window : int;
+  pricing : pricing;
 }
 
 let default_options =
-  { max_pivots = 200_000; feas_tol = 1e-7; cost_tol = 1e-9; degen_window = 40 }
+  {
+    max_pivots = 200_000;
+    feas_tol = 1e-7;
+    cost_tol = 1e-9;
+    degen_window = 40;
+    pricing = Devex;
+  }
 
 (* Column status in the bounded-variable simplex; shared with basis
    snapshots so warm starts can replay a previous solve's state. *)

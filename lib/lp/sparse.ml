@@ -22,6 +22,9 @@ type data = {
   rhs0 : float array;  (* equilibrated rhs, before the lower-bound shift *)
   cobj : float array;  (* structural costs in minimize space, length n *)
   minimize : bool;
+  constrs : Problem.constr array;  (* original rows: sense and rhs *)
+  c_vars : int array array;  (* per-row term variables, list order *)
+  c_coefs : float array array;  (* per-row term coefficients, list order *)
 }
 
 let problem d = d.problem
@@ -127,7 +130,21 @@ let of_problem problem =
     (fun (v, coef) ->
       cobj.(v) <- cobj.(v) +. (if minimize then coef else -.coef))
     (Problem.objective problem);
-  { problem; n; n_slack; m; n_real; ncols; ptr; idx; vs; rhs0; cobj; minimize }
+  (* de-boxed copies of the constraint terms, in list order, for the
+     post-solve feasibility verification: same arithmetic as folding
+     the boxed lists, without chasing cons cells on every solve *)
+  let c_vars =
+    Array.map
+      (fun (c : Problem.constr) -> Array.of_list (List.map fst c.terms))
+      constrs
+  in
+  let c_coefs =
+    Array.map
+      (fun (c : Problem.constr) -> Array.of_list (List.map snd c.terms))
+      constrs
+  in
+  { problem; n; n_slack; m; n_real; ncols; ptr; idx; vs; rhs0; cobj; minimize;
+    constrs; c_vars; c_coefs }
 
 (* ---- per-solve state ---------------------------------------------- *)
 
@@ -139,7 +156,7 @@ exception Decline
 
 type state = {
   d : data;
-  opts : Simplex.options;
+  mutable opts : Simplex.options;
   wlo : float array;  (* working bounds per column, shifted space *)
   wup : float array;
   stat : cstat array;
@@ -152,12 +169,44 @@ type state = {
   f : Factor.t;
   w : float array;  (* FTRAN scratch *)
   rho : float array;  (* BTRAN scratch (dual row) *)
-  pivots_left : int ref;
+  dw : float array;  (* devex reference-framework weights per column *)
+  mutable pivots_left : int ref;
 }
 
-(* Refactorise every [refresh_every] eta updates: keeps FTRAN/BTRAN
-   cost bounded and flushes accumulated drift out of [beta]. *)
-let refresh_every = 64
+(* A session keeps one solve state and a factor snapshot alive across
+   warm solves of the same compiled problem, so a sequence of
+   warm-started solves (the branch & bound hot loop) pays no per-solve
+   allocation — and no refactorisation at all when the requested warm
+   basis is the one already snapshotted, as happens for the second
+   child of every branch node.  Single-domain use only. *)
+type session = {
+  sd : data;
+  sstate : state;
+  snap : Factor.snapshot;
+  snap_basis : int array;  (* slot order fixed by the snapshot *)
+  snap_mark : bool array;  (* column membership of snap_basis *)
+  mutable snap_valid : bool;
+}
+
+(* ---- process-wide solver counters (benchmarks / verbose CLI) ---- *)
+
+type counters = { refactorisations : int; ft_updates : int; ft_entries : int }
+
+let refactor_count = Atomic.make 0
+let ft_update_count = Atomic.make 0
+let ft_entry_count = Atomic.make 0
+
+let counters () =
+  {
+    refactorisations = Atomic.get refactor_count;
+    ft_updates = Atomic.get ft_update_count;
+    ft_entries = Atomic.get ft_entry_count;
+  }
+
+let reset_counters () =
+  Atomic.set refactor_count 0;
+  Atomic.set ft_update_count 0;
+  Atomic.set ft_entry_count 0
 
 let col_value st j =
   match st.stat.(j) with
@@ -208,14 +257,12 @@ let rebuild_in_row st =
 (* Full refresh: refactorise the current basis and recompute the
    derived state.  Raises [Decline] when the basis has gone singular. *)
 let refresh st =
+  Atomic.incr refactor_count;
   if not (Factor.factorize st.f ~basis:st.basis ~ptr:st.d.ptr ~idx:st.d.idx ~vs:st.d.vs)
   then raise Decline;
   rebuild_in_row st;
   compute_beta st;
   compute_y st
-
-let maybe_refresh st =
-  if Factor.updates_since_refresh st.f >= refresh_every then refresh st
 
 (* FTRAN of column [j] into the scratch [st.w]. *)
 let ftran_col st j =
@@ -229,18 +276,31 @@ let ftran_col st j =
 (* Replace the basic variable of slot [r] by column [j] whose FTRAN
    image is in [st.w]; [leaving_stat] is where the old variable rests.
    [enter_val] is the new basic value of [j].  Shared by the primal
-   and dual pivots. *)
-let pivot st ~r ~j ~leaving_stat ~enter_val =
+   and dual pivots.  [y_done] means the caller already updated the
+   duals incrementally (devex path); otherwise they are recomputed
+   exactly.  Returns [true] when a stability-triggered refresh ran —
+   after which every derived quantity is exact again. *)
+let pivot st ~r ~j ~leaving_stat ~enter_val ~y_done =
   let old = st.basis.(r) in
   st.stat.(old) <- leaving_stat;
   st.in_row.(old) <- -1;
   st.basis.(r) <- j;
   st.in_row.(j) <- r;
   st.stat.(j) <- Basic;
+  let e0 = Factor.ft_entries st.f in
   Factor.update st.f ~w:st.w ~r;
+  Atomic.incr ft_update_count;
+  let e1 = Factor.ft_entries st.f in
+  if e1 > e0 then ignore (Atomic.fetch_and_add ft_entry_count (e1 - e0));
   st.beta.(r) <- enter_val;
-  compute_y st;
-  maybe_refresh st
+  if Factor.needs_refresh st.f then begin
+    refresh st;
+    true
+  end
+  else begin
+    if not y_done then compute_y st;
+    false
+  end
 
 (* ---- primal simplex with candidate-list pricing ------------------- *)
 
@@ -250,7 +310,16 @@ let cand_cap = 24
 
 let primal st ~allowed =
   let opts = st.opts in
+  let d = st.d in
   let ncols = st.d.ncols in
+  let devex = opts.pricing = Simplex.Devex in
+  (* fresh reference framework per primal phase *)
+  if devex then Array.fill st.dw 0 ncols 1.;
+  (* exact duals invariant: true whenever [st.y] was last set by
+     [compute_y] / [refresh]; devex lets it drift between pivots and
+     restores it before trusting an "optimal" verdict.  A preceding
+     devex dual phase may already have left drift, so start dirty. *)
+  let y_exact = ref (not devex) in
   let degen_run = ref 0 in
   let result = ref None in
   let cand = Array.make cand_cap (-1) in
@@ -260,6 +329,26 @@ let primal st ~allowed =
     | At_lower -> dj < -.opts.cost_tol
     | At_upper -> dj > opts.cost_tol
     | Basic -> false
+  in
+  (* Devex: steepest scaled reduced cost d_j^2 / w_j over the
+     reference-framework weights; one full pricing pass per pivot
+     (the matrix averages a couple of nonzeros per column). *)
+  let devex_scan () =
+    let enter = ref (-1) in
+    let best = ref 0. in
+    for j = 0 to ncols - 1 do
+      if movable st j && allowed j then begin
+        let dj = price st j in
+        if eligible j dj then begin
+          let score = dj *. dj /. st.dw.(j) in
+          if score > !best then begin
+            best := score;
+            enter := j
+          end
+        end
+      end
+    done;
+    !enter
   in
   (* Bland's rule: lowest-index eligible column, exactly as the dense
      loop degrades after [degen_window] non-improving pivots *)
@@ -336,7 +425,29 @@ let primal st ~allowed =
     else begin
       decr st.pivots_left;
       let use_bland = !degen_run > opts.degen_window in
-      let enter = if use_bland then bland_scan () else pick_entering () in
+      let enter =
+        if use_bland then begin
+          (* Bland's rule takes the first eligible sign: it needs
+             exact reduced costs, not drifted ones *)
+          if not !y_exact then begin
+            compute_y st;
+            y_exact := true
+          end;
+          bland_scan ()
+        end
+        else if devex then begin
+          let e = devex_scan () in
+          if e >= 0 || !y_exact then e
+          else begin
+            (* no eligible column under drifted duals: recompute
+               exactly and rescan before declaring optimality *)
+            compute_y st;
+            y_exact := true;
+            devex_scan ()
+          end
+        end
+        else pick_entering ()
+      in
       if enter < 0 then result := Some Optimal_reached
       else begin
         let j = enter in
@@ -405,9 +516,56 @@ let primal st ~allowed =
               (if st.stat.(j) = At_lower then st.wlo.(j) else st.wup.(j))
               +. (sigma *. t)
             in
-            pivot st ~r ~j
-              ~leaving_stat:(if !leave_to_upper then At_upper else At_lower)
-              ~enter_val
+            let leaving_stat = if !leave_to_upper then At_upper else At_lower in
+            if devex && not use_bland then begin
+              (* one BTRAN of e_r yields the pivot row, which feeds
+                 both the reference-framework weight update and the
+                 incremental dual update — replacing the per-pivot
+                 BTRAN of c_B the Dantzig path pays *)
+              Array.fill st.rho 0 d.m 0.;
+              st.rho.(r) <- 1.;
+              Factor.btran st.f st.rho;
+              let arq = ref 0. in
+              for p = d.ptr.(j) to d.ptr.(j + 1) - 1 do
+                arq := !arq +. (st.rho.(d.idx.(p)) *. d.vs.(p))
+              done;
+              (* the row image of the entering column must agree with
+                 its FTRAN image: a Forrest-Tomlin file gone stale
+                 declines to a colder path rather than pivot on noise *)
+              if
+                Float.abs (st.w.(r) -. !arq)
+                > 1e-6 *. (1. +. Float.abs !arq)
+              then raise Decline;
+              let arq = st.w.(r) in
+              let wq = Float.max st.dw.(j) 1. in
+              let old_basic = st.basis.(r) in
+              for j' = 0 to ncols - 1 do
+                if st.stat.(j') <> Basic && j' <> j then begin
+                  let a = ref 0. in
+                  for p = d.ptr.(j') to d.ptr.(j' + 1) - 1 do
+                    a := !a +. (st.rho.(d.idx.(p)) *. d.vs.(p))
+                  done;
+                  if !a <> 0. then begin
+                    let ratio = !a /. arq in
+                    let cand_w = ratio *. ratio *. wq in
+                    if cand_w > st.dw.(j') then st.dw.(j') <- cand_w
+                  end
+                end
+              done;
+              st.dw.(old_basic) <- Float.max (wq /. (arq *. arq)) 1.;
+              let ty = dj /. arq in
+              for i = 0 to d.m - 1 do
+                st.y.(i) <- st.y.(i) +. (ty *. st.rho.(i))
+              done;
+              let refreshed =
+                pivot st ~r ~j ~leaving_stat ~enter_val ~y_done:true
+              in
+              y_exact := refreshed
+            end
+            else begin
+              ignore (pivot st ~r ~j ~leaving_stat ~enter_val ~y_done:false);
+              y_exact := true
+            end
           end
         end
         else result := Some Unbounded_ray
@@ -427,6 +585,7 @@ type dual_step =
 let dual st =
   let opts = st.opts in
   let d = st.d in
+  let devex = opts.pricing = Simplex.Devex in
   let result = ref None in
   while !result = None do
     if !(st.pivots_left) <= 0 then result := Some Dual_budget
@@ -460,6 +619,7 @@ let dual st =
         Factor.btran st.f st.rho;
         let enter = ref (-1) in
         let enter_alpha = ref 0. in
+        let enter_dc = ref 0. in
         let best_ratio = ref infinity in
         let best_mag = ref 0. in
         let marginal = ref false in
@@ -496,7 +656,8 @@ let dual st =
                   best_ratio := ratio;
                   best_mag := mag;
                   enter := j;
-                  enter_alpha := a
+                  enter_alpha := a;
+                  enter_dc := dc
                 end
               end
             end
@@ -525,9 +686,19 @@ let dual st =
             (match st.stat.(j) with At_upper -> st.wup.(j) | _ -> st.wlo.(j))
             +. delta
           in
-          pivot st ~r ~j
-            ~leaving_stat:(if above then At_upper else At_lower)
-            ~enter_val
+          let leaving_stat = if above then At_upper else At_lower in
+          if devex then begin
+            (* [st.rho] still holds B^-T e_r: update the duals
+               incrementally instead of paying a BTRAN of c_B.  Any
+               drift only shifts which dual pivot is preferred; the
+               endpoint is re-verified by the primal cleanup pass. *)
+            let ty = !enter_dc /. st.w.(r) in
+            for i = 0 to d.m - 1 do
+              st.y.(i) <- st.y.(i) +. (ty *. st.rho.(i))
+            done;
+            ignore (pivot st ~r ~j ~leaving_stat ~enter_val ~y_done:true)
+          end
+          else ignore (pivot st ~r ~j ~leaving_stat ~enter_val ~y_done:false)
         end
       end
     end
@@ -539,8 +710,47 @@ let dual st =
 let fallbacks = Atomic.make 0
 let dense_fallbacks () = Atomic.get fallbacks
 
-let solve_warm ?(options = Simplex.default_options) ?warm ?lo ?hi data =
+let make_state d =
+  {
+    d;
+    opts = Simplex.default_options;
+    wlo = Array.make d.ncols 0.;
+    wup = Array.make d.ncols infinity;
+    stat = Array.make d.ncols At_lower;
+    basis = Array.init d.m (fun i -> d.n_real + i);
+    in_row = Array.make d.ncols (-1);
+    beta = Array.make d.m 0.;
+    y = Array.make d.m 0.;
+    cost = Array.make d.ncols 0.;
+    rhs = Array.make d.m 0.;
+    f = Factor.create ~m:d.m;
+    w = Array.make d.m 0.;
+    rho = Array.make d.m 0.;
+    dw = Array.make d.ncols 1.;
+    pivots_left = ref 0;
+  }
+
+let session d =
+  {
+    sd = d;
+    sstate = make_state d;
+    snap = Factor.snapshot_create ~m:d.m;
+    snap_basis = Array.make (Int.max 1 d.m) 0;
+    snap_mark = Array.make d.ncols false;
+    snap_valid = false;
+  }
+
+let solve_warm ?(options = Simplex.default_options) ?warm ?lo ?hi ?session data
+    =
   let d = data in
+  let ses =
+    match session with
+    | Some s ->
+        if s.sd != d then
+          invalid_arg "Sparse.solve_warm: session built for another problem";
+        Some s
+    | None -> None
+  in
   let n = d.n in
   let vars = Problem.vars d.problem in
   let lo =
@@ -604,6 +814,7 @@ let solve_warm ?(options = Simplex.default_options) ?warm ?lo ?hi data =
         f = Factor.create ~m:d.m;
         w = Array.make d.m 0.;
         rho = Array.make d.m 0.;
+        dw = Array.make d.ncols 1.;
         pivots_left;
       }
     in
@@ -611,26 +822,34 @@ let solve_warm ?(options = Simplex.default_options) ?warm ?lo ?hi data =
       Array.fill st.cost 0 d.ncols 0.;
       Array.blit d.cobj 0 st.cost 0 n
     in
+    (* same check as folding [Problem.constrs] term lists — identical
+       operations in identical order, so the verdict is bit-identical
+       — but over the de-boxed term arrays and with column values read
+       on demand, so it allocates nothing *)
     let violated st =
-      let x_now = Array.init n (fun j -> lo.(j) +. col_value st j) in
-      Array.exists
-        (fun (c : Problem.constr) ->
-          let lhs =
-            List.fold_left
-              (fun acc (v, coef) -> acc +. (coef *. x_now.(v)))
-              0. c.terms
-          in
-          let viol =
-            match c.sense with
-            | Problem.Le -> lhs -. c.rhs
-            | Problem.Ge -> c.rhs -. lhs
-            | Problem.Eq -> Float.abs (lhs -. c.rhs)
-          in
-          let tol =
-            options.feas_tol *. 100. *. (1. +. (1e-6 *. Float.abs c.rhs))
-          in
-          viol > tol)
-        (Problem.constrs d.problem)
+      let bad = ref false in
+      let i = ref 0 in
+      while (not !bad) && !i < d.m do
+        let c = d.constrs.(!i) in
+        let cv = d.c_vars.(!i) and cc = d.c_coefs.(!i) in
+        let lhs = ref 0. in
+        for t = 0 to Array.length cv - 1 do
+          let v = cv.(t) in
+          lhs := !lhs +. (cc.(t) *. (lo.(v) +. col_value st v))
+        done;
+        let viol =
+          match c.sense with
+          | Problem.Le -> !lhs -. c.rhs
+          | Problem.Ge -> c.rhs -. !lhs
+          | Problem.Eq -> Float.abs (!lhs -. c.rhs)
+        in
+        let tol =
+          options.feas_tol *. 100. *. (1. +. (1e-6 *. Float.abs c.rhs))
+        in
+        if viol > tol then bad := true;
+        incr i
+      done;
+      !bad
     in
     let extract st =
       let x = Array.make n 0. in
@@ -673,7 +892,27 @@ let solve_warm ?(options = Simplex.default_options) ?warm ?lo ?hi data =
     let try_warm b =
       if not (Basis.compatible b ~rows:d.m ~cols:d.ncols) then None
       else begin
-        let st = fresh () in
+        let st =
+          match ses with
+          | Some s ->
+              (* reinitialise the pooled state in place: no per-solve
+                 allocation on the branch & bound hot path *)
+              let st = s.sstate in
+              st.opts <- options;
+              st.pivots_left <- pivots_left;
+              Array.blit rhs 0 st.rhs 0 d.m;
+              for j = 0 to n - 1 do
+                st.wlo.(j) <- 0.;
+                st.wup.(j) <- Float.max 0. (hi.(j) -. lo.(j))
+              done;
+              for j = n to d.ncols - 1 do
+                st.wlo.(j) <- 0.;
+                st.wup.(j) <- (if j >= d.n_real then 0. else infinity)
+              done;
+              Array.fill st.dw 0 d.ncols 1.;
+              st
+          | None -> fresh ()
+        in
         for j = 0 to d.ncols - 1 do
           st.stat.(j) <-
             (match b.Basis.stat.(j) with
@@ -683,7 +922,44 @@ let solve_warm ?(options = Simplex.default_options) ?warm ?lo ?hi data =
         Array.blit b.Basis.rows 0 st.basis 0 d.m;
         Array.iter (fun j -> st.stat.(j) <- Basic) st.basis;
         set_phase2_cost st;
-        match refresh st with
+        (* With a session, an identical warm basis (as a set) can skip
+           the refactorisation entirely: restoring the snapshot replays
+           the byte-identical factorisation the refresh would rebuild.
+           Bounds may differ — the factor depends only on the matrix
+           columns in the basis. *)
+        let hit =
+          match ses with
+          | Some s when s.snap_valid ->
+              let ok = ref true in
+              for r = 0 to d.m - 1 do
+                if not s.snap_mark.(st.basis.(r)) then ok := false
+              done;
+              !ok
+          | _ -> false
+        in
+        match
+          if hit then begin
+            let s = Option.get ses in
+            Factor.restore s.snap st.f;
+            Array.blit s.snap_basis 0 st.basis 0 d.m;
+            rebuild_in_row st;
+            compute_beta st;
+            compute_y st
+          end
+          else begin
+            refresh st;
+            match ses with
+            | Some s ->
+                Factor.save st.f s.snap;
+                Array.blit st.basis 0 s.snap_basis 0 d.m;
+                Array.fill s.snap_mark 0 d.ncols false;
+                for r = 0 to d.m - 1 do
+                  s.snap_mark.(st.basis.(r)) <- true
+                done;
+                s.snap_valid <- true
+            | None -> ()
+          end
+        with
         | () ->
             warm_used := true;
             reoptimise st ~on_fallback:(fun () -> warm_used := false)
@@ -745,8 +1021,9 @@ let solve_warm ?(options = Simplex.default_options) ?warm ?lo ?hi data =
                   if Float.abs st.w.(r) > 1e-9 then
                     (* degenerate pivot: the artificial sits at zero,
                        the entering column stays at its resting value *)
-                    pivot st ~r ~j ~leaving_stat:At_lower
-                      ~enter_val:(col_value st j)
+                    ignore
+                      (pivot st ~r ~j ~leaving_stat:At_lower
+                         ~enter_val:(col_value st j) ~y_done:false)
                 end
               end
             done;

@@ -568,6 +568,249 @@ let prop_sparse_matches_dense =
           status_agrees seed "warm" sw.Simplex.status dw.Simplex.status
       | _ -> true)
 
+(* The pricing rules explore different pivot sequences but must land
+   on the same optimum: devex (the default) against the candidate-list
+   Dantzig rule, cold and warm-started from the devex basis. *)
+let prop_devex_matches_dantzig =
+  QCheck.Test.make ~count:1000 ~name:"devex and dantzig pricing agree"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let p = Check.Gen.lp rng ~size:(3 + (seed mod 26)) in
+      let data = Sparse.of_problem p in
+      let dv = { Simplex.default_options with pricing = Simplex.Devex } in
+      let dz = { Simplex.default_options with pricing = Simplex.Dantzig } in
+      let a = Sparse.solve_warm ~options:dv data in
+      let b = Sparse.solve_warm ~options:dz data in
+      status_agrees seed "dantzig-cold" b.Simplex.status a.Simplex.status
+      &&
+      match a.Simplex.basis with
+      | Some warm when Solution.is_optimal a.Simplex.status ->
+          let w = Sparse.solve_warm ~options:dz ~warm data in
+          status_agrees seed "dantzig-warm" w.Simplex.status a.Simplex.status
+      | _ -> true)
+
+(* Forrest–Tomlin updates against a fresh refactorisation of the same
+   basis: random sparse CSC with an identity head (so a nonsingular
+   start exists), a run of random column replacements through
+   {!Factor.update}, then FTRAN/BTRAN compared against a from-scratch
+   {!Factor.factorize} of the final basis.  The two factors may pivot
+   the same columns at different rows, so FTRAN coefficients are
+   compared per column and BTRAN inputs are built through each
+   factor's own slot convention. *)
+let test_ft_update_vs_refresh () =
+  let rng = Prng.create 42 in
+  for _trial = 1 to 400 do
+    let m = 3 + Prng.int rng 20 in
+    let extra = 2 + Prng.int rng 20 in
+    let ncols = m + extra in
+    let cols =
+      Array.init ncols (fun j ->
+          if j < m then [ (j, 1.) ]
+          else begin
+            let nnz = 1 + Prng.int rng 4 in
+            let seen = Hashtbl.create 4 in
+            let l = ref [] in
+            for _ = 1 to nnz do
+              let i = Prng.int rng m in
+              if not (Hashtbl.mem seen i) then begin
+                Hashtbl.add seen i ();
+                l := (i, Prng.uniform rng (-2.) 2.) :: !l
+              end
+            done;
+            List.sort compare !l
+          end)
+    in
+    let nnz = Array.fold_left (fun a l -> a + List.length l) 0 cols in
+    let ptr = Array.make (ncols + 1) 0 in
+    for j = 0 to ncols - 1 do
+      ptr.(j + 1) <- ptr.(j) + List.length cols.(j)
+    done;
+    let idx = Array.make (Int.max 1 nnz) 0 in
+    let vs = Array.make (Int.max 1 nnz) 0. in
+    Array.iteri
+      (fun j l ->
+        List.iteri
+          (fun k (i, v) ->
+            idx.(ptr.(j) + k) <- i;
+            vs.(ptr.(j) + k) <- v)
+          l)
+      cols;
+    let basis = Array.init m (fun i -> i) in
+    let f = Factor.create ~m in
+    Alcotest.(check bool)
+      "identity head factorises" true
+      (Factor.factorize f ~basis ~ptr ~idx ~vs);
+    let in_basis = Array.make ncols false in
+    Array.iter (fun j -> in_basis.(j) <- true) basis;
+    let n_updates = 1 + Prng.int rng 30 in
+    let w = Array.make m 0. in
+    (try
+       for _ = 1 to n_updates do
+         let q = ref (Prng.int rng ncols) in
+         let guard = ref 0 in
+         while in_basis.(!q) && !guard < 100 do
+           q := Prng.int rng ncols;
+           incr guard
+         done;
+         if not in_basis.(!q) then begin
+           let q = !q in
+           Array.fill w 0 m 0.;
+           for p = ptr.(q) to ptr.(q + 1) - 1 do
+             w.(idx.(p)) <- vs.(p)
+           done;
+           Factor.ftran f w;
+           (* largest |w| row as pivot: always numerically acceptable *)
+           let r = ref (-1) in
+           let mag = ref 1e-6 in
+           for i = 0 to m - 1 do
+             if Float.abs w.(i) > !mag then begin
+               mag := Float.abs w.(i);
+               r := i
+             end
+           done;
+           if !r >= 0 then begin
+             Factor.update f ~w ~r:!r;
+             in_basis.(basis.(!r)) <- false;
+             basis.(!r) <- q;
+             in_basis.(q) <- true;
+             if Factor.needs_refresh f then raise Exit
+           end
+         end
+       done
+     with Exit -> ());
+    let basis2 = Array.copy basis in
+    let g = Factor.create ~m in
+    if Factor.factorize g ~basis:basis2 ~ptr ~idx ~vs then begin
+      let b = Array.init m (fun _ -> Prng.uniform rng (-1.) 1.) in
+      let x1 = Array.copy b in
+      let x2 = Array.copy b in
+      Factor.ftran f x1;
+      Factor.ftran g x2;
+      let coef1 = Hashtbl.create m and coef2 = Hashtbl.create m in
+      for r = 0 to m - 1 do
+        Hashtbl.replace coef1 basis.(r) x1.(r);
+        Hashtbl.replace coef2 basis2.(r) x2.(r)
+      done;
+      Hashtbl.iter
+        (fun c v ->
+          let v2 = try Hashtbl.find coef2 c with Not_found -> nan in
+          if Float.abs (v -. v2) > 1e-6 || Float.is_nan v2 then
+            Alcotest.failf
+              "m=%d: FTRAN coefficient of column %d drifted: %.9g vs fresh \
+               %.9g"
+              m c v v2)
+        coef1;
+      let cost = Array.init ncols (fun _ -> Prng.uniform rng (-1.) 1.) in
+      let y1 = Array.init m (fun r -> cost.(basis.(r))) in
+      let y2 = Array.init m (fun r -> cost.(basis2.(r))) in
+      Factor.btran f y1;
+      Factor.btran g y2;
+      for i = 0 to m - 1 do
+        if Float.abs (y1.(i) -. y2.(i)) > 1e-6 then
+          Alcotest.failf "m=%d: BTRAN row %d drifted: %.9g vs fresh %.9g" m i
+            y1.(i) y2.(i)
+      done
+    end
+  done
+
+(* A factor snapshot must replay the identical factorisation: restore
+   into a workspace whose state was clobbered by other work, and both
+   FTRAN and BTRAN must agree exactly with the factor that was saved. *)
+let test_factor_snapshot_roundtrip () =
+  let m = 12 in
+  let ncols = 2 * m in
+  (* identity head, then diagonally dominant columns: any mix of the
+     two factorises *)
+  let cols =
+    Array.init ncols (fun j ->
+        if j < m then [ (j, 1.) ]
+        else
+          List.sort compare [ (j - m, 2.); ((j - m + 1) mod m, 0.5) ])
+  in
+  let nnz = Array.fold_left (fun a l -> a + List.length l) 0 cols in
+  let ptr = Array.make (ncols + 1) 0 in
+  for j = 0 to ncols - 1 do
+    ptr.(j + 1) <- ptr.(j) + List.length cols.(j)
+  done;
+  let idx = Array.make nnz 0 and vs = Array.make nnz 0. in
+  Array.iteri
+    (fun j l ->
+      List.iteri
+        (fun k (i, v) ->
+          idx.(ptr.(j) + k) <- i;
+          vs.(ptr.(j) + k) <- v)
+        l)
+    cols;
+  let basis = Array.init m (fun i -> if i mod 2 = 0 then i else m + i) in
+  let f = Factor.create ~m in
+  Alcotest.(check bool) "factorises" true (Factor.factorize f ~basis ~ptr ~idx ~vs);
+  let snap = Factor.snapshot_create ~m in
+  Factor.save f snap;
+  let probe = Array.init m (fun i -> Float.of_int (i + 1) /. 7.) in
+  let want_f = Array.copy probe in
+  Factor.ftran f want_f;
+  let want_b = Array.copy probe in
+  Factor.btran f want_b;
+  (* clobber the workspace with a different basis, then restore *)
+  let other = Array.init m (fun i -> i) in
+  Alcotest.(check bool) "clobber factorises" true
+    (Factor.factorize f ~basis:other ~ptr ~idx ~vs);
+  Factor.restore snap f;
+  let got_f = Array.copy probe in
+  Factor.ftran f got_f;
+  let got_b = Array.copy probe in
+  Factor.btran f got_b;
+  for i = 0 to m - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "ftran slot %d identical" i)
+      true
+      (Float.equal want_f.(i) got_f.(i));
+    Alcotest.(check bool)
+      (Printf.sprintf "btran slot %d identical" i)
+      true
+      (Float.equal want_b.(i) got_b.(i))
+  done
+
+(* Sessions are a pure performance vehicle: a sequence of warm
+   bound-tightened solves through one session must return bit-identical
+   results to fresh per-solve state. *)
+let test_sparse_session_identical () =
+  let rng = Prng.create 11 in
+  for case = 1 to 40 do
+    let p = Check.Gen.lp rng ~size:(4 + (case mod 20)) in
+    let data = Sparse.of_problem p in
+    let ses = Sparse.session data in
+    let r0 = Sparse.solve_warm data in
+    match (r0.Simplex.status, r0.Simplex.basis) with
+    | Solution.Optimal _, Some warm ->
+        let vars = Problem.vars p in
+        let n = Array.length vars in
+        let lo = Array.map (fun (v : Problem.var_info) -> v.lo) vars in
+        let hi = Array.map (fun (v : Problem.var_info) -> v.hi) vars in
+        for _round = 1 to 6 do
+          let v = Prng.int rng n in
+          if Prng.bool rng 0.5 then
+            hi.(v) <- Float.max lo.(v) (lo.(v) +. ((hi.(v) -. lo.(v)) /. 2.))
+          else lo.(v) <- lo.(v) +. Float.min 2. ((hi.(v) -. lo.(v)) /. 2.);
+          let plain = Sparse.solve_warm ~warm ~lo ~hi data in
+          let pooled = Sparse.solve_warm ~warm ~lo ~hi ~session:ses data in
+          (match (plain.Simplex.status, pooled.Simplex.status) with
+          | Solution.Optimal a, Solution.Optimal b ->
+              if not (Float.equal a.objective b.objective && a.x = b.x) then
+                Alcotest.failf
+                  "case %d: session solve diverged: %.17g vs %.17g" case
+                  a.objective b.objective
+          | a, b ->
+              if a <> b then
+                Alcotest.failf "case %d: session status diverged" case);
+          Alcotest.(check bool)
+            "same warm acceptance" plain.Simplex.warm_used
+            pooled.Simplex.warm_used
+        done
+    | _ -> ()
+  done
+
 let test_sparse_edge_cases () =
   (* equality rows, negative bounds, duplicate terms, an infeasible
      system, and an unbounded ray — the dense suite's corner cases
@@ -746,6 +989,90 @@ let test_parallel_bb_knapsack () =
       (4, Branch_bound.Auto);
     ]
 
+(* ---- delta-encoded node bounds ---- *)
+
+(* Replaying a root-to-leaf delta chain must agree with eagerly
+   maintained bound arrays after every tightening, for random chains
+   that revisit variables (later deltas shadow earlier ones). *)
+let test_delta_bounds_roundtrip () =
+  let rng = Prng.create 23 in
+  for _case = 1 to 200 do
+    let n = 2 + Prng.int rng 10 in
+    let lo0 = Array.init n (fun _ -> Float.of_int (Prng.int rng 3)) in
+    let hi0 =
+      Array.init n (fun i -> lo0.(i) +. Float.of_int (2 + Prng.int rng 6))
+    in
+    let eager_lo = Array.copy lo0 and eager_hi = Array.copy hi0 in
+    let deltas = ref [] in
+    let depth = Prng.int rng 12 in
+    for _ = 1 to depth do
+      let v = Prng.int rng n in
+      let bup = Prng.bool rng 0.5 in
+      let bval =
+        if bup then Float.min eager_hi.(v) (eager_lo.(v) +. 1.)
+        else Float.max eager_lo.(v) (eager_hi.(v) -. 1.)
+      in
+      if bup then eager_lo.(v) <- bval else eager_hi.(v) <- bval;
+      (* chains are stored leaf-first and replayed root-first *)
+      deltas := { Branch_bound.bvar = v; bup; bval } :: !deltas
+    done;
+    let lo, hi = Branch_bound.materialise ~lo0 ~hi0 (List.rev !deltas) in
+    if not (lo = eager_lo && hi = eager_hi) then
+      Alcotest.failf "delta chain of depth %d does not round-trip" depth
+  done;
+  (* an empty chain must reproduce the root bounds and not alias them *)
+  let lo0 = [| 0.; 1. |] and hi0 = [| 5.; 6. |] in
+  let lo, hi = Branch_bound.materialise ~lo0 ~hi0 [] in
+  Alcotest.(check bool) "empty chain equals root" true (lo = lo0 && hi = hi0);
+  lo.(0) <- 99.;
+  hi.(0) <- 99.;
+  Alcotest.(check bool) "materialised arrays are copies" true
+    (lo0.(0) = 0. && hi0.(0) = 5.)
+
+(* ---- work-stealing schedule ---- *)
+
+(* The steal schedule explores in timing-dependent order but must land
+   on the same optimum as the deterministic wave schedule, for any
+   worker count and either LP engine. *)
+let prop_steal_bb_same_optimum =
+  QCheck.Test.make ~count:120
+    ~name:"work-stealing B&B optimum matches wave schedule"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let p = Check.Gen.ilp rng ~size:(3 + (seed mod 10)) in
+      let base, _ = solve_with ~workers:1 ~solver:Branch_bound.Dense p in
+      List.for_all
+        (fun (workers, solver, tag) ->
+          let options =
+            {
+              Branch_bound.default_options with
+              Branch_bound.schedule = Branch_bound.Steal;
+              workers;
+              solver;
+            }
+          in
+          let st, _ = Branch_bound.solve ~options p in
+          match (st, base) with
+          | Solution.Optimal a, Solution.Optimal b ->
+              let tol = 1e-6 *. Float.max 1. (Float.abs b.objective) in
+              if Float.abs (a.objective -. b.objective) > tol then
+                QCheck.Test.fail_reportf "seed %d: %s=%.9g base=%.9g" seed tag
+                  a.objective b.objective
+              else if Problem.constraint_violation p a.x > 1e-5 then
+                QCheck.Test.fail_reportf "seed %d: %s infeasible" seed tag
+              else true
+          | Solution.Infeasible, Solution.Infeasible -> true
+          | Solution.Iteration_limit, _ | _, Solution.Iteration_limit -> true
+          | a, b ->
+              QCheck.Test.fail_reportf "seed %d: %s=%a base=%a" seed tag
+                Solution.pp_status a Solution.pp_status b)
+        [
+          (1, Branch_bound.Dense, "steal-dense-w1");
+          (2, Branch_bound.Dense, "steal-dense-w2");
+          (4, Branch_bound.Sparse_revised, "steal-sparse-w4");
+        ])
+
 (* ---- pqueue ---- *)
 
 let test_pqueue_order () =
@@ -824,13 +1151,22 @@ let () =
         [
           tc "edge cases" test_sparse_edge_cases;
           tc "basis round-trip" test_sparse_basis_roundtrip;
+          tc "session bit-identical" test_sparse_session_identical;
           QCheck_alcotest.to_alcotest prop_sparse_matches_dense;
+          QCheck_alcotest.to_alcotest prop_devex_matches_dantzig;
+        ] );
+      ( "factor",
+        [
+          tc "FT updates vs fresh refactorise" test_ft_update_vs_refresh;
+          tc "snapshot round-trip" test_factor_snapshot_roundtrip;
         ] );
       ( "parallel",
         [
           tc "knapsack all engines" test_parallel_bb_knapsack;
           tc "deterministic" test_parallel_bb_deterministic;
+          tc "delta bounds round-trip" test_delta_bounds_roundtrip;
           QCheck_alcotest.to_alcotest prop_parallel_bb_same_optimum;
+          QCheck_alcotest.to_alcotest prop_steal_bb_same_optimum;
         ] );
       ( "pqueue",
         [ tc "heap order" test_pqueue_order; tc "empty" test_pqueue_empty ] );
