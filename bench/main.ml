@@ -23,11 +23,13 @@ let experiments =
     ("smoke", fun () -> Lp_micro.smoke ());
     ("faults", fun () -> Faults.run ());
     ("placement", fun () -> Placement_bench.run ());
+    ("service", fun () -> Service_bench.run ());
+    ("service-smoke", fun () -> Service_bench.smoke ());
   ]
 
 let default_order =
   [ "fig3"; "fig5a"; "fig5b"; "fig6"; "fig7"; "fig8"; "fig9"; "headline";
-    "ablations"; "micro"; "lp"; "faults"; "placement" ]
+    "ablations"; "micro"; "lp"; "faults"; "placement"; "service" ]
 
 let () =
   match Array.to_list Sys.argv with

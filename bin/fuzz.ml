@@ -1,4 +1,4 @@
-(* Randomized correctness fuzzing: seeded generators + the five
+(* Randomized correctness fuzzing: seeded generators + the seven
    oracles of lib/check (DESIGN.md §11).  Exit status 0 iff every
    case passed. *)
 
@@ -63,8 +63,9 @@ let oracles =
     & info [ "oracle" ] ~docv:"NAME"
         ~doc:
           "Oracle to run (repeatable): lp-certificate, ilp-brute, \
-           cut-enumeration, split-equivalence, degradation.  Default: all \
-           five.")
+           cut-enumeration, split-equivalence, degradation, \
+           placement-equivalence, service-equivalence.  Default: all \
+           seven.")
 
 let no_shrink =
   Arg.(

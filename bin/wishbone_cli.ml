@@ -6,6 +6,7 @@
      wishbone partition -a eeg -p tmote --mode permissive --rate 0.5
      wishbone sweep    -a speech -p tmote --from 0.01 --to 0.2 --steps 10
      wishbone deploy   -a speech -p tmote --nodes 20 --cut 6
+     wishbone serve    --queries fleet.txt --shards 2 --repeat 2
      wishbone netprofile --nodes 20 --target 0.9 *)
 
 open Cmdliner
@@ -791,6 +792,232 @@ let deploy_cmd =
       $ faults_arg $ burst_loss_arg $ crash_rate_arg $ reliable_arg
       $ adaptive_arg $ rate_arg $ seed_arg $ tiers_arg)
 
+(* ---- serve: the fleet placement service over a query file ---- *)
+
+let serve_cmd =
+  let queries_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "queries" ] ~docv:"FILE"
+          ~doc:
+            "Newline-delimited query file.  Each line is $(b,APP CHAIN \
+             REQUEST [cpu=F] [net=F]) where APP is \
+             speech|eeg1|eeg14|eeg22|synthetic:SEED[:NOPS], CHAIN is a \
+             comma-separated platform chain (node-most first; $(b,-) for \
+             synthetic specs, which carry their own budgets), REQUEST is \
+             $(b,rate X) or $(b,search), and cpu=/net= override the node \
+             CPU and radio budgets.  Blank lines and $(b,#) comments are \
+             skipped.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Solver domains per batch.  Responses are identical for every \
+             shard count; only wall-clock changes.")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "cache" ] ~docv:"N" ~doc:"LRU cache capacity in entries.")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Serve the batch N times through the same service; later \
+             passes replay from the warm cache.")
+  in
+  let run queries_file shards cache repeat mode duration =
+    let fail line msg =
+      Printf.eprintf "serve: line %d: %s\n" line msg;
+      exit 1
+    in
+    (* profiling dominates query construction, so raw traces are
+       cached per app token and re-costed per platform *)
+    let profiles : (string, Dataflow.Graph.t * Profiler.Profile.raw) Hashtbl.t =
+      Hashtbl.create 4
+    in
+    let profile_app line token =
+      match Hashtbl.find_opt profiles token with
+      | Some gr -> gr
+      | None ->
+          let build () =
+            match token with
+            | "speech" ->
+                let t = Apps.Speech.build () in
+                (t.Apps.Speech.graph, Apps.Speech.profile ~duration t)
+            | "eeg1" ->
+                let t = Apps.Eeg.single_channel () in
+                (t.Apps.Eeg.graph, Apps.Eeg.profile ~duration t)
+            | "eeg14" ->
+                let t = Apps.Eeg.build ~n_channels:14 () in
+                (t.Apps.Eeg.graph, Apps.Eeg.profile ~duration t)
+            | "eeg22" ->
+                let t = Apps.Eeg.build ~n_channels:22 () in
+                (t.Apps.Eeg.graph, Apps.Eeg.profile ~duration t)
+            | _ -> fail line (Printf.sprintf "unknown app %S" token)
+          in
+          let gr = build () in
+          Hashtbl.add profiles token gr;
+          gr
+    in
+    let synthetic_spec line token =
+      match String.split_on_char ':' token with
+      | [ _; seed ] -> (
+          match int_of_string_opt seed with
+          | Some seed -> Apps.Synthetic.random_spec ~seed ~mode ()
+          | None -> fail line (Printf.sprintf "bad synthetic seed %S" seed))
+      | [ _; seed; n_ops ] -> (
+          match (int_of_string_opt seed, int_of_string_opt n_ops) with
+          | Some seed, Some n_ops ->
+              Apps.Synthetic.random_spec ~seed ~n_ops ~mode ()
+          | _ -> fail line (Printf.sprintf "bad synthetic token %S" token))
+      | _ ->
+          fail line
+            (Printf.sprintf "bad synthetic token %S (synthetic:SEED[:NOPS])"
+               token)
+    in
+    let parse_overrides line (spec : Wishbone.Spec.t) tokens =
+      List.fold_left
+        (fun (spec : Wishbone.Spec.t) tok ->
+          match String.split_on_char '=' tok with
+          | [ "cpu"; v ] -> (
+              match float_of_string_opt v with
+              | Some f -> { spec with Wishbone.Spec.cpu_budget = f }
+              | None -> fail line (Printf.sprintf "bad override %S" tok))
+          | [ "net"; v ] -> (
+              match float_of_string_opt v with
+              | Some f -> { spec with Wishbone.Spec.net_budget = f }
+              | None -> fail line (Printf.sprintf "bad override %S" tok))
+          | _ -> fail line (Printf.sprintf "unknown override %S" tok))
+        spec tokens
+    in
+    let parse_line lineno text =
+      let tokens =
+        String.split_on_char ' ' text
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun t -> t <> "")
+      in
+      match tokens with
+      | [] -> None
+      | _ when String.length (List.hd tokens) > 0
+               && (List.hd tokens).[0] = '#' -> None
+      | app :: chain :: rest ->
+          let request, overrides =
+            match rest with
+            | "search" :: o -> (Wishbone.Service.Search, o)
+            | "rate" :: x :: o -> (
+                match float_of_string_opt x with
+                | Some r -> (Wishbone.Service.Rate r, o)
+                | None -> fail lineno (Printf.sprintf "bad rate %S" x))
+            | _ -> fail lineno "expected `rate X' or `search'"
+          in
+          let placement =
+            if String.length app >= 9 && String.sub app 0 9 = "synthetic"
+            then begin
+              if chain <> "-" then
+                fail lineno
+                  "synthetic specs carry their own budgets; use `-' for \
+                   the chain";
+              let spec = synthetic_spec lineno app in
+              Wishbone.Placement.of_spec (parse_overrides lineno spec overrides)
+            end
+            else begin
+              let _, raw = profile_app lineno app in
+              let chain =
+                match parse_chain chain with
+                | Ok c -> c
+                | Error m -> fail lineno m
+              in
+              let node_platform = List.hd chain in
+              match Wishbone.Spec.of_profile ~mode ~node_platform raw with
+              | Error m -> fail lineno m
+              | Ok spec -> (
+                  let spec = parse_overrides lineno spec overrides in
+                  match List.tl chain with
+                  | [] -> Wishbone.Placement.of_spec spec
+                  | middles -> placement_of_chain spec raw middles)
+            end
+          in
+          Some (text, { Wishbone.Service.placement; request })
+      | _ -> fail lineno "expected `APP CHAIN REQUEST'"
+    in
+    let lines =
+      let ic = open_in queries_file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go acc n =
+            match input_line ic with
+            | line -> go ((n, line) :: acc) (n + 1)
+            | exception End_of_file -> List.rev acc
+          in
+          go [] 1)
+    in
+    let labelled =
+      List.filter_map (fun (n, l) -> parse_line n l) lines |> Array.of_list
+    in
+    if Array.length labelled = 0 then begin
+      Printf.eprintf "serve: %s: no queries\n" queries_file;
+      exit 1
+    end;
+    let queries = Array.map snd labelled in
+    let svc = Wishbone.Service.create ~capacity:cache () in
+    for pass = 1 to repeat do
+      let t0 = Unix.gettimeofday () in
+      let responses = Wishbone.Service.run_batch ~shards svc queries in
+      let dt = Unix.gettimeofday () -. t0 in
+      Array.iteri
+        (fun i (r : Wishbone.Service.response) ->
+          let label, _ = labelled.(i) in
+          Printf.printf "[%d.%02d] %-9s %8.2f ms  %s\n    %s\n" pass i
+            (match r.Wishbone.Service.served with
+            | Wishbone.Service.Hit -> "hit"
+            | Wishbone.Service.Warm_start -> "warm"
+            | Wishbone.Service.Cold -> "cold")
+            r.Wishbone.Service.latency_ms
+            (match r.Wishbone.Service.answer with
+            | Wishbone.Service.Placed { rate; report } ->
+                let node_ops =
+                  Array.fold_left
+                    (fun acc t -> if t = 0 then acc + 1 else acc)
+                    0 report.Wishbone.Placement.tier_of
+                in
+                Printf.sprintf
+                  "placed: rate x%.4f, objective %.6g, %d ops on node \
+                   (digest %s)"
+                  rate report.Wishbone.Placement.objective node_ops
+                  (String.sub r.Wishbone.Service.digest 0 12)
+            | Wishbone.Service.Infeasible -> "infeasible"
+            | Wishbone.Service.Failed m -> "failed: " ^ m)
+            label)
+        responses;
+      Printf.printf "pass %d: %d queries in %.1f ms (%.1f queries/s)\n" pass
+        (Array.length queries) (1000. *. dt)
+        (Float.of_int (Array.length queries) /. Float.max 1e-9 dt)
+    done;
+    let c = Wishbone.Service.counters svc in
+    Printf.printf
+      "counters: %d queries, %d hits, %d misses (%d warm starts), %d \
+       inserts, %d evictions, %d resident\n"
+      c.Wishbone.Service.queries c.Wishbone.Service.hits
+      c.Wishbone.Service.misses c.Wishbone.Service.warm_starts
+      c.Wishbone.Service.inserts c.Wishbone.Service.evictions
+      c.Wishbone.Service.resident
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a batch of placement queries through the sharded, cached \
+          fleet placement service (DESIGN.md §16).")
+    Term.(
+      const run $ queries_arg $ shards_arg $ cache_arg $ repeat_arg $ mode_arg
+      $ duration_arg)
+
 let netprofile_cmd =
   let nodes_arg =
     Arg.(value & opt int 1 & info [ "nodes" ] ~docv:"N" ~doc:"Network size.")
@@ -824,5 +1051,5 @@ let () =
        (Cmd.group info
           [
             platforms_cmd; profile_cmd; partition_cmd; sweep_cmd; deploy_cmd;
-            netprofile_cmd;
+            serve_cmd; netprofile_cmd;
           ]))

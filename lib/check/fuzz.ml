@@ -5,10 +5,11 @@ type oracle =
   | Split_equivalence
   | Degradation
   | Placement_equivalence
+  | Service_equivalence
 
 let all_oracles =
   [ Lp_certificate; Ilp_brute; Cut_enumeration; Split_equivalence;
-    Degradation; Placement_equivalence ]
+    Degradation; Placement_equivalence; Service_equivalence ]
 
 let oracle_name = function
   | Lp_certificate -> "lp-certificate"
@@ -17,11 +18,13 @@ let oracle_name = function
   | Split_equivalence -> "split-equivalence"
   | Degradation -> "degradation"
   | Placement_equivalence -> "placement-equivalence"
+  | Service_equivalence -> "service-equivalence"
 
 let oracle_of_name s =
   let s = String.lowercase_ascii (String.trim s) in
-  (* "placement" is accepted as a short alias *)
+  (* "placement" and "service" are accepted as short aliases *)
   if s = "placement" then Some Placement_equivalence
+  else if s = "service" then Some Service_equivalence
   else List.find_opt (fun o -> oracle_name o = s) all_oracles
 
 let oracle_index = function
@@ -31,6 +34,7 @@ let oracle_index = function
   | Split_equivalence -> 3
   | Degradation -> 4
   | Placement_equivalence -> 5
+  | Service_equivalence -> 6
 
 type config = {
   seed : int;
@@ -194,6 +198,20 @@ let run_case cfg oracle ~case =
          seed, so the shrink predicate stays a pure function of the
          spec *)
       let check s = Oracle.placement_equivalence (chk ()) s in
+      match check s with
+      | Oracle.Pass -> None
+      | Oracle.Fail msg ->
+          let small =
+            if cfg.shrink then Shrink.spec (safe_fails check) s else s
+          in
+          mk (remsg check small msg) (pp_spec small))
+  | Service_equivalence -> (
+      let scfg = spec_cfg gen_rng ~size:cfg.size in
+      let s = Gen.spec gen_rng scfg in
+      (* the query batch, capacity and shard count re-derive from the
+         case seed, so the shrink predicate stays a pure function of
+         the spec *)
+      let check s = Oracle.service_equivalence (chk ()) s in
       match check s with
       | Oracle.Pass -> None
       | Oracle.Fail msg ->

@@ -18,6 +18,10 @@ type oracle =
   | Placement_equivalence
       (** the generic placement core agrees with the dedicated two- and
           three-tier enumerations ("placement" is a CLI alias) *)
+  | Service_equivalence
+      (** the fleet placement service replays, warm-starts and shards
+          byte-identically to the direct solve path ("service" is a
+          CLI alias) *)
 
 val all_oracles : oracle list
 val oracle_name : oracle -> string

@@ -622,6 +622,135 @@ let placement_equivalence rng (spec : Wishbone.Spec.t) =
         | Error msg -> Fail msg
         | Ok () -> Pass)
 
+(* ---- oracle 7: service equivalence ---- *)
+
+let pp_request = function
+  | Wishbone.Service.Rate r -> Printf.sprintf "rate %.6g" r
+  | Wishbone.Service.Search -> "search"
+
+let answers_equal a b =
+  match (a, b) with
+  | Wishbone.Service.Infeasible, Wishbone.Service.Infeasible -> true
+  | Wishbone.Service.Failed m, Wishbone.Service.Failed m' -> m = m'
+  | Wishbone.Service.Placed p, Wishbone.Service.Placed p' ->
+      (* bit-exact: rate and objective compared as IEEE-754 patterns *)
+      Int64.bits_of_float p.rate = Int64.bits_of_float p'.rate
+      && Int64.bits_of_float p.report.Wishbone.Placement.objective
+         = Int64.bits_of_float p'.report.Wishbone.Placement.objective
+      && p.report.Wishbone.Placement.tier_of
+         = p'.report.Wishbone.Placement.tier_of
+  | _ -> false
+
+let service_equivalence rng (spec : Wishbone.Spec.t) =
+  let n_movable =
+    Array.fold_left
+      (fun acc p -> if p = Wishbone.Movable.Movable then acc + 1 else acc)
+      0 spec.placement
+  in
+  if n_movable > 16 then Pass
+  else begin
+    let pl = Wishbone.Placement.of_spec spec in
+    (* a budget-perturbed sibling: same graph and costs, tighter node
+       CPU — its cache entries must never be served for [pl] *)
+    let sibling =
+      Wishbone.Placement.of_spec
+        { spec with Wishbone.Spec.cpu_budget = spec.Wishbone.Spec.cpu_budget *. 0.7 }
+    in
+    let options = Lp.Branch_bound.default_options in
+    let tol = 0.01 and max_multiplier = 256. in
+    (* a small candidate-rate pool so repeats and near-repeats arise *)
+    let rates =
+      [| Prng.uniform rng 0.2 0.8; Prng.uniform rng 0.8 1.6;
+         Prng.uniform rng 1.6 4.0 |]
+    in
+    let n_q = 4 + Prng.int rng 4 in
+    let queries =
+      Array.init n_q (fun _ ->
+          let placement = if Prng.bool rng 0.25 then sibling else pl in
+          let request =
+            if Prng.bool rng 0.25 then Wishbone.Service.Search
+            else Wishbone.Service.Rate rates.(Prng.int rng 3)
+          in
+          { Wishbone.Service.placement; request })
+    in
+    let capacity = 1 + Prng.int rng 4 in
+    let shards = 1 + Prng.int rng 2 in
+    let svc = Wishbone.Service.create ~capacity ~options ~tol ~max_multiplier () in
+    (* direct answers memoised per query key, computed with no cache
+       and no hints — the reference the service must reproduce *)
+    let memo = Hashtbl.create 8 in
+    let direct i =
+      let key = Wishbone.Service.query_key svc queries.(i) in
+      match Hashtbl.find_opt memo key with
+      | Some a -> a
+      | None ->
+          let a =
+            Wishbone.Service.solve_direct ~options ~tol ~max_multiplier
+              queries.(i)
+          in
+          Hashtbl.add memo key a;
+          a
+    in
+    let budgeted = function Wishbone.Service.Failed _ -> true | _ -> false in
+    let check_pass pass (responses : Wishbone.Service.response array) =
+      let bad = ref None in
+      Array.iteri
+        (fun i (r : Wishbone.Service.response) ->
+          if !bad = None then begin
+            let d = direct i in
+            if budgeted d || budgeted r.Wishbone.Service.answer then ()
+            else if not (answers_equal d r.Wishbone.Service.answer) then
+              bad :=
+                Some
+                  (Printf.sprintf
+                     "service: %s pass, query %d (%s): served answer differs \
+                      from direct solve"
+                     pass i
+                     (pp_request queries.(i).Wishbone.Service.request))
+            else if
+              Wishbone.Service.answer_digest d <> r.Wishbone.Service.digest
+            then
+              bad :=
+                Some
+                  (Printf.sprintf
+                     "service: %s pass, query %d (%s): digest disagrees with \
+                      the canonical answer digest"
+                     pass i
+                     (pp_request queries.(i).Wishbone.Service.request))
+          end)
+        responses;
+      !bad
+    in
+    let r1 = Wishbone.Service.run_batch ~shards svc queries in
+    match check_pass "cold" r1 with
+    | Some msg -> Fail msg
+    | None -> (
+        (* replay against the warm cache: hits must replay byte-identically *)
+        let r2 = Wishbone.Service.run_batch ~shards svc queries in
+        match check_pass "warm" r2 with
+        | Some msg -> Fail msg
+        | None ->
+            let c = Wishbone.Service.counters svc in
+            if c.Wishbone.Service.hits + c.Wishbone.Service.misses
+               <> c.Wishbone.Service.queries
+            then
+              failf "service: counters leak: %d hits + %d misses <> %d queries"
+                c.Wishbone.Service.hits c.Wishbone.Service.misses
+                c.Wishbone.Service.queries
+            else if
+              c.Wishbone.Service.inserts - c.Wishbone.Service.evictions
+              <> c.Wishbone.Service.resident
+            then
+              failf
+                "service: cache leak: %d inserts - %d evictions <> %d resident"
+                c.Wishbone.Service.inserts c.Wishbone.Service.evictions
+                c.Wishbone.Service.resident
+            else if c.Wishbone.Service.resident > capacity then
+              failf "service: %d resident entries over capacity %d"
+                c.Wishbone.Service.resident capacity
+            else Pass)
+  end
+
 let split_equivalence rng (spec : Wishbone.Spec.t) =
   let cuts = [ ("random cut", Gen.random_cut rng spec) ] in
   let cuts =

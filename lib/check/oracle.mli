@@ -1,4 +1,4 @@
-(** The six correctness oracles behind [bin/fuzz] (DESIGN.md §11).
+(** The seven correctness oracles behind [bin/fuzz] (DESIGN.md §11).
 
     Each oracle takes one generated instance and either passes or
     fails with a human-readable explanation.  All randomness is drawn
@@ -63,6 +63,23 @@ val placement_equivalence : Prng.t -> Wishbone.Spec.t -> outcome
     descending tiers.  Instances with more than 16 movable operators
     or 12 supernodes pass trivially, as do solves that exhaust the
     branch-and-bound budget. *)
+
+val service_equivalence : Prng.t -> Wishbone.Spec.t -> outcome
+(** The fleet placement service against the direct solve path.  A
+    random batch of queries — fixed-rate and rate-search, with repeats
+    and near-repeats, over the spec's two-tier placement and a
+    budget-perturbed sibling — is pushed through {!Wishbone.Service}
+    (random LRU capacity and shard count), then through
+    {!Wishbone.Service.solve_direct} with the same solver options.
+    Every served answer must agree {e byte for byte} (status, chosen
+    rate, objective, tier assignment, and the canonical digest); the
+    batch is then replayed against the warm cache and must agree
+    again; and the service counters must conserve
+    ([hits + misses = queries], [inserts - evictions = resident <=
+    capacity]).  Specs with more than 16 movable operators pass
+    trivially, as does any query whose solver budget is exhausted on
+    either path (warm starts legitimately change how far a budget
+    reaches). *)
 
 val split_equivalence : Prng.t -> Wishbone.Spec.t -> outcome
 (** Execute the same injected samples through {!Runtime.Exec.full} and

@@ -25,3 +25,14 @@ val copy : t -> t
 val compatible : t -> rows:int -> cols:int -> bool
 (** Whether the snapshot can seed a tableau of [rows] x [cols]:
     dimensions match and every recorded basic column is in range. *)
+
+val equal : t -> t -> bool
+(** Structural equality: same basic column per row and same resting
+    bound per column.  Two equal snapshots warm-start a re-solve
+    identically, so caches (the placement service) may replace one
+    with the other. *)
+
+val digest : t -> string
+(** Hex digest of the snapshot's canonical serialisation.  [equal a b]
+    iff [digest a = digest b]; used by snapshot caches to key and
+    cross-check stored bases without retaining a structural copy. *)

@@ -95,9 +95,14 @@ let search ?encoding ?preprocess ?(options = default_search_options)
 
 let search_placement ?encoding ?preprocess
     ?(options = default_search_options) ?(tol = 0.01)
-    ?(max_multiplier = 65536.) ?(incremental = true) pl =
-  let prev_tiers = ref None in
-  let root_basis = ref None in
+    ?(max_multiplier = 65536.) ?(incremental = true) ?initial_tiers
+    ?root_basis:basis0 pl =
+  (* [initial_tiers]/[root_basis] pre-seed the incremental state with a
+     solve of the same structure at another rate (the placement
+     service's near-repeat warm start); like every warm hint in this
+     repo they change work, not answers *)
+  let prev_tiers = ref initial_tiers in
+  let root_basis = ref basis0 in
   let attempt factor =
     let initial = if incremental then !prev_tiers else None in
     let basis = if incremental then !root_basis else None in

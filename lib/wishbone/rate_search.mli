@@ -63,6 +63,8 @@ val search_placement :
   ?tol:float ->
   ?max_multiplier:float ->
   ?incremental:bool ->
+  ?initial_tiers:int array ->
+  ?root_basis:Lp.Basis.t ->
   Placement.t ->
   placement_result option
 (** {!search} generalised to an arbitrary tier chain: the same
@@ -70,7 +72,12 @@ val search_placement :
     {!Placement.solve} via {!Placement.scale_rate}, threading the last
     feasible tier assignment and root basis across steps when
     [incremental].  [search] on a spec and [search_placement] on
-    [Placement.of_spec spec] explore identical rate sequences. *)
+    [Placement.of_spec spec] explore identical rate sequences.
+
+    [initial_tiers] and [root_basis] pre-seed the incremental state
+    from a completed solve of the same placement structure at another
+    rate — {!Service}'s near-repeat warm start.  Both are performance
+    hints with the same caveats as [incremental] itself. *)
 
 val feasible_at : ?encoding:Ilp.encoding -> ?preprocess:bool ->
   ?options:Lp.Branch_bound.options -> Spec.t -> float ->

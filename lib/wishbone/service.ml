@@ -1,0 +1,391 @@
+open Dataflow
+
+type request = Rate of float | Search
+
+type query = { placement : Placement.t; request : request }
+
+type answer =
+  | Placed of { rate : float; report : Placement.report }
+  | Infeasible
+  | Failed of string
+
+type served = Hit | Warm_start | Cold
+
+type counters = {
+  queries : int;
+  hits : int;
+  misses : int;
+  warm_starts : int;
+  inserts : int;
+  evictions : int;
+  resident : int;
+}
+
+type response = {
+  answer : answer;
+  digest : string;
+  served : served;
+  latency_ms : float;
+  counters : counters;
+}
+
+(* ---- canonical digests ------------------------------------------- *)
+
+(* Everything the solver reads is rendered bit-exactly (floats as
+   their IEEE-754 bit patterns) into one canonical byte string, then
+   hashed.  Budgets and objective weights are part of the key: two
+   placements that differ only in a CPU budget solve differently and
+   must never collide. *)
+
+let add_f buf x =
+  Buffer.add_string buf (Printf.sprintf "%Lx;" (Int64.bits_of_float x))
+
+let add_s buf s =
+  (* length-prefixed so name boundaries cannot alias *)
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let instance_key (pl : Placement.t) =
+  let spec = pl.Placement.spec in
+  let g = spec.Spec.graph in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "ops%d;" (Graph.n_ops g));
+  Array.iter
+    (fun (o : Op.t) ->
+      Buffer.add_string buf (string_of_int o.id);
+      add_s buf o.name;
+      add_s buf o.kind;
+      Buffer.add_char buf (match o.namespace with Op.Node -> 'n' | Op.Server -> 's');
+      Buffer.add_char buf (if o.stateful then 'T' else 'F');
+      Buffer.add_char buf
+        (match o.side_effect with
+        | Op.Pure -> 'p'
+        | Op.Sensor_input -> 'i'
+        | Op.Actuator -> 'a'
+        | Op.Display_output -> 'o'))
+    (Graph.ops g);
+  Buffer.add_string buf "|pins";
+  Array.iter
+    (fun p ->
+      Buffer.add_char buf
+        (match p with
+        | Movable.Pin_node -> 'N'
+        | Movable.Pin_server -> 'S'
+        | Movable.Movable -> 'M'))
+    spec.Spec.placement;
+  Buffer.add_string buf "|cpu";
+  Array.iter (add_f buf) spec.Spec.cpu;
+  Buffer.add_string buf "|edges";
+  Array.iter
+    (fun (e : Graph.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%d," e.eid e.src e.dst e.dst_port);
+      add_f buf spec.Spec.bandwidth.(e.eid))
+    (Graph.edges g);
+  Buffer.add_string buf "|spec";
+  add_f buf spec.Spec.cpu_budget;
+  add_f buf spec.Spec.net_budget;
+  add_f buf spec.Spec.alpha;
+  add_f buf spec.Spec.beta;
+  Buffer.add_string buf "|tiers";
+  Array.iter
+    (fun (t : Placement.tier) ->
+      add_s buf t.Placement.tname;
+      Array.iter (add_f buf) t.Placement.cpu;
+      add_f buf t.Placement.cpu_budget;
+      add_f buf t.Placement.alpha)
+    pl.Placement.tiers;
+  Buffer.add_string buf "|links";
+  Array.iter
+    (fun (l : Placement.link) ->
+      add_s buf l.Placement.lname;
+      add_f buf l.Placement.net_budget;
+      add_f buf l.Placement.beta)
+    pl.Placement.links;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let answer_digest = function
+  | Placed { rate; report } ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "placed;";
+      add_f buf rate;
+      add_f buf report.Placement.objective;
+      Array.iter
+        (fun tp ->
+          Buffer.add_string buf (string_of_int tp);
+          Buffer.add_char buf ',')
+        report.Placement.tier_of;
+      Digest.to_hex (Digest.string (Buffer.contents buf))
+  | Infeasible -> Digest.to_hex (Digest.string "infeasible")
+  | Failed m -> Digest.to_hex (Digest.string ("failed;" ^ m))
+
+(* ---- the shared solve path --------------------------------------- *)
+
+(* One function serves both the daemon and the no-service reference:
+   byte-identity of served answers reduces to warm hints being
+   answer-preserving, which the service-equivalence oracle fuzzes. *)
+let solve_query ~options ~tol ~max_multiplier ?initial_tiers ?root_basis q =
+  match q.request with
+  | Rate r -> (
+      match
+        Placement.solve ~options ?initial:initial_tiers ?root_basis
+          (Placement.scale_rate q.placement r)
+      with
+      | Placement.Partitioned report -> Placed { rate = r; report }
+      | Placement.No_feasible_partition -> Infeasible
+      | Placement.Solver_failure m -> Failed m)
+  | Search -> (
+      match
+        Rate_search.search_placement ~options ~tol ~max_multiplier
+          ?initial_tiers ?root_basis q.placement
+      with
+      | Some { Rate_search.placement_multiplier; placement_report } ->
+          Placed { rate = placement_multiplier; report = placement_report }
+      | None -> Infeasible)
+
+let default_options = Lp.Branch_bound.default_options
+
+let solve_direct ?(options = default_options) ?(tol = 0.01)
+    ?(max_multiplier = 65536.) q =
+  solve_query ~options ~tol ~max_multiplier q
+
+(* ---- the daemon --------------------------------------------------- *)
+
+type entry = {
+  e_key : string;
+  e_instance : string;
+  e_answer : answer;
+  e_digest : string;
+  e_tiers : int array option;  (* warm-start seed for near-repeats *)
+  e_basis : Lp.Basis.t option;
+  e_born : int;  (* insertion stamp: the newest entry anchors warm starts *)
+  mutable e_stamp : int;  (* recency stamp: least recent is evicted *)
+}
+
+type t = {
+  capacity : int;
+  options : Lp.Branch_bound.options;
+  tol : float;
+  max_multiplier : float;
+  table : (string, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable c_queries : int;
+  mutable c_hits : int;
+  mutable c_misses : int;
+  mutable c_warm : int;
+  mutable c_inserts : int;
+  mutable c_evictions : int;
+}
+
+let create ?(capacity = 512) ?(options = default_options) ?(tol = 0.01)
+    ?(max_multiplier = 65536.) () =
+  if capacity < 0 then invalid_arg "Service.create: negative capacity";
+  {
+    capacity;
+    options;
+    tol;
+    max_multiplier;
+    table = Hashtbl.create (Int.max 16 capacity);
+    clock = 0;
+    c_queries = 0;
+    c_hits = 0;
+    c_misses = 0;
+    c_warm = 0;
+    c_inserts = 0;
+    c_evictions = 0;
+  }
+
+let counters t =
+  {
+    queries = t.c_queries;
+    hits = t.c_hits;
+    misses = t.c_misses;
+    warm_starts = t.c_warm;
+    inserts = t.c_inserts;
+    evictions = t.c_evictions;
+    resident = Hashtbl.length t.table;
+  }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let request_tag t = function
+  | Rate r -> Printf.sprintf "r:%Lx" (Int64.bits_of_float r)
+  | Search ->
+      Printf.sprintf "s:%Lx:%Lx"
+        (Int64.bits_of_float t.tol)
+        (Int64.bits_of_float t.max_multiplier)
+
+let query_key t q = instance_key q.placement ^ "#" ^ request_tag t q.request
+
+(* The warm anchor for a missed query: the most recently inserted
+   resident entry with the same placement structure and a stored tier
+   assignment.  Insertion stamps are unique, so the fold is
+   deterministic regardless of hash-table iteration order. *)
+let warm_anchor t inst =
+  Hashtbl.fold
+    (fun _ e best ->
+      if e.e_instance = inst && e.e_tiers <> None then
+        match best with
+        | Some b when b.e_born >= e.e_born -> best
+        | _ -> Some e
+      else best)
+    t.table None
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun _ e best ->
+        match best with
+        | Some b when b.e_stamp <= e.e_stamp -> best
+        | _ -> Some e)
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some e ->
+      Hashtbl.remove t.table e.e_key;
+      t.c_evictions <- t.c_evictions + 1
+
+let insert t ~key ~inst answer digest =
+  let tiers, basis =
+    match answer with
+    | Placed { report; _ } ->
+        ( Some report.Placement.tier_of,
+          report.Placement.solver.Lp.Branch_bound.root_basis )
+    | Infeasible | Failed _ -> (None, None)
+  in
+  let stamp = tick t in
+  Hashtbl.replace t.table key
+    {
+      e_key = key;
+      e_instance = inst;
+      e_answer = answer;
+      e_digest = digest;
+      e_tiers = tiers;
+      e_basis = basis;
+      e_born = stamp;
+      e_stamp = stamp;
+    };
+  t.c_inserts <- t.c_inserts + 1;
+  while Hashtbl.length t.table > t.capacity do
+    evict_lru t
+  done
+
+(* Per-query batch plan, fixed sequentially against the cache state at
+   batch entry; the solves it schedules are data-independent, which is
+   what makes query-level sharding answer-preserving. *)
+type plan =
+  | P_replay of entry
+  | P_alias of int  (* exact duplicate of an earlier in-batch query *)
+  | P_solve of { seed_tiers : int array option; seed_basis : Lp.Basis.t option }
+
+let run_batch ?(shards = 1) t queries =
+  if shards < 1 then invalid_arg "Service.run_batch: shards must be >= 1";
+  let n = Array.length queries in
+  t.c_queries <- t.c_queries + n;
+  let insts = Array.map (fun q -> instance_key q.placement) queries in
+  let keys =
+    Array.mapi (fun i q -> insts.(i) ^ "#" ^ request_tag t q.request) queries
+  in
+  (* ---- plan (sequential) ---- *)
+  let first_of_key = Hashtbl.create n in
+  let plans =
+    Array.init n (fun i ->
+        match Hashtbl.find_opt t.table keys.(i) with
+        | Some e ->
+            t.c_hits <- t.c_hits + 1;
+            e.e_stamp <- tick t;
+            P_replay e
+        | None -> (
+            match Hashtbl.find_opt first_of_key keys.(i) with
+            | Some j ->
+                t.c_hits <- t.c_hits + 1;
+                P_alias j
+            | None ->
+                t.c_misses <- t.c_misses + 1;
+                Hashtbl.add first_of_key keys.(i) i;
+                let seed_tiers, seed_basis =
+                  match warm_anchor t insts.(i) with
+                  | Some e ->
+                      t.c_warm <- t.c_warm + 1;
+                      (e.e_tiers, e.e_basis)
+                  | None -> (None, None)
+                in
+                P_solve { seed_tiers; seed_basis }))
+  in
+  (* ---- solve (sharded) ---- *)
+  let results : answer option array = Array.make n None in
+  let latency = Array.make n 0. in
+  let work =
+    List.filter
+      (fun i -> match plans.(i) with P_solve _ -> true | _ -> false)
+      (List.init n Fun.id)
+  in
+  let solve_one i =
+    match plans.(i) with
+    | P_solve { seed_tiers; seed_basis } ->
+        let t0 = Unix.gettimeofday () in
+        let a =
+          solve_query ~options:t.options ~tol:t.tol
+            ~max_multiplier:t.max_multiplier ?initial_tiers:seed_tiers
+            ?root_basis:seed_basis queries.(i)
+        in
+        latency.(i) <- (Unix.gettimeofday () -. t0) *. 1000.;
+        results.(i) <- Some a
+    | P_replay _ | P_alias _ -> ()
+  in
+  let shards = Int.max 1 (Int.min shards (List.length work)) in
+  if shards = 1 then List.iter solve_one work
+  else begin
+    (* round-robin striping; each index is written by exactly one
+       domain and [Domain.join] publishes the writes *)
+    let doms =
+      List.init shards (fun k ->
+          Domain.spawn (fun () ->
+              List.iteri
+                (fun pos i -> if pos mod shards = k then solve_one i)
+                work))
+    in
+    List.iter Domain.join doms
+  end;
+  (* ---- commit (sequential, query order) ---- *)
+  let out = Array.make n None in
+  for i = 0 to n - 1 do
+    match plans.(i) with
+    | P_replay e -> out.(i) <- Some (e.e_answer, e.e_digest, Hit)
+    | P_alias j ->
+        let a, d, _ = Option.get out.(j) in
+        out.(i) <- Some (a, d, Hit)
+    | P_solve { seed_tiers; seed_basis } ->
+        let a = Option.get results.(i) in
+        let d = answer_digest a in
+        let served =
+          if seed_tiers <> None || seed_basis <> None then Warm_start else Cold
+        in
+        out.(i) <- Some (a, d, served);
+        (* budget failures are not worth pinning in the cache; with the
+           default full-proof options they cannot occur *)
+        (match a with
+        | Failed _ -> ()
+        | Placed _ | Infeasible -> insert t ~key:keys.(i) ~inst:insts.(i) a d)
+  done;
+  let c = counters t in
+  Array.init n (fun i ->
+      let answer, digest, served = Option.get out.(i) in
+      { answer; digest; served; latency_ms = latency.(i); counters = c })
+
+let pp_response ppf r =
+  let tag =
+    match r.served with Hit -> "hit" | Warm_start -> "warm" | Cold -> "cold"
+  in
+  (match r.answer with
+  | Placed { rate; report } ->
+      Format.fprintf ppf "placed rate x%.4f objective %g" rate
+        report.Placement.objective
+  | Infeasible -> Format.fprintf ppf "infeasible"
+  | Failed m -> Format.fprintf ppf "failed: %s" m);
+  Format.fprintf ppf "  [%s, %.2f ms, %s]" tag r.latency_ms
+    (String.sub r.digest 0 12)

@@ -1,0 +1,147 @@
+(** The fleet placement service: a persistent query daemon over the
+    placement core (DESIGN.md §16).
+
+    The paper treats partitioning as a one-shot compile step; a fleet
+    of heterogeneous devices instead asks the same solver thousands of
+    placement and rate-search questions, most of them repeats or
+    near-repeats of each other (re-profiling, firmware updates, churn).
+    This module turns {!Placement.solve} / {!Rate_search} into a
+    server loop:
+
+    - {e batches}: queries arrive as arrays and independent solves are
+      sharded across [Domain]s at the {e query} level (the per-solve
+      [workers] knob composes badly with one core per search);
+    - {e caching}: completed solves are stored in an LRU-bounded cache
+      keyed by [spec digest x platform digest x request].  An exact
+      key hit replays the stored response without solving; a miss on a
+      placement whose structure is already resident warm-starts from
+      the stored tier assignment and {!Lp.Basis.t} root snapshot;
+    - {e determinism}: responses (and every cache counter) are a pure
+      function of the query history — independent of the shard count,
+      and byte-identical to the direct no-service solve path
+      ({!solve_direct}), which the [service-equivalence] fuzz oracle
+      and the [@service] test suite enforce.
+
+    The determinism argument: each batch is {e planned} sequentially
+    against the cache state at batch entry (hit / alias / solve, warm
+    hints chosen from already-resident entries), the planned solves
+    are data-independent and run on any number of shards, and cache
+    insertion/eviction replays sequentially in query-index order after
+    the shards join.  Shard count therefore changes wall-clock only.
+    Warm hints never change answers (the repo-wide warm-start
+    contract, PR 1/5/6); the service additionally runs full proofs
+    ([gap_tol = 0], no wall-clock limit) by default so that a
+    budget-truncated solve cannot leak timing into an answer. *)
+
+(** What a query asks of its placement: solve at one fixed rate
+    multiplier, or binary-search the maximum sustainable rate
+    (§4.3). *)
+type request = Rate of float | Search
+
+type query = { placement : Placement.t; request : request }
+
+type answer =
+  | Placed of { rate : float; report : Placement.report }
+      (** feasible: the rate actually solved at (the query's fixed
+          rate, or the rate the search settled on) and the placement
+          report.  Replayed answers return the originally stored
+          report, solver statistics included. *)
+  | Infeasible  (** no feasible placement (at this rate / at any rate) *)
+  | Failed of string  (** solver failure (budget exhaustion, bad data) *)
+
+(** How a response was produced. *)
+type served =
+  | Hit  (** replayed from the cache (or from an identical query
+             earlier in the same batch) *)
+  | Warm_start
+      (** solved, warm-started from a resident entry with the same
+          placement structure at a different rate *)
+  | Cold  (** solved from scratch *)
+
+type counters = {
+  queries : int;
+  hits : int;  (** [hits + misses = queries] *)
+  misses : int;  (** solved queries, warm or cold *)
+  warm_starts : int;  (** subset of [misses] *)
+  inserts : int;  (** [inserts - evictions = resident] *)
+  evictions : int;
+  resident : int;  (** entries currently cached, [<= capacity] *)
+}
+
+type response = {
+  answer : answer;
+  digest : string;
+      (** hex digest of the canonical answer rendering (status, rate,
+          objective, tier assignment — never solver timings), the
+          byte-identity token of the equivalence oracle *)
+  served : served;
+  latency_ms : float;  (** wall-clock of this query's solve; ~0 on hits *)
+  counters : counters;
+      (** service counters as of the end of this query's batch *)
+}
+
+type t
+
+val default_options : Lp.Branch_bound.options
+(** {!Lp.Branch_bound.default_options}: full optimality proofs
+    ([gap_tol = 0]) and no wall-clock limit, so answers are a pure
+    function of the query and never of machine speed.  Callers who
+    prefer the rate search's bounded-latency profile can pass
+    {!Rate_search.default_search_options} to {!create} — equivalence
+    to {!solve_direct} under the same options still holds, but answers
+    then depend on the node/time budgets. *)
+
+val create :
+  ?capacity:int ->
+  ?options:Lp.Branch_bound.options ->
+  ?tol:float ->
+  ?max_multiplier:float ->
+  unit ->
+  t
+(** A fresh service.  [capacity] (default 512) bounds the cache in
+    entries, LRU-evicted; [0] disables retention entirely (every
+    insert evicts immediately, keeping the counter algebra intact).
+    [options] drives every branch & bound ({!default_options});
+    [tol] / [max_multiplier] parameterise [Search] queries exactly as
+    in {!Rate_search.search_placement} (defaults 0.01 / 65536). *)
+
+val counters : t -> counters
+(** Cumulative counters across every batch served so far. *)
+
+val instance_key : Placement.t -> string
+(** Hex digest of the placement {e structure}: graph shape, operator
+    identities and pins, bit-exact CPU/bandwidth coefficients, every
+    tier and link budget and objective weight.  Two placements share
+    an instance key iff the solver sees identical numbers — budgets
+    included, so two specs equal modulo CPU budget never collide. *)
+
+val query_key : t -> query -> string
+(** [instance_key] extended with the request (rate bits, or the
+    search's [tol]/[max_multiplier] bits): the cache key. *)
+
+val answer_digest : answer -> string
+(** The canonical digest stored in {!response.digest}: bit-exact over
+    status, rate, objective and tier assignment; independent of solver
+    statistics, cache state and wall-clock. *)
+
+val run_batch : ?shards:int -> t -> query array -> response array
+(** Serve one batch: plan against the cache, solve the misses on
+    [shards] concurrent [Domain]s (default 1), commit results to the
+    cache in query order.  [responses.(i)] answers [queries.(i)];
+    answers, digests and counters are identical for every shard
+    count.  Exact-duplicate queries within one batch are solved once
+    and the copies served as {!Hit}s. *)
+
+val solve_direct :
+  ?options:Lp.Branch_bound.options ->
+  ?tol:float ->
+  ?max_multiplier:float ->
+  query ->
+  answer
+(** The no-service reference path: the exact solve a fresh service
+    would run for this query alone — {!Placement.solve} at the scaled
+    rate, or {!Rate_search.search_placement} — with no cache and no
+    warm hints.  The service-equivalence oracle holds every served
+    answer to this function's output, byte for byte. *)
+
+val pp_response : Format.formatter -> response -> unit
