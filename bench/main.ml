@@ -25,11 +25,13 @@ let experiments =
     ("placement", fun () -> Placement_bench.run ());
     ("service", fun () -> Service_bench.run ());
     ("service-smoke", fun () -> Service_bench.smoke ());
+    ("robust", fun () -> Robust_bench.run ());
+    ("robust-smoke", fun () -> Robust_bench.smoke ());
   ]
 
 let default_order =
   [ "fig3"; "fig5a"; "fig5b"; "fig6"; "fig7"; "fig8"; "fig9"; "headline";
-    "ablations"; "micro"; "lp"; "faults"; "placement"; "service" ]
+    "ablations"; "micro"; "lp"; "faults"; "placement"; "service"; "robust" ]
 
 let () =
   match Array.to_list Sys.argv with

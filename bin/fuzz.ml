@@ -1,4 +1,4 @@
-(* Randomized correctness fuzzing: seeded generators + the seven
+(* Randomized correctness fuzzing: seeded generators + the eight
    oracles of lib/check (DESIGN.md §11).  Exit status 0 iff every
    case passed. *)
 
@@ -64,8 +64,9 @@ let oracles =
         ~doc:
           "Oracle to run (repeatable): lp-certificate, ilp-brute, \
            cut-enumeration, split-equivalence, degradation, \
-           placement-equivalence, service-equivalence.  Default: all \
-           seven.")
+           placement-equivalence, service-equivalence, \
+           degraded-soundness ($(b,degraded) for short).  Default: all \
+           eight.")
 
 let no_shrink =
   Arg.(

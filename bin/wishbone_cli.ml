@@ -290,6 +290,27 @@ let partition_cmd =
              On expiry the best incumbent found so far is reported \
              together with its optimality gap.")
   in
+  let node_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "node-budget" ] ~docv:"N"
+          ~doc:
+            "Deterministic branch & bound node budget: counts work \
+             units, not seconds, so — unlike $(b,--time-limit-ms) — a \
+             bounded run stops at the same node and returns the same \
+             incumbent and gap on any machine.")
+  in
+  let pivot_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pivot-budget" ] ~docv:"N"
+          ~doc:
+            "Deterministic tree-wide simplex pivot budget, checked at \
+             every node boundary and threaded into each LP solve.  Like \
+             $(b,--node-budget) the answer is machine-independent.")
+  in
   let workers_arg =
     Arg.(
       value & opt int 1
@@ -331,7 +352,8 @@ let partition_cmd =
              (work-stealing worker domains; same optimum, \
              timing-dependent node order).")
   in
-  let solver_options base max_pivots time_limit_ms workers pricing schedule =
+  let solver_options base max_pivots time_limit_ms node_budget pivot_budget
+      workers pricing schedule =
     let o = base in
     {
       o with
@@ -344,6 +366,14 @@ let partition_cmd =
         (match time_limit_ms with
         | Some ms -> ms /. 1000.
         | None -> o.Lp.Branch_bound.time_limit);
+      max_nodes =
+        (match node_budget with
+        | Some n -> n
+        | None -> o.Lp.Branch_bound.max_nodes);
+      pivot_budget =
+        (match pivot_budget with
+        | Some n -> n
+        | None -> o.Lp.Branch_bound.pivot_budget);
       simplex =
         (let s = o.Lp.Branch_bound.simplex in
          let s =
@@ -394,20 +424,21 @@ let partition_cmd =
   in
   let budget_failure m =
     Printf.eprintf
-      "%s before any feasible partition was found; raise --max-pivots or \
-       --time-limit-ms\n"
+      "%s before any feasible partition was found; raise --max-pivots, \
+       --node-budget, --pivot-budget or --time-limit-ms\n"
       m;
     exit 1
   in
   let run app platform duration mode rate dot search tiers max_pivots
-      time_limit_ms workers pricing schedule =
+      time_limit_ms node_budget pivot_budget workers pricing schedule =
     (* the rate search keeps its looser per-solve budgets unless
        overridden explicitly *)
     let options =
       solver_options
         (if search then Wishbone.Rate_search.default_search_options
          else Lp.Branch_bound.default_options)
-        max_pivots time_limit_ms workers pricing schedule
+        max_pivots time_limit_ms node_budget pivot_budget workers pricing
+        schedule
     in
     Lp.Simplex.reset_cumulative_pivots ();
     Lp.Sparse.reset_counters ();
@@ -483,9 +514,14 @@ let partition_cmd =
             in
             if search then
               match Wishbone.Rate_search.search_placement ~options pl with
-              | Some { placement_multiplier; placement_report } ->
-                  Printf.printf "maximum sustainable rate: x%.4f\n"
-                    placement_multiplier;
+              | Some { placement_multiplier; placement_report; placement_exact }
+                ->
+                  Printf.printf "maximum sustainable rate: x%.4f%s\n"
+                    placement_multiplier
+                    (if placement_exact then ""
+                     else
+                       " (degraded: a search probe died on the solver \
+                        budget; this rate is a safe lower bound)");
                   finish
                     (Wishbone.Placement.scale_rate pl placement_multiplier)
                     placement_report
@@ -516,7 +552,8 @@ let partition_cmd =
     Term.(
       const run $ app_arg $ platform_arg $ duration_arg $ mode_arg $ rate_arg
       $ dot_arg $ search_arg $ tiers_arg $ max_pivots_arg $ time_limit_arg
-      $ workers_arg $ pricing_arg $ schedule_arg)
+      $ node_budget_arg $ pivot_budget_arg $ workers_arg $ pricing_arg
+      $ schedule_arg)
 
 let sweep_cmd =
   let from_arg =
@@ -831,7 +868,47 @@ let serve_cmd =
             "Serve the batch N times through the same service; later \
              passes replay from the warm cache.")
   in
-  let run queries_file shards cache repeat mode duration =
+  let node_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "node-budget" ] ~docv:"N"
+          ~doc:
+            "Deterministic branch & bound node budget per solve; \
+             exhaustion surfaces as gap-certified $(b,degraded) answers, \
+             identical on every machine and shard count.")
+  in
+  let retry_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "retry" ] ~docv:"N"
+          ~doc:
+            "Extra solve attempts the per-query supervisor makes after a \
+             contained exception before answering $(b,failed).")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Crash-safe cache snapshot: restore the cache from FILE \
+             before serving (a missing, corrupt or stale snapshot starts \
+             cold) and atomically rewrite it after each pass.")
+  in
+  let inject_faults_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "inject-faults" ] ~docv:"SEED"
+          ~doc:
+            "Inject seeded solver faults (transient declines, permanent \
+             faults, mid-solve crashes, worker deaths) into ~10% of \
+             solves — the containment test harness.  Answers remain \
+             deterministic per seed and shard count.")
+  in
+  let run queries_file shards cache repeat node_budget retry checkpoint
+      inject_faults mode duration =
     let fail line msg =
       Printf.eprintf "serve: line %d: %s\n" line msg;
       exit 1
@@ -966,7 +1043,36 @@ let serve_cmd =
       exit 1
     end;
     let queries = Array.map snd labelled in
-    let svc = Wishbone.Service.create ~capacity:cache () in
+    let options =
+      match node_budget with
+      | None -> Wishbone.Service.default_options
+      | Some n ->
+          { Wishbone.Service.default_options with Lp.Branch_bound.max_nodes = n }
+    in
+    let fault_plan =
+      match inject_faults with
+      | None -> Wishbone.Service.Fault_plan.none
+      | Some seed -> Wishbone.Service.Fault_plan.seeded seed
+    in
+    let svc =
+      match checkpoint with
+      | None ->
+          Wishbone.Service.create ~capacity:cache ~options ~retries:retry
+            ~fault_plan ()
+      | Some path -> (
+          let svc, outcome =
+            Wishbone.Service.restore ~capacity:cache ~options ~retries:retry
+              ~fault_plan path
+          in
+          match outcome with
+          | Wishbone.Service.Restored n ->
+              Printf.printf "checkpoint: restored %d cache entries from %s\n"
+                n path;
+              svc
+          | Wishbone.Service.Cold_start reason ->
+              Printf.printf "checkpoint: cold start (%s)\n" reason;
+              svc)
+    in
     for pass = 1 to repeat do
       let t0 = Unix.gettimeofday () in
       let responses = Wishbone.Service.run_batch ~shards svc queries in
@@ -980,17 +1086,24 @@ let serve_cmd =
             | Wishbone.Service.Warm_start -> "warm"
             | Wishbone.Service.Cold -> "cold")
             r.Wishbone.Service.latency_ms
-            (match r.Wishbone.Service.answer with
+            (let node_ops (report : Wishbone.Placement.report) =
+               Array.fold_left
+                 (fun acc t -> if t = 0 then acc + 1 else acc)
+                 0 report.Wishbone.Placement.tier_of
+             in
+             match r.Wishbone.Service.answer with
             | Wishbone.Service.Placed { rate; report } ->
-                let node_ops =
-                  Array.fold_left
-                    (fun acc t -> if t = 0 then acc + 1 else acc)
-                    0 report.Wishbone.Placement.tier_of
-                in
                 Printf.sprintf
                   "placed: rate x%.4f, objective %.6g, %d ops on node \
                    (digest %s)"
-                  rate report.Wishbone.Placement.objective node_ops
+                  rate report.Wishbone.Placement.objective (node_ops report)
+                  (String.sub r.Wishbone.Service.digest 0 12)
+            | Wishbone.Service.Degraded { rate; report; gap } ->
+                Printf.sprintf
+                  "degraded: rate x%.4f, objective %.6g within %.2f%% of \
+                   optimal, %d ops on node (digest %s)"
+                  rate report.Wishbone.Placement.objective (100. *. gap)
+                  (node_ops report)
                   (String.sub r.Wishbone.Service.digest 0 12)
             | Wishbone.Service.Infeasible -> "infeasible"
             | Wishbone.Service.Failed m -> "failed: " ^ m)
@@ -998,7 +1111,10 @@ let serve_cmd =
         responses;
       Printf.printf "pass %d: %d queries in %.1f ms (%.1f queries/s)\n" pass
         (Array.length queries) (1000. *. dt)
-        (Float.of_int (Array.length queries) /. Float.max 1e-9 dt)
+        (Float.of_int (Array.length queries) /. Float.max 1e-9 dt);
+      match checkpoint with
+      | None -> ()
+      | Some path -> Wishbone.Service.checkpoint svc path
     done;
     let c = Wishbone.Service.counters svc in
     Printf.printf
@@ -1007,7 +1123,13 @@ let serve_cmd =
       c.Wishbone.Service.queries c.Wishbone.Service.hits
       c.Wishbone.Service.misses c.Wishbone.Service.warm_starts
       c.Wishbone.Service.inserts c.Wishbone.Service.evictions
-      c.Wishbone.Service.resident
+      c.Wishbone.Service.resident;
+    Printf.printf
+      "health:   %d ok, %d degraded, %d failed, %d retries, %d worker \
+       deaths\n"
+      c.Wishbone.Service.ok c.Wishbone.Service.degraded
+      c.Wishbone.Service.failed c.Wishbone.Service.retries
+      c.Wishbone.Service.worker_deaths
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1015,8 +1137,9 @@ let serve_cmd =
          "Serve a batch of placement queries through the sharded, cached \
           fleet placement service (DESIGN.md §16).")
     Term.(
-      const run $ queries_arg $ shards_arg $ cache_arg $ repeat_arg $ mode_arg
-      $ duration_arg)
+      const run $ queries_arg $ shards_arg $ cache_arg $ repeat_arg
+      $ node_budget_arg $ retry_arg $ checkpoint_arg $ inject_faults_arg
+      $ mode_arg $ duration_arg)
 
 let netprofile_cmd =
   let nodes_arg =

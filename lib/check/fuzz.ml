@@ -6,10 +6,12 @@ type oracle =
   | Degradation
   | Placement_equivalence
   | Service_equivalence
+  | Degraded_soundness
 
 let all_oracles =
   [ Lp_certificate; Ilp_brute; Cut_enumeration; Split_equivalence;
-    Degradation; Placement_equivalence; Service_equivalence ]
+    Degradation; Placement_equivalence; Service_equivalence;
+    Degraded_soundness ]
 
 let oracle_name = function
   | Lp_certificate -> "lp-certificate"
@@ -19,12 +21,14 @@ let oracle_name = function
   | Degradation -> "degradation"
   | Placement_equivalence -> "placement-equivalence"
   | Service_equivalence -> "service-equivalence"
+  | Degraded_soundness -> "degraded-soundness"
 
 let oracle_of_name s =
   let s = String.lowercase_ascii (String.trim s) in
   (* "placement" and "service" are accepted as short aliases *)
   if s = "placement" then Some Placement_equivalence
   else if s = "service" then Some Service_equivalence
+  else if s = "degraded" then Some Degraded_soundness
   else List.find_opt (fun o -> oracle_name o = s) all_oracles
 
 let oracle_index = function
@@ -35,6 +39,7 @@ let oracle_index = function
   | Degradation -> 4
   | Placement_equivalence -> 5
   | Service_equivalence -> 6
+  | Degraded_soundness -> 7
 
 type config = {
   seed : int;
@@ -212,6 +217,19 @@ let run_case cfg oracle ~case =
          case seed, so the shrink predicate stays a pure function of
          the spec *)
       let check s = Oracle.service_equivalence (chk ()) s in
+      match check s with
+      | Oracle.Pass -> None
+      | Oracle.Fail msg ->
+          let small =
+            if cfg.shrink then Shrink.spec (safe_fails check) s else s
+          in
+          mk (remsg check small msg) (pp_spec small))
+  | Degraded_soundness -> (
+      let scfg = spec_cfg gen_rng ~size:cfg.size in
+      let s = Gen.spec gen_rng scfg in
+      (* budgets and the request re-derive from the case seed, so the
+         shrink predicate stays a pure function of the spec *)
+      let check s = Oracle.degraded_soundness (chk ()) s in
       match check s with
       | Oracle.Pass -> None
       | Oracle.Fail msg ->

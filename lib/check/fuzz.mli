@@ -22,6 +22,11 @@ type oracle =
       (** the fleet placement service replays, warm-starts and shards
           byte-identically to the direct solve path ("service" is a
           CLI alias) *)
+  | Degraded_soundness
+      (** budget-degraded answers are feasible, gap-certified and
+          bracket the brute-force optimum; budget = infinity is
+          byte-identical to the unbudgeted path ("degraded" is a CLI
+          alias) *)
 
 val all_oracles : oracle list
 val oracle_name : oracle -> string

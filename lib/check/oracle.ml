@@ -639,6 +639,13 @@ let answers_equal a b =
          = Int64.bits_of_float p'.report.Wishbone.Placement.objective
       && p.report.Wishbone.Placement.tier_of
          = p'.report.Wishbone.Placement.tier_of
+  | Wishbone.Service.Degraded p, Wishbone.Service.Degraded p' ->
+      Int64.bits_of_float p.rate = Int64.bits_of_float p'.rate
+      && Int64.bits_of_float p.report.Wishbone.Placement.objective
+         = Int64.bits_of_float p'.report.Wishbone.Placement.objective
+      && Int64.bits_of_float p.gap = Int64.bits_of_float p'.gap
+      && p.report.Wishbone.Placement.tier_of
+         = p'.report.Wishbone.Placement.tier_of
   | _ -> false
 
 let service_equivalence rng (spec : Wishbone.Spec.t) =
@@ -691,7 +698,14 @@ let service_equivalence rng (spec : Wishbone.Spec.t) =
           Hashtbl.add memo key a;
           a
     in
-    let budgeted = function Wishbone.Service.Failed _ -> true | _ -> false in
+    (* budget-dependent answers: warm starts legitimately change how
+       far a finite budget reaches, so these are not held to
+       byte-identity (the default full-proof options never produce
+       them; the guard is for caller-supplied budgets) *)
+    let budgeted = function
+      | Wishbone.Service.Failed _ | Wishbone.Service.Degraded _ -> true
+      | _ -> false
+    in
     let check_pass pass (responses : Wishbone.Service.response array) =
       let bad = ref None in
       Array.iteri
@@ -749,6 +763,140 @@ let service_equivalence rng (spec : Wishbone.Spec.t) =
               failf "service: %d resident entries over capacity %d"
                 c.Wishbone.Service.resident capacity
             else Pass)
+  end
+
+(* ---- oracle 8: degraded answers are sound ---- *)
+
+let degraded_soundness rng (spec : Wishbone.Spec.t) =
+  let n_movable =
+    Array.fold_left
+      (fun acc p -> if p = Wishbone.Movable.Movable then acc + 1 else acc)
+      0 spec.placement
+  in
+  if n_movable > 16 then Pass
+  else begin
+    let pl = Wishbone.Placement.of_spec spec in
+    let base = Lp.Branch_bound.default_options in
+    (* a random work-unit budget tight enough to bite: node and/or
+       tree-wide pivot budgets, never wall-clock (determinism) *)
+    let budget_nodes = Prng.bool rng 0.7 in
+    let options =
+      let o =
+        if budget_nodes then
+          { base with Lp.Branch_bound.max_nodes = Prng.int rng 6 }
+        else base
+      in
+      if (not budget_nodes) || Prng.bool rng 0.5 then
+        { o with Lp.Branch_bound.pivot_budget = 1 + Prng.int rng 40 }
+      else o
+    in
+    let tol = 0.01 and max_multiplier = 256. in
+    let request =
+      if Prng.bool rng 0.25 then Wishbone.Service.Search
+      else Wishbone.Service.Rate (Prng.uniform rng 0.2 4.0)
+    in
+    let q = { Wishbone.Service.placement = pl; request } in
+    let a = Wishbone.Service.solve_direct ~options ~tol ~max_multiplier q in
+    (* budget = infinity plumbing: a huge-but-finite pivot budget must
+       reproduce the unbudgeted default path byte for byte *)
+    let huge = { base with Lp.Branch_bound.pivot_budget = 1_000_000_000 } in
+    let a_huge =
+      Wishbone.Service.solve_direct ~options:huge ~tol ~max_multiplier q
+    in
+    let a_exact =
+      Wishbone.Service.solve_direct ~options:base ~tol ~max_multiplier q
+    in
+    if
+      Wishbone.Service.answer_digest a_huge
+      <> Wishbone.Service.answer_digest a_exact
+    then
+      failf
+        "degraded-soundness: a huge finite pivot budget changed the answer \
+         vs the unlimited path"
+    else
+      match a with
+      | Wishbone.Service.Failed _ ->
+          (* budget exhausted before any incumbent: inconclusive *)
+          Pass
+      | Wishbone.Service.Placed { report; _ } ->
+          if not report.Wishbone.Placement.solver.Lp.Branch_bound.proved_optimal
+          then
+            failf
+              "degraded-soundness: Placed answer without an optimality proof"
+          else Pass
+      | Wishbone.Service.Infeasible -> (
+          match request with
+          | Wishbone.Service.Search ->
+              (* under a finite budget, Search's None is conservative
+                 ("no rate could be certified"), not a proof *)
+              Pass
+          | Wishbone.Service.Rate r -> (
+              match
+                Wishbone.Partitioner.brute_force
+                  (Wishbone.Spec.scale_rate spec r)
+              with
+              | None -> Pass
+              | Some (_, b) ->
+                  failf
+                    "degraded-soundness: infeasible claimed at rate %g but a \
+                     cut with objective %g exists"
+                    r b))
+      | Wishbone.Service.Degraded { rate = r; report; gap } ->
+          let s = report.Wishbone.Placement.solver in
+          let expect_gap =
+            Float.abs
+              (report.Wishbone.Placement.objective
+              -. s.Lp.Branch_bound.best_bound)
+            /. Float.max 1.
+                 (Float.abs report.Wishbone.Placement.objective)
+          in
+          if
+            not
+              (Wishbone.Placement.feasible
+                 (Wishbone.Placement.scale_rate pl r)
+                 ~tier_of:report.Wishbone.Placement.tier_of)
+          then
+            failf "degraded-soundness: degraded incumbent infeasible at \
+                   rate %g" r
+          else if Int64.bits_of_float gap <> Int64.bits_of_float expect_gap
+          then
+            failf
+              "degraded-soundness: reported gap %g but bound arithmetic \
+               gives %g"
+              gap expect_gap
+          else if (not (Float.is_nan gap)) && gap < 0. then
+            failf "degraded-soundness: negative gap %g" gap
+          else (
+            match request with
+            | Wishbone.Service.Search ->
+                (* the rate is a certified-feasible lower bound (checked
+                   above); the maximum itself is uncheckable cheaply *)
+                Pass
+            | Wishbone.Service.Rate _ -> (
+                match
+                  Wishbone.Partitioner.brute_force
+                    (Wishbone.Spec.scale_rate spec r)
+                with
+                | None ->
+                    failf
+                      "degraded-soundness: feasible degraded incumbent but \
+                       enumeration finds none"
+                | Some (_, b) ->
+                    let eps = 1e-5 *. (1. +. Float.abs b) in
+                    if b > report.Wishbone.Placement.objective +. eps then
+                      failf
+                        "degraded-soundness: enumeration optimum %g beats \
+                         the degraded incumbent %g (not a minimum?)"
+                        b report.Wishbone.Placement.objective
+                    else if
+                      (not (Float.is_nan s.Lp.Branch_bound.best_bound))
+                      && b < s.Lp.Branch_bound.best_bound -. eps
+                    then
+                      failf
+                        "degraded-soundness: enumeration optimum %g lies \
+                         below the certified dual bound %g"
+                        b s.Lp.Branch_bound.best_bound
+                    else Pass))
   end
 
 let split_equivalence rng (spec : Wishbone.Spec.t) =

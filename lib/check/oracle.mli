@@ -1,4 +1,4 @@
-(** The seven correctness oracles behind [bin/fuzz] (DESIGN.md §11).
+(** The eight correctness oracles behind [bin/fuzz] (DESIGN.md §11).
 
     Each oracle takes one generated instance and either passes or
     fails with a human-readable explanation.  All randomness is drawn
@@ -80,6 +80,23 @@ val service_equivalence : Prng.t -> Wishbone.Spec.t -> outcome
     trivially, as does any query whose solver budget is exhausted on
     either path (warm starts legitimately change how far a budget
     reaches). *)
+
+val degraded_soundness : Prng.t -> Wishbone.Spec.t -> outcome
+(** Gap-certified degradation is sound.  The spec's two-tier placement
+    is solved through {!Wishbone.Service.solve_direct} under a random
+    {e work-unit} budget (a node budget of 0–5 and/or a tree-wide
+    pivot budget of 1–40) as a random fixed-rate or rate-search query.
+    A [Degraded] answer's incumbent must pass
+    {!Wishbone.Placement.feasible} at its rate, its gap must equal the
+    bound arithmetic bit-for-bit and be non-negative, and on these
+    small instances the brute-force optimum must lie inside the
+    certified interval [[best_bound, objective]].  A [Placed] answer
+    must carry an optimality proof; a fixed-rate [Infeasible] must
+    agree with enumeration (a search [Infeasible] under budget is
+    conservative and passes).  Independently, a huge-but-finite pivot
+    budget must reproduce the unbudgeted default path byte for byte.
+    [Failed] (budget exhausted, no incumbent) is inconclusive.  Specs
+    with more than 16 movable operators pass trivially. *)
 
 val split_equivalence : Prng.t -> Wishbone.Spec.t -> outcome
 (** Execute the same injected samples through {!Runtime.Exec.full} and

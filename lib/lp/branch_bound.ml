@@ -6,6 +6,8 @@ type options = {
   int_tol : float;
   gap_tol : float;
   time_limit : float;
+  pivot_budget : int;
+  on_node : (nodes:int -> pivots:int -> unit) option;
   warm_start : bool;
   workers : int;
   schedule : schedule;
@@ -19,6 +21,8 @@ let default_options =
     int_tol = 1e-6;
     gap_tol = 0.;
     time_limit = infinity;
+    pivot_budget = max_int;
+    on_node = None;
     warm_start = true;
     workers = 1;
     schedule = Wave;
@@ -181,15 +185,32 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
   let root_b = ref None in
   (* pure LP relaxation solve — no shared counters, so safe from any
      worker domain; accounting happens on the main thread via
-     [account] when the result is applied *)
-  let relaxation ?hot ?session ~warm ~lo ~hi () =
+     [account] when the result is applied.  [simplex] carries the
+     per-solve pivot cap derived from the tree-wide budget. *)
+  let relaxation ?hot ?session ?(simplex = options.simplex) ~warm ~lo ~hi () =
     let warm, hot = if options.warm_start then (warm, hot) else (None, None) in
     match sdata with
     | Some data ->
-        Sparse.solve_warm ~options:options.simplex ?warm ~lo ~hi ?session data
+        Sparse.solve_warm ~options:simplex ?warm ~lo ~hi ?session data
     | None ->
-        Simplex.solve_warm ~options:options.simplex ?warm ?hot
+        Simplex.solve_warm ~options:simplex ?warm ?hot
           ~keep_hot:options.warm_start ~lo ~hi problem
+  in
+  (* the tree-wide pivot budget, capped into each LP solve so a single
+     relaxation cannot blow through it unboundedly.  With the default
+     unlimited budget this returns [options.simplex] itself, keeping
+     the budget-free path bit-identical. *)
+  let budgeted_simplex ~remaining =
+    if options.pivot_budget = max_int then options.simplex
+    else
+      { options.simplex with
+        Simplex.max_pivots =
+          Int.min options.simplex.Simplex.max_pivots (Int.max 1 remaining) }
+  in
+  (* cooperative checkpoint: deterministic counters out, exceptions
+     (fault injection) propagate to the caller *)
+  let on_node ~nodes ~pivots =
+    match options.on_node with Some f -> f ~nodes ~pivots | None -> ()
   in
   (* one reusable sparse solve session per worker slot: state arrays
      are pooled across solves, and re-solving the warm basis the
@@ -248,7 +269,12 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
         root_basis = !root_b;
       } )
   in
-  let root = relaxation ?session:sessions.(0) ~warm:root_basis ~lo:lo0 ~hi:hi0 () in
+  on_node ~nodes:0 ~pivots:0;
+  let root =
+    relaxation ?session:sessions.(0)
+      ~simplex:(budgeted_simplex ~remaining:options.pivot_budget)
+      ~warm:root_basis ~lo:lo0 ~hi:hi0 ()
+  in
   account root;
   root_b := root.Simplex.basis;
   match root.Simplex.status with
@@ -317,14 +343,14 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
          both children, plus the dense-mode tableau recovery when the
          node's hot value was evicted.  Writes only into its own task
          record; [Domain.join] publishes the writes to the applier. *)
-      let run_task ?session tk =
+      let run_task ?session ?simplex tk =
         let node = tk.t_node in
         let lo, hi = node_bounds node in
         let parent_hot =
           match node.hot with
           | Some _ as h -> h
           | None when options.warm_start && sdata = None -> (
-              match relaxation ~warm:node.basis ~lo ~hi () with
+              match relaxation ?simplex ~warm:node.basis ~lo ~hi () with
               | { Simplex.status = Solution.Optimal _; hot; _ } as r ->
                   tk.t_rec <- Some r;
                   hot
@@ -339,11 +365,11 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
         let lo_up = Array.copy lo in
         lo_up.(tk.t_var) <- ce;
         tk.t_down <-
-          Some (relaxation ?hot:parent_hot ?session ~warm:node.basis ~lo
-                  ~hi:hi_down ());
+          Some (relaxation ?hot:parent_hot ?session ?simplex ~warm:node.basis
+                  ~lo ~hi:hi_down ());
         tk.t_up <-
-          Some (relaxation ?hot:parent_hot ?session ~warm:node.basis ~lo:lo_up
-                  ~hi ())
+          Some (relaxation ?hot:parent_hot ?session ?simplex ~warm:node.basis
+                  ~lo:lo_up ~hi ())
       in
       (* ---- work-stealing scheduler (schedule = Steal) ----
          Long-lived worker domains, each with a private best-bound
@@ -387,8 +413,21 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
             let waiting = ref true in
             while !waiting do
               if !finished then waiting := false
-              else if
-                !nodes >= options.max_nodes || elapsed () > options.time_limit
+              else begin
+                (* cooperative checkpoint: an injected exception must
+                   not strand the other workers, so mark the search
+                   finished and wake everyone before propagating *)
+                (try on_node ~nodes:!nodes ~pivots:!pivots
+                 with e ->
+                   hit_budget := true;
+                   finished := true;
+                   Condition.broadcast cond;
+                   Mutex.unlock mtx;
+                   raise e);
+              if
+                !nodes >= options.max_nodes
+                || !pivots >= options.pivot_budget
+                || elapsed () > options.time_limit
               then begin
                 hit_budget := true;
                 finished := true;
@@ -414,7 +453,14 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
                         else begin
                           incr nodes;
                           incr in_flight;
-                          acquired := Some node;
+                          (* capture the remaining pivot budget while
+                             the counter is mutex-protected; the
+                             children's solves are capped by it *)
+                          acquired :=
+                            Some
+                              ( node,
+                                budgeted_simplex
+                                  ~remaining:(options.pivot_budget - !pivots) );
                           waiting := false
                         end
                     | None -> ())
@@ -426,12 +472,13 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
                     end
                     else Condition.wait cond mtx
               end
+              end
             done;
             (match !acquired with None -> running := false | Some _ -> ());
             Mutex.unlock mtx;
             match !acquired with
             | None -> ()
-            | Some node -> (
+            | Some (node, simplex) -> (
                 match
                   fractional_var ~int_tol:options.int_tol int_vars node.relax.x
                 with
@@ -449,10 +496,12 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
                     let lo_up = Array.copy lo in
                     lo_up.(v) <- ce;
                     let rdown =
-                      relaxation ?session ~warm:node.basis ~lo ~hi:hi_down ()
+                      relaxation ?session ~simplex ~warm:node.basis ~lo
+                        ~hi:hi_down ()
                     in
                     let rup =
-                      relaxation ?session ~warm:node.basis ~lo:lo_up ~hi ()
+                      relaxation ?session ~simplex ~warm:node.basis ~lo:lo_up
+                        ~hi ()
                     in
                     Mutex.lock mtx;
                     let apply_child (r : Simplex.result) ~bup ~bval =
@@ -514,7 +563,14 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
                 if !batch_n = 0 then continue := false;
                 collecting := false
             | Some _ ->
-                if !nodes >= options.max_nodes || elapsed () > options.time_limit
+                (* cooperative checkpoint: counters are only mutated in
+                   the sequential collect/apply phases, so the values
+                   seen here are a pure function of the search history *)
+                on_node ~nodes:!nodes ~pivots:!pivots;
+                if
+                  !nodes >= options.max_nodes
+                  || !pivots >= options.pivot_budget
+                  || elapsed () > options.time_limit
                 then begin
                   if !batch_n = 0 then begin
                     hit_budget := true;
@@ -561,17 +617,25 @@ let solve ?(options = default_options) ?initial ?root_basis problem =
             (function Branch tk -> Some tk | Leaf _ -> None)
             batch
         in
+        (* every task of a wave sees the same remaining budget — the
+           value at wave entry — so the wave's results stay a pure
+           function of the search history and [workers] *)
+        let wave_simplex =
+          budgeted_simplex ~remaining:(options.pivot_budget - !pivots)
+        in
         (match tasks with
         | [] -> ()
-        | [ tk ] -> run_task ?session:sessions.(0) tk
+        | [ tk ] -> run_task ?session:sessions.(0) ~simplex:wave_simplex tk
         | tk0 :: rest ->
             let doms =
               List.mapi
                 (fun i tk ->
-                  Domain.spawn (fun () -> run_task ?session:sessions.(i + 1) tk))
+                  Domain.spawn (fun () ->
+                      run_task ?session:sessions.(i + 1) ~simplex:wave_simplex
+                        tk))
                 rest
             in
-            run_task ?session:sessions.(0) tk0;
+            run_task ?session:sessions.(0) ~simplex:wave_simplex tk0;
             List.iter Domain.join doms);
         (* ---- apply results in deterministic batch order ---- *)
         List.iter

@@ -59,12 +59,33 @@ type schedule =
           unchanged, but node and pivot counts vary run to run *)
 
 type options = {
-  max_nodes : int;  (** open-node exploration budget *)
+  max_nodes : int;
+      (** open-node exploration budget — the deterministic {e node
+          budget}: it counts work units, not seconds, so a bounded
+          run stops at the same node on any machine (the CLI exposes
+          it as [--node-budget]) *)
   int_tol : float;  (** how close to integral a relaxed value must be *)
   gap_tol : float;
       (** terminate when (incumbent - bound) / max(1, |incumbent|)
           falls below this; [0.] demands a full proof *)
   time_limit : float;  (** wall-clock seconds; [infinity] = unlimited *)
+  pivot_budget : int;
+      (** tree-wide simplex pivot budget ([max_int] = unlimited).
+          Checked cooperatively at every node boundary and threaded
+          into each LP solve as a per-solve pivot cap, so — unlike
+          [time_limit] — a budgeted run is a pure function of the
+          problem and [workers] (under [Wave]): the same machine-
+          independent answer everywhere.  [max_int] leaves every code
+          path bit-identical to a build without the budget. *)
+  on_node : (nodes:int -> pivots:int -> unit) option;
+      (** cooperative checkpoint, called with the deterministic node
+          and cumulative-pivot counters before the root solve and
+          before each node expansion (in [Steal] mode: by whichever
+          worker reaches the scheduler first).  An exception raised
+          here aborts the search and propagates to the caller —
+          the fault-injection hook of the placement service's
+          {!Wishbone.Service.Fault_plan}.  [None] (the default) adds
+          no work at all. *)
   warm_start : bool;
       (** start child LPs from the parent's optimal basis (default
           [true]; results are identical either way, only pivot counts

@@ -264,7 +264,12 @@ let run config ~graph ~node_of ~sources =
        *. config.os_overhead)
       +. (Float.of_int n_packets *. config.per_packet_cpu_s)
     in
-    st.busy_time <- st.busy_time +. compute_s;
+    (* clip the accrual at the simulation horizon: a job admitted near
+       the end keeps computing past [duration] but only the in-window
+       part is utilisation, else the busy fraction can overshoot 1 by
+       a whole job (not just ulps) on short runs *)
+    st.busy_time <-
+      st.busy_time +. Float.min compute_s (Float.max 0. (config.duration -. now));
     schedule (now +. compute_s) (Cpu_done (node_id, st.epoch));
     (* queue the messages now; they go on air as the channel allows *)
     List.iter

@@ -3,6 +3,7 @@ type result = { rate_multiplier : float; report : Partitioner.report }
 type placement_result = {
   placement_multiplier : float;
   placement_report : Placement.report;
+  placement_exact : bool;
 }
 
 (* Near the feasibility boundary the CPU constraint becomes a tight
@@ -25,18 +26,44 @@ let feasible_at ?encoding ?preprocess ?(options = default_search_options) spec
   Partitioner.solve ?encoding ?preprocess ~options
     (Spec.scale_rate spec factor)
 
+(* A probe's verdict at one rate multiple.  [Feasible (r, proved)]
+   carries a verified-feasible report ([proved] = its optimality was
+   certified within the solver budget); [Infeasible_at] is a proven
+   infeasibility; [Unknown_at] is a budget exhaustion with no
+   incumbent — the solver cannot say either way. *)
+type 'a verdict = Feasible of 'a * bool | Infeasible_at | Unknown_at
+
 (* The monotone bracket-and-bisect skeleton shared by the two-tier and
-   tier-graph searches.  [attempt factor] solves at one rate multiple,
-   returning the report when feasible; feasibility must be monotone in
-   [factor] for the bisection to be exact (up to [tol]). *)
+   tier-graph searches.  [attempt factor] solves at one rate multiple;
+   feasibility must be monotone in [factor] for the bisection to be
+   exact (up to [tol]).
+
+   Degradation is conservative: an [Unknown_at] verdict is treated
+   exactly like a proven infeasibility, so the bisection only ever
+   keeps rates whose feasibility was positively demonstrated — the
+   returned rate is always safe to deploy, merely possibly lower than
+   the true maximum when budgets bite.  The returned [exact] flag is
+   true iff no step's verdict was degraded: every kept report was
+   proved optimal and every rejection was a proven infeasibility. *)
 let bracket ~tol ~max_multiplier attempt =
+  let exact = ref true in
+  let note = function
+    | Feasible (_, proved) -> if not proved then exact := false
+    | Infeasible_at -> ()
+    | Unknown_at -> exact := false
+  in
+  let attempt factor =
+    let v = attempt factor in
+    note v;
+    v
+  in
   (* establish a feasible lower bracket *)
   let rec find_lo factor =
     if factor < 1e-9 then None
     else
       match attempt factor with
-      | Some r -> Some (factor, r)
-      | None -> find_lo (factor /. 4.)
+      | Feasible (r, _) -> Some (factor, r)
+      | Infeasible_at | Unknown_at -> find_lo (factor /. 4.)
   in
   match find_lo 1.0 with
   | None -> None
@@ -47,20 +74,20 @@ let bracket ~tol ~max_multiplier attempt =
         if hi > max_multiplier then (lo, best, lo *. 2.)
         else
           match attempt hi with
-          | Some r -> find_hi hi r
-          | None -> (lo, best, hi)
+          | Feasible (r, _) -> find_hi hi r
+          | Infeasible_at | Unknown_at -> (lo, best, hi)
       in
       let lo, best, hi = find_hi lo0 r0 in
       let lo = ref lo and hi = ref hi and best = ref best in
       while (!hi -. !lo) /. !lo > tol do
         let mid = Float.sqrt (!lo *. !hi) in
         match attempt mid with
-        | Some r ->
+        | Feasible (r, _) ->
             best := r;
             lo := mid
-        | None -> hi := mid
+        | Infeasible_at | Unknown_at -> hi := mid
       done;
-      Some (!lo, !best)
+      Some (!lo, !best, !exact)
 
 let search ?encoding ?preprocess ?(options = default_search_options)
     ?(tol = 0.01) ?(max_multiplier = 65536.) ?(incremental = true) spec =
@@ -86,11 +113,12 @@ let search ?encoding ?preprocess ?(options = default_search_options)
         (match r.Partitioner.solver.Lp.Branch_bound.root_basis with
         | Some b -> root_basis := Some b
         | None -> ());
-        Some r
-    | Partitioner.No_feasible_partition | Partitioner.Solver_failure _ -> None
+        Feasible (r, r.Partitioner.solver.Lp.Branch_bound.proved_optimal)
+    | Partitioner.No_feasible_partition -> Infeasible_at
+    | Partitioner.Solver_failure _ -> Unknown_at
   in
   Option.map
-    (fun (m, r) -> { rate_multiplier = m; report = r })
+    (fun (m, r, _) -> { rate_multiplier = m; report = r })
     (bracket ~tol ~max_multiplier attempt)
 
 let search_placement ?encoding ?preprocess
@@ -116,9 +144,12 @@ let search_placement ?encoding ?preprocess
         (match r.Placement.solver.Lp.Branch_bound.root_basis with
         | Some b -> root_basis := Some b
         | None -> ());
-        Some r
-    | Placement.No_feasible_partition | Placement.Solver_failure _ -> None
+        Feasible (r, r.Placement.solver.Lp.Branch_bound.proved_optimal)
+    | Placement.No_feasible_partition -> Infeasible_at
+    | Placement.Solver_failure _ -> Unknown_at
   in
   Option.map
-    (fun (m, r) -> { placement_multiplier = m; placement_report = r })
+    (fun (m, r, exact) ->
+      { placement_multiplier = m; placement_report = r;
+        placement_exact = exact })
     (bracket ~tol ~max_multiplier attempt)

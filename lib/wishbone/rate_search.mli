@@ -16,6 +16,16 @@ type placement_result = {
   placement_multiplier : float;
       (** highest feasible multiple of the profiled input rate *)
   placement_report : Placement.report;  (** the placement at that rate *)
+  placement_exact : bool;
+      (** [true]: every probe that steered the search carried a proof —
+          kept reports were proved optimal, rejections were proven
+          infeasibilities — so the rate is the true maximum (up to
+          [tol]).  [false]: some probe died on the solver budget
+          (either returning an unproven incumbent, or no verdict at
+          all, which the search conservatively treats as infeasible),
+          so the returned rate is a {e safe lower bound} on the
+          maximum: the reported placement is verified feasible at it,
+          but a larger budget might have certified a higher rate. *)
 }
 
 val default_search_options : Lp.Branch_bound.options

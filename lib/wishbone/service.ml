@@ -6,6 +6,7 @@ type query = { placement : Placement.t; request : request }
 
 type answer =
   | Placed of { rate : float; report : Placement.report }
+  | Degraded of { rate : float; report : Placement.report; gap : float }
   | Infeasible
   | Failed of string
 
@@ -19,6 +20,11 @@ type counters = {
   inserts : int;
   evictions : int;
   resident : int;
+  ok : int;
+  degraded : int;
+  failed : int;
+  retries : int;
+  worker_deaths : int;
 }
 
 type response = {
@@ -28,6 +34,48 @@ type response = {
   latency_ms : float;
   counters : counters;
 }
+
+exception Injected_fault of string
+
+(* Raised by a [Kill_worker] fault to take its whole [Domain] down —
+   the one exception the per-query supervisor deliberately does not
+   contain.  Never escapes [run_batch]. *)
+exception Worker_killed
+
+(* ---- fault injection ---------------------------------------------- *)
+
+module Fault_plan = struct
+  type kind =
+    | Transient  (* first attempt raises; a retry succeeds *)
+    | Permanent  (* every attempt raises *)
+    | Crash_at of int  (* first attempt raises at the k-th B&B node *)
+    | Kill_worker  (* first attempt kills its Domain *)
+
+  type t = Off | Seeded of { seed : int; rate : float }
+
+  let none = Off
+  let seeded ?(rate = 0.1) seed = Seeded { seed; rate }
+
+  (* The decision for the [seq]-th solved query of the service's
+     lifetime, derived from the root seed with the documented path
+     [11; seq] ([11] is the service-fault namespace; [Netsim.Testbed]
+     owns [1; k], [Check.Fuzz] owns [oracle; case]).  Pure function of
+     [(plan, seq)]: replays identically across runs, shard counts and
+     retry attempts. *)
+  let decide t ~seq =
+    match t with
+    | Off -> None
+    | Seeded { seed; rate } ->
+        let g = Prng.create (Prng.derive seed [ 11; seq ]) in
+        if not (Prng.bool g rate) then None
+        else
+          Some
+            (match Prng.int g 4 with
+            | 0 -> Transient
+            | 1 -> Permanent
+            | 2 -> Crash_at (Prng.int g 8)
+            | _ -> Kill_worker)
+end
 
 (* ---- canonical digests ------------------------------------------- *)
 
@@ -105,22 +153,47 @@ let instance_key (pl : Placement.t) =
     pl.Placement.links;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
+let add_tiers buf tier_of =
+  Array.iter
+    (fun tp ->
+      Buffer.add_string buf (string_of_int tp);
+      Buffer.add_char buf ',')
+    tier_of
+
 let answer_digest = function
   | Placed { rate; report } ->
       let buf = Buffer.create 256 in
       Buffer.add_string buf "placed;";
       add_f buf rate;
       add_f buf report.Placement.objective;
-      Array.iter
-        (fun tp ->
-          Buffer.add_string buf (string_of_int tp);
-          Buffer.add_char buf ',')
-        report.Placement.tier_of;
+      add_tiers buf report.Placement.tier_of;
+      Digest.to_hex (Digest.string (Buffer.contents buf))
+  | Degraded { rate; report; gap } ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "degraded;";
+      add_f buf rate;
+      add_f buf report.Placement.objective;
+      add_f buf gap;
+      add_tiers buf report.Placement.tier_of;
       Digest.to_hex (Digest.string (Buffer.contents buf))
   | Infeasible -> Digest.to_hex (Digest.string "infeasible")
   | Failed m -> Digest.to_hex (Digest.string ("failed;" ^ m))
 
 (* ---- the shared solve path --------------------------------------- *)
+
+(* The certified interval a degraded answer reports: the true optimum
+   lies within [gap] (relatively) of the incumbent's objective.  Both
+   quantities come from the branch & bound itself, so the bound is as
+   strong as the proof would have been. *)
+let relative_gap (report : Placement.report) =
+  let s = report.Placement.solver in
+  Float.abs (report.Placement.objective -. s.Lp.Branch_bound.best_bound)
+  /. Float.max 1. (Float.abs report.Placement.objective)
+
+let classify ~rate (report : Placement.report) =
+  if report.Placement.solver.Lp.Branch_bound.proved_optimal then
+    Placed { rate; report }
+  else Degraded { rate; report; gap = relative_gap report }
 
 (* One function serves both the daemon and the no-service reference:
    byte-identity of served answers reduces to warm hints being
@@ -132,7 +205,7 @@ let solve_query ~options ~tol ~max_multiplier ?initial_tiers ?root_basis q =
         Placement.solve ~options ?initial:initial_tiers ?root_basis
           (Placement.scale_rate q.placement r)
       with
-      | Placement.Partitioned report -> Placed { rate = r; report }
+      | Placement.Partitioned report -> classify ~rate:r report
       | Placement.No_feasible_partition -> Infeasible
       | Placement.Solver_failure m -> Failed m)
   | Search -> (
@@ -140,8 +213,20 @@ let solve_query ~options ~tol ~max_multiplier ?initial_tiers ?root_basis q =
         Rate_search.search_placement ~options ~tol ~max_multiplier
           ?initial_tiers ?root_basis q.placement
       with
-      | Some { Rate_search.placement_multiplier; placement_report } ->
-          Placed { rate = placement_multiplier; report = placement_report }
+      | Some
+          { Rate_search.placement_multiplier; placement_report;
+            placement_exact } ->
+          if placement_exact then
+            Placed { rate = placement_multiplier; report = placement_report }
+          else
+            (* some probe died on the budget: the rate is a safe lower
+               bound and the gap certifies the placement at it *)
+            Degraded
+              {
+                rate = placement_multiplier;
+                report = placement_report;
+                gap = relative_gap placement_report;
+              }
       | None -> Infeasible)
 
 let default_options = Lp.Branch_bound.default_options
@@ -168,6 +253,8 @@ type t = {
   options : Lp.Branch_bound.options;
   tol : float;
   max_multiplier : float;
+  retries : int;
+  fault_plan : Fault_plan.t;
   table : (string, entry) Hashtbl.t;
   mutable clock : int;
   mutable c_queries : int;
@@ -176,16 +263,25 @@ type t = {
   mutable c_warm : int;
   mutable c_inserts : int;
   mutable c_evictions : int;
+  mutable c_ok : int;
+  mutable c_degraded : int;
+  mutable c_failed : int;
+  mutable c_retries : int;
+  mutable c_deaths : int;
 }
 
 let create ?(capacity = 512) ?(options = default_options) ?(tol = 0.01)
-    ?(max_multiplier = 65536.) () =
+    ?(max_multiplier = 65536.) ?(retries = 1) ?(fault_plan = Fault_plan.none)
+    () =
   if capacity < 0 then invalid_arg "Service.create: negative capacity";
+  if retries < 0 then invalid_arg "Service.create: negative retries";
   {
     capacity;
     options;
     tol;
     max_multiplier;
+    retries;
+    fault_plan;
     table = Hashtbl.create (Int.max 16 capacity);
     clock = 0;
     c_queries = 0;
@@ -194,6 +290,11 @@ let create ?(capacity = 512) ?(options = default_options) ?(tol = 0.01)
     c_warm = 0;
     c_inserts = 0;
     c_evictions = 0;
+    c_ok = 0;
+    c_degraded = 0;
+    c_failed = 0;
+    c_retries = 0;
+    c_deaths = 0;
   }
 
 let counters t =
@@ -205,6 +306,11 @@ let counters t =
     inserts = t.c_inserts;
     evictions = t.c_evictions;
     resident = Hashtbl.length t.table;
+    ok = t.c_ok;
+    degraded = t.c_degraded;
+    failed = t.c_failed;
+    retries = t.c_retries;
+    worker_deaths = t.c_deaths;
   }
 
 let tick t =
@@ -252,7 +358,7 @@ let evict_lru t =
 let insert t ~key ~inst answer digest =
   let tiers, basis =
     match answer with
-    | Placed { report; _ } ->
+    | Placed { report; _ } | Degraded { report; _ } ->
         ( Some report.Placement.tier_of,
           report.Placement.solver.Lp.Branch_bound.root_basis )
     | Infeasible | Failed _ -> (None, None)
@@ -285,6 +391,9 @@ type plan =
 let run_batch ?(shards = 1) t queries =
   if shards < 1 then invalid_arg "Service.run_batch: shards must be >= 1";
   let n = Array.length queries in
+  (* global query sequence numbers key the fault plan: decisions
+     depend on the query history, never on sharding *)
+  let base = t.c_queries in
   t.c_queries <- t.c_queries + n;
   let insts = Array.map (fun q -> instance_key q.placement) queries in
   let keys =
@@ -316,45 +425,119 @@ let run_batch ?(shards = 1) t queries =
                 in
                 P_solve { seed_tiers; seed_basis }))
   in
-  (* ---- solve (sharded) ---- *)
+  (* ---- solve (sharded, supervised) ---- *)
   let results : answer option array = Array.make n None in
   let latency = Array.make n 0. in
+  let killed = Array.make n false in
+  let extra = Array.make n 0 in
   let work =
     List.filter
       (fun i -> match plans.(i) with P_solve _ -> true | _ -> false)
       (List.init n Fun.id)
   in
-  let solve_one i =
+  let solve_raw i ~crash_at =
+    let options =
+      match crash_at with
+      | None -> t.options
+      | Some k ->
+          (* an attempt-local node counter drives the injected crash;
+             composes with (and preserves) any caller-installed hook *)
+          let count = ref 0 in
+          let prev = t.options.Lp.Branch_bound.on_node in
+          {
+            t.options with
+            Lp.Branch_bound.on_node =
+              Some
+                (fun ~nodes ~pivots ->
+                  (match prev with Some f -> f ~nodes ~pivots | None -> ());
+                  let c = !count in
+                  incr count;
+                  if c = k then
+                    raise
+                      (Injected_fault
+                         (Printf.sprintf "injected crash at node %d" k)));
+          }
+    in
     match plans.(i) with
     | P_solve { seed_tiers; seed_basis } ->
-        let t0 = Unix.gettimeofday () in
-        let a =
-          solve_query ~options:t.options ~tol:t.tol
-            ~max_multiplier:t.max_multiplier ?initial_tiers:seed_tiers
-            ?root_basis:seed_basis queries.(i)
-        in
-        latency.(i) <- (Unix.gettimeofday () -. t0) *. 1000.;
-        results.(i) <- Some a
-    | P_replay _ | P_alias _ -> ()
+        solve_query ~options ~tol:t.tol ~max_multiplier:t.max_multiplier
+          ?initial_tiers:seed_tiers ?root_basis:seed_basis queries.(i)
+    | P_replay _ | P_alias _ -> assert false
+  in
+  let attempt i a =
+    match Fault_plan.decide t.fault_plan ~seq:(base + i) with
+    | None -> solve_raw i ~crash_at:None
+    | Some Fault_plan.Transient when a = 0 ->
+        raise (Injected_fault "injected transient decline")
+    | Some Fault_plan.Permanent ->
+        raise (Injected_fault "injected permanent fault")
+    | Some (Fault_plan.Crash_at k) when a = 0 -> solve_raw i ~crash_at:(Some k)
+    | Some Fault_plan.Kill_worker when a = 0 ->
+        killed.(i) <- true;
+        raise Worker_killed
+    | Some _ -> solve_raw i ~crash_at:None
+  in
+  (* The per-query supervisor: bounded retries with a small capped
+     backoff, every exception except [Worker_killed] contained into a
+     [Failed] answer.  A killed query resumes at attempt 1 (kills fire
+     only at attempt 0, so it cannot die twice). *)
+  let supervised i =
+    let start = if killed.(i) then 1 else 0 in
+    let t0 = Unix.gettimeofday () in
+    let rec go a =
+      match attempt i a with
+      | ans ->
+          extra.(i) <- a;
+          ans
+      | exception Worker_killed -> raise Worker_killed
+      | exception e ->
+          if a < start + t.retries then begin
+            Unix.sleepf (Float.min 0.02 (0.002 *. float_of_int (1 lsl (a - start))));
+            go (a + 1)
+          end
+          else begin
+            extra.(i) <- a;
+            Failed (Printexc.to_string e)
+          end
+    in
+    let ans = go start in
+    latency.(i) <- latency.(i) +. ((Unix.gettimeofday () -. t0) *. 1000.);
+    results.(i) <- Some ans
+  in
+  let run_stripe shards k =
+    (* round-robin striping; each index is written by exactly one
+       domain and [Domain.join] publishes the writes (a dying domain's
+       writes included) *)
+    List.iteri
+      (fun pos i -> if pos mod shards = k then supervised i)
+      work
   in
   let shards = Int.max 1 (Int.min shards (List.length work)) in
-  if shards = 1 then List.iter solve_one work
-  else begin
-    (* round-robin striping; each index is written by exactly one
-       domain and [Domain.join] publishes the writes *)
-    let doms =
-      List.init shards (fun k ->
-          Domain.spawn (fun () ->
-              List.iteri
-                (fun pos i -> if pos mod shards = k then solve_one i)
-                work))
-    in
-    List.iter Domain.join doms
-  end;
+  (if shards = 1 then (try run_stripe 1 0 with Worker_killed -> ())
+   else begin
+     let doms =
+       List.init shards (fun k -> Domain.spawn (fun () -> run_stripe shards k))
+     in
+     List.iter (fun d -> try Domain.join d with Worker_killed -> ()) doms
+   end);
+  (* absorb worker deaths: anything a dead domain stranded re-runs
+     inline, victims resuming at attempt 1.  Each pass either finishes
+     every pending query or trips at least one fresh kill, and a query
+     kills at most once, so this terminates. *)
+  let rec sweep () =
+    let pending = List.filter (fun i -> results.(i) = None) work in
+    if pending <> [] then begin
+      (try List.iter supervised pending with Worker_killed -> ());
+      sweep ()
+    end
+  in
+  sweep ();
+  List.iter (fun i -> t.c_retries <- t.c_retries + extra.(i)) work;
+  Array.iter (fun k -> if k then t.c_deaths <- t.c_deaths + 1) killed;
   (* ---- commit (sequential, query order) ---- *)
   let out = Array.make n None in
   for i = 0 to n - 1 do
-    match plans.(i) with
+    (match plans.(i) with
     | P_replay e -> out.(i) <- Some (e.e_answer, e.e_digest, Hit)
     | P_alias j ->
         let a, d, _ = Option.get out.(j) in
@@ -366,16 +549,175 @@ let run_batch ?(shards = 1) t queries =
           if seed_tiers <> None || seed_basis <> None then Warm_start else Cold
         in
         out.(i) <- Some (a, d, served);
-        (* budget failures are not worth pinning in the cache; with the
-           default full-proof options they cannot occur *)
+        (* failures are not worth pinning in the cache; with the
+           default full-proof options and no fault plan they cannot
+           occur.  Degraded answers are deterministic and cached. *)
         (match a with
         | Failed _ -> ()
-        | Placed _ | Infeasible -> insert t ~key:keys.(i) ~inst:insts.(i) a d)
+        | Placed _ | Degraded _ | Infeasible ->
+            insert t ~key:keys.(i) ~inst:insts.(i) a d));
+    match Option.get out.(i) with
+    | Placed _, _, _ | Infeasible, _, _ -> t.c_ok <- t.c_ok + 1
+    | Degraded _, _, _ -> t.c_degraded <- t.c_degraded + 1
+    | Failed _, _, _ -> t.c_failed <- t.c_failed + 1
   done;
   let c = counters t in
   Array.init n (fun i ->
       let answer, digest, served = Option.get out.(i) in
       { answer; digest; served; latency_ms = latency.(i); counters = c })
+
+(* ---- crash-safe checkpoints --------------------------------------- *)
+
+type restore_outcome = Restored of int | Cold_start of string
+
+let magic = "WISHBONE-SERVICE-CHECKPOINT v1"
+
+(* Snapshot layout: the magic line, then framed sections — an ASCII
+   "length md5hex" header line followed by that many Marshal bytes.
+   Section 0 is the header tuple (capacity, tol/max-multiplier bits,
+   clock, counters, entry count); each entry follows as its own
+   section.  Every section's bytes are digest-checked on load, and
+   each entry's stored answer digest is recomputed from the answer
+   itself, so bit rot anywhere degrades to a cold cache rather than a
+   wrong replay.  Options, retries and the fault plan hold closures /
+   configuration and are deliberately not persisted. *)
+
+let write_section oc payload =
+  let s = Marshal.to_string payload [] in
+  Printf.fprintf oc "%d %s\n" (String.length s)
+    (Digest.to_hex (Digest.string s));
+  output_string oc s
+
+let read_section ic =
+  let line = input_line ic in
+  match String.index_opt line ' ' with
+  | None -> failwith "malformed section header"
+  | Some sp -> (
+      match int_of_string_opt (String.sub line 0 sp) with
+      | None -> failwith "malformed section length"
+      | Some len ->
+          if len < 0 || len > 1 lsl 30 then failwith "absurd section length";
+          let md5 = String.sub line (sp + 1) (String.length line - sp - 1) in
+          let s = really_input_string ic len in
+          if Digest.to_hex (Digest.string s) <> md5 then
+            failwith "section bytes fail their digest";
+          Marshal.from_string s 0)
+
+type header = int * int64 * int64 * int * int list * int
+
+type entry_wire =
+  string * string * answer * string * int array option * Lp.Basis.t option
+  * int * int
+
+let checkpoint t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
+    (fun () ->
+      output_string oc (magic ^ "\n");
+      write_section oc
+        (( t.capacity,
+           Int64.bits_of_float t.tol,
+           Int64.bits_of_float t.max_multiplier,
+           t.clock,
+           [
+             t.c_queries; t.c_hits; t.c_misses; t.c_warm; t.c_inserts;
+             t.c_evictions; t.c_ok; t.c_degraded; t.c_failed; t.c_retries;
+             t.c_deaths;
+           ],
+           Hashtbl.length t.table )
+          : header);
+      (* insertion-stamp order: equal caches write byte-identical
+         snapshots regardless of hash-table iteration order *)
+      let entries =
+        List.sort
+          (fun a b -> compare a.e_born b.e_born)
+          (Hashtbl.fold (fun _ e acc -> e :: acc) t.table [])
+      in
+      List.iter
+        (fun e ->
+          write_section oc
+            (( e.e_key, e.e_instance, e.e_answer, e.e_digest, e.e_tiers,
+               e.e_basis, e.e_born, e.e_stamp )
+              : entry_wire))
+        entries);
+  Sys.rename tmp path
+
+let restore ?capacity ?options ?tol ?max_multiplier ?retries ?fault_plan path =
+  let cold reason =
+    ( create ?capacity ?options ?tol ?max_multiplier ?retries ?fault_plan (),
+      Cold_start reason )
+  in
+  let want_tol = Option.value tol ~default:0.01 in
+  let want_mm = Option.value max_multiplier ~default:65536. in
+  match open_in_bin path with
+  | exception Sys_error m -> cold ("cannot open snapshot: " ^ m)
+  | ic ->
+      let result =
+        try
+          if input_line ic <> magic then failwith "bad magic"
+          else begin
+            let ((cap, tol_bits, mm_bits, clock, counts, n_entries) : header) =
+              read_section ic
+            in
+            if cap < 0 || n_entries < 0 || clock < 0 then
+              failwith "corrupt header";
+            if
+              tol_bits <> Int64.bits_of_float want_tol
+              || mm_bits <> Int64.bits_of_float want_mm
+            then failwith "stale parameters (tol/max-multiplier changed)";
+            let t =
+              create ~capacity:cap ?options ~tol:want_tol
+                ~max_multiplier:want_mm ?retries ?fault_plan ()
+            in
+            (match counts with
+            | [ q; h; m; w; ins; ev; ok; dg; fl; rt; dk ] ->
+                t.c_queries <- q;
+                t.c_hits <- h;
+                t.c_misses <- m;
+                t.c_warm <- w;
+                t.c_inserts <- ins;
+                t.c_evictions <- ev;
+                t.c_ok <- ok;
+                t.c_degraded <- dg;
+                t.c_failed <- fl;
+                t.c_retries <- rt;
+                t.c_deaths <- dk
+            | _ -> failwith "corrupt counter block");
+            t.clock <- clock;
+            for _ = 1 to n_entries do
+              let (( e_key, e_instance, e_answer, e_digest, e_tiers, e_basis,
+                     e_born, e_stamp )
+                    : entry_wire) =
+                read_section ic
+              in
+              (* semantic integrity on top of the byte digest: the
+                 stored answer must still hash to its stored digest *)
+              if answer_digest e_answer <> e_digest then
+                failwith "entry answer fails its stored digest";
+              Hashtbl.replace t.table e_key
+                {
+                  e_key; e_instance; e_answer; e_digest; e_tiers; e_basis;
+                  e_born; e_stamp;
+                }
+            done;
+            (match input_line ic with
+            | exception End_of_file -> ()
+            | _ -> failwith "trailing bytes after the last entry");
+            if Hashtbl.length t.table > cap then
+              failwith "more entries than capacity";
+            Ok t
+          end
+        with
+        | Failure m -> Error m
+        | End_of_file -> Error "truncated snapshot"
+        | Sys_error m -> Error m
+      in
+      close_in_noerr ic;
+      (match result with
+      | Ok t -> (t, Restored (Hashtbl.length t.table))
+      | Error m -> cold ("snapshot rejected: " ^ m))
 
 let pp_response ppf r =
   let tag =
@@ -385,6 +727,9 @@ let pp_response ppf r =
   | Placed { rate; report } ->
       Format.fprintf ppf "placed rate x%.4f objective %g" rate
         report.Placement.objective
+  | Degraded { rate; report; gap } ->
+      Format.fprintf ppf "degraded rate x%.4f objective %g gap %.3g" rate
+        report.Placement.objective gap
   | Infeasible -> Format.fprintf ppf "infeasible"
   | Failed m -> Format.fprintf ppf "failed: %s" m);
   Format.fprintf ppf "  [%s, %.2f ms, %s]" tag r.latency_ms

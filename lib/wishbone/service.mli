@@ -1,5 +1,6 @@
 (** The fleet placement service: a persistent query daemon over the
-    placement core (DESIGN.md §16).
+    placement core (DESIGN.md §16), with fault containment and
+    crash-safe checkpoints (§17).
 
     The paper treats partitioning as a one-shot compile step; a fleet
     of heterogeneous devices instead asks the same solver thousands of
@@ -20,7 +21,23 @@
       function of the query history — independent of the shard count,
       and byte-identical to the direct no-service solve path
       ({!solve_direct}), which the [service-equivalence] fuzz oracle
-      and the [@service] test suite enforce.
+      and the [@service] test suite enforce;
+    - {e containment}: every solve runs inside a per-query supervisor.
+      An exception (the sparse engine's factorisation instability, a
+      fault-plan injection, a plain bug) is retried up to [retries]
+      times with a small capped backoff and then converted into a
+      {!Failed} answer carrying the exception rendering — it never
+      takes the batch down, and [ok + degraded + failed = queries]
+      holds after every batch.  A simulated worker death
+      ({!Fault_plan}) kills its [Domain]; the batch re-runs the
+      stranded queries inline, so even that path changes no response
+      byte.  All containment counters are pure functions of the query
+      history and fault plan — identical on 1, 2 or 8 shards;
+    - {e degradation}: under a finite {!Lp.Branch_bound} budget
+      ([max_nodes] / [pivot_budget]) an unproved-but-feasible solve
+      returns {!Degraded} — the best incumbent, verified feasible,
+      with its relative gap from the branch & bound dual bound —
+      never an exception, never a silently suboptimal {!Placed}.
 
     The determinism argument: each batch is {e planned} sequentially
     against the cache state at batch entry (hit / alias / solve, warm
@@ -31,7 +48,11 @@
     Warm hints never change answers (the repo-wide warm-start
     contract, PR 1/5/6); the service additionally runs full proofs
     ([gap_tol = 0], no wall-clock limit) by default so that a
-    budget-truncated solve cannot leak timing into an answer. *)
+    budget-truncated solve cannot leak timing into an answer.  Under a
+    finite {e work-unit} budget ([pivot_budget]/[max_nodes], unlike
+    [time_limit]) answers stay machine-independent, so a budgeted
+    service is still reproducible — only [time_limit] trades that
+    away. *)
 
 (** What a query asks of its placement: solve at one fixed rate
     multiplier, or binary-search the maximum sustainable rate
@@ -42,12 +63,30 @@ type query = { placement : Placement.t; request : request }
 
 type answer =
   | Placed of { rate : float; report : Placement.report }
-      (** feasible: the rate actually solved at (the query's fixed
-          rate, or the rate the search settled on) and the placement
-          report.  Replayed answers return the originally stored
-          report, solver statistics included. *)
-  | Infeasible  (** no feasible placement (at this rate / at any rate) *)
-  | Failed of string  (** solver failure (budget exhaustion, bad data) *)
+      (** feasible and proved optimal: the rate actually solved at
+          (the query's fixed rate, or the rate the search settled on)
+          and the placement report.  Replayed answers return the
+          originally stored report, solver statistics included. *)
+  | Degraded of { rate : float; report : Placement.report; gap : float }
+      (** feasible but unproved: the solver budget ran out with a
+          verified-feasible incumbent in hand.  [gap] is the relative
+          distance from the branch & bound dual bound,
+          [|objective - best_bound| / max(1, |objective|)] — the
+          certified interval the true optimum lies in.  For [Search]
+          queries, degraded additionally means the rate itself is a
+          safe lower bound on the true maximum (some bisection probe
+          died on the budget and was conservatively treated as
+          infeasible); [gap] then bounds the placement objective at
+          the returned rate. *)
+  | Infeasible
+      (** no feasible placement.  For [Rate] queries this is a proof;
+          for [Search] queries under a finite budget it means no rate
+          could be {e certified} feasible (conservative). *)
+  | Failed of string
+      (** solver failure: budget exhausted with no incumbent, bad
+          data, or an exception contained by the supervisor (the
+          rendering includes the exception; injected faults read
+          [Injected_fault]).  Never cached. *)
 
 (** How a response was produced. *)
 type served =
@@ -66,19 +105,69 @@ type counters = {
   inserts : int;  (** [inserts - evictions = resident] *)
   evictions : int;
   resident : int;  (** entries currently cached, [<= capacity] *)
+  ok : int;  (** [Placed]/[Infeasible] responses; [ok + degraded + failed = queries] *)
+  degraded : int;  (** [Degraded] responses (replayed hits included) *)
+  failed : int;  (** [Failed] responses *)
+  retries : int;
+      (** extra solve attempts beyond each query's first — a pure
+          function of the query history and fault plan, independent
+          of shard count *)
+  worker_deaths : int;
+      (** simulated worker kills absorbed ({!Fault_plan}); each
+          planned kill counts exactly once, on any shard count *)
 }
 
 type response = {
   answer : answer;
   digest : string;
       (** hex digest of the canonical answer rendering (status, rate,
-          objective, tier assignment — never solver timings), the
+          objective, gap, tier assignment — never solver timings), the
           byte-identity token of the equivalence oracle *)
   served : served;
   latency_ms : float;  (** wall-clock of this query's solve; ~0 on hits *)
   counters : counters;
       (** service counters as of the end of this query's batch *)
 }
+
+exception Injected_fault of string
+(** The exception raised by {!Fault_plan} injections — transient
+    declines, permanent faults and mid-solve crashes all surface as
+    [Injected_fault] so tests can tell injected failures from real
+    ones.  Contained by the supervisor like any other exception. *)
+
+(** Seeded solver-fault injection — the PR 3 network-fault recipe
+    ({!Netsim.Testbed}) applied to the service layer.  A plan decides,
+    per global query sequence number, whether a solve misbehaves and
+    how:
+
+    - {e transient decline}: the first attempt raises
+      {!Injected_fault}; a retry succeeds — the factorisation
+      instability path;
+    - {e permanent fault}: every attempt raises — exhausts the retry
+      budget and surfaces as {!Failed};
+    - {e mid-solve crash}: the first attempt raises from inside branch
+      & bound at its k-th node expansion (via
+      {!Lp.Branch_bound.options.on_node}); a retry runs clean;
+    - {e worker death}: the first attempt kills its worker [Domain];
+      the batch absorbs the death, re-runs the stranded queries
+      inline, and resumes the victim at attempt 1.
+
+    Decisions derive as [Prng.derive seed [11; seq]] ([11] is the
+    service-fault namespace; the network testbed uses [[1; k]], the
+    fuzzer [[oracle; case]]), so a plan replays bit-identically across
+    runs and shard counts, and {!none} leaves every code path
+    bit-identical to a build without fault injection. *)
+module Fault_plan : sig
+  type t
+
+  val none : t
+  (** No injection; zero overhead — the default. *)
+
+  val seeded : ?rate:float -> int -> t
+  (** [seeded seed] injects a fault into roughly [rate] (default 0.1)
+      of solved queries, kind chosen uniformly among the four above.
+      Equal seeds give equal plans. *)
+end
 
 type t
 
@@ -89,13 +178,19 @@ val default_options : Lp.Branch_bound.options
     prefer the rate search's bounded-latency profile can pass
     {!Rate_search.default_search_options} to {!create} — equivalence
     to {!solve_direct} under the same options still holds, but answers
-    then depend on the node/time budgets. *)
+    then depend on the node/time budgets.  For a {e reproducible}
+    deadline, bound [max_nodes]/[pivot_budget] instead of
+    [time_limit]: work-unit budgets stop at the same node on every
+    machine, and exhaustion surfaces as {!Degraded} or {!Failed},
+    never as a timing-dependent wrong answer. *)
 
 val create :
   ?capacity:int ->
   ?options:Lp.Branch_bound.options ->
   ?tol:float ->
   ?max_multiplier:float ->
+  ?retries:int ->
+  ?fault_plan:Fault_plan.t ->
   unit ->
   t
 (** A fresh service.  [capacity] (default 512) bounds the cache in
@@ -103,7 +198,10 @@ val create :
     insert evicts immediately, keeping the counter algebra intact).
     [options] drives every branch & bound ({!default_options});
     [tol] / [max_multiplier] parameterise [Search] queries exactly as
-    in {!Rate_search.search_placement} (defaults 0.01 / 65536). *)
+    in {!Rate_search.search_placement} (defaults 0.01 / 65536).
+    [retries] (default 1) bounds the supervisor's extra attempts per
+    query; [fault_plan] (default {!Fault_plan.none}) injects seeded
+    solver faults for testing. *)
 
 val counters : t -> counters
 (** Cumulative counters across every batch served so far. *)
@@ -121,8 +219,8 @@ val query_key : t -> query -> string
 
 val answer_digest : answer -> string
 (** The canonical digest stored in {!response.digest}: bit-exact over
-    status, rate, objective and tier assignment; independent of solver
-    statistics, cache state and wall-clock. *)
+    status, rate, objective, gap and tier assignment; independent of
+    solver statistics, cache state and wall-clock. *)
 
 val run_batch : ?shards:int -> t -> query array -> response array
 (** Serve one batch: plan against the cache, solve the misses on
@@ -130,7 +228,9 @@ val run_batch : ?shards:int -> t -> query array -> response array
     cache in query order.  [responses.(i)] answers [queries.(i)];
     answers, digests and counters are identical for every shard
     count.  Exact-duplicate queries within one batch are solved once
-    and the copies served as {!Hit}s. *)
+    and the copies served as {!Hit}s.  No exception escapes: solver
+    faults (real or injected) surface as {!Failed} answers and
+    simulated worker deaths are absorbed and re-run. *)
 
 val solve_direct :
   ?options:Lp.Branch_bound.options ->
@@ -140,8 +240,51 @@ val solve_direct :
   answer
 (** The no-service reference path: the exact solve a fresh service
     would run for this query alone — {!Placement.solve} at the scaled
-    rate, or {!Rate_search.search_placement} — with no cache and no
-    warm hints.  The service-equivalence oracle holds every served
-    answer to this function's output, byte for byte. *)
+    rate, or {!Rate_search.search_placement} — with no cache, no warm
+    hints, no supervisor and no fault plan.  The service-equivalence
+    oracle holds every served answer to this function's output, byte
+    for byte. *)
+
+(** {2 Crash-safe checkpoints}
+
+    [checkpoint] persists the cache — every entry's key, answer,
+    warm-start tier assignment and {!Lp.Basis.t} snapshot — plus the
+    LRU clock and cumulative counters, so a restarted service replays
+    byte-identically to one that never died.  The file carries a
+    per-section MD5 and each entry's stored answer digest is
+    recomputed on load; any mismatch (corruption, truncation, a stale
+    format, changed [tol]/[max_multiplier]) degrades to a cold cache —
+    never to wrong answers.  Solver options, retry budget and fault
+    plan are configuration, not state: they are not persisted and are
+    supplied afresh to {!restore}. *)
+
+type restore_outcome =
+  | Restored of int  (** the cache came back with this many entries *)
+  | Cold_start of string
+      (** the snapshot was unusable (the reason says why); the
+          returned service is fresh, exactly as {!create} *)
+
+val checkpoint : t -> string -> unit
+(** [checkpoint t path] atomically writes the snapshot (a temporary
+    file renamed into place), so a crash mid-write leaves any previous
+    snapshot intact. *)
+
+val restore :
+  ?capacity:int ->
+  ?options:Lp.Branch_bound.options ->
+  ?tol:float ->
+  ?max_multiplier:float ->
+  ?retries:int ->
+  ?fault_plan:Fault_plan.t ->
+  string ->
+  t * restore_outcome
+(** [restore path] loads a snapshot.  On success the cache capacity,
+    clock, counters and entries come from the file ([?capacity] is
+    ignored); on any integrity or staleness failure the optional
+    arguments feed a fresh {!create} and the outcome says why.
+    Passing [tol]/[max_multiplier] different (bit-exactly) from the
+    snapshot's is a staleness failure: cached [Search] answers were
+    computed under the old parameters and must not be replayed under
+    new ones. *)
 
 val pp_response : Format.formatter -> response -> unit

@@ -90,7 +90,7 @@ let test_regression_probe_20n () =
   check_counters "probe 20n r4"
     (run_probe ~n_nodes:20 ~rate:4. ())
     ~offered:2400 ~processed:2400 ~msent:2400 ~mrecv:300 ~psent:2508
-    ~coll:569 ~chan:61 ~queue:7171 ~sink:300 ~busy:0.012008050
+    ~coll:569 ~chan:61 ~queue:7171 ~sink:300 ~busy:0.012005529
 
 let test_regression_speech_cut4 () =
   check_counters "speech cut4"
