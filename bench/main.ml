@@ -27,6 +27,7 @@ let experiments =
     ("service-smoke", fun () -> Service_bench.smoke ());
     ("robust", fun () -> Robust_bench.run ());
     ("robust-smoke", fun () -> Robust_bench.smoke ());
+    ("tree-smoke", fun () -> Placement_bench.smoke_tree ());
   ]
 
 let default_order =

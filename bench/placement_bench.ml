@@ -171,6 +171,7 @@ let four_tier_chain raw spec =
                beta = spec.Wishbone.Spec.beta *. (0.3 ** Float.of_int (i + 1));
              })
            middles)
+    ()
 
 type chain_result = {
   c_rate : float;
@@ -204,7 +205,158 @@ let bench_chain raw spec =
       { c_rate = rate; c_wall_ms = wall_ms; c_objective = nan;
         c_tiers = [||] }
 
-let write_json insts (chain : chain_result) =
+(* ---- tree topologies ----------------------------------------------- *)
+
+type tree_result = {
+  t_name : string;
+  t_n_tiers : int;
+  t_n_super : int;
+  t_rate : float;
+  t_reps : int;
+  t_total_ms : float;
+  t_solver_ms : float;
+  t_overhead_pct : float;
+  t_objective : float;
+}
+
+(* every leaf a copy of the spec's node tier, the unbudgeted server at
+   the hub — the testbed's single-hop routing star.  No tier pins, so
+   supernode contraction still applies and the extra tiers cost only
+   level variables. *)
+let star_placement ~n_leaves (spec : Wishbone.Spec.t) =
+  let n = Array.length spec.Wishbone.Spec.cpu in
+  let topo =
+    Wishbone.Placement.Topology.of_parents
+      (Netsim.Testbed.routing_parents ~n_nodes:n_leaves)
+  in
+  let tiers =
+    List.init (n_leaves + 1) (fun k ->
+        if k = n_leaves then
+          {
+            Wishbone.Placement.tname = "server";
+            cpu = Array.make n 0.;
+            cpu_budget = infinity;
+            alpha = 0.;
+          }
+        else
+          {
+            Wishbone.Placement.tname = Printf.sprintf "leaf%d" k;
+            cpu = spec.Wishbone.Spec.cpu;
+            cpu_budget = spec.Wishbone.Spec.cpu_budget;
+            alpha = spec.Wishbone.Spec.alpha;
+          })
+  in
+  let links =
+    List.init n_leaves (fun k ->
+        {
+          Wishbone.Placement.lname = Printf.sprintf "radio%d" k;
+          net_budget = spec.Wishbone.Spec.net_budget;
+          beta = spec.Wishbone.Spec.beta;
+        })
+  in
+  Wishbone.Placement.v ~topology:topo ~spec ~tiers ~links ()
+
+(* a 7-tier balanced binary tree: 4 node leaves, two meraki middles,
+   the server at the root *)
+let binary_placement raw (spec : Wishbone.Spec.t) =
+  let n = Array.length spec.Wishbone.Spec.cpu in
+  let leaf k =
+    {
+      Wishbone.Placement.tname = Printf.sprintf "leaf%d" k;
+      cpu = spec.Wishbone.Spec.cpu;
+      cpu_budget = spec.Wishbone.Spec.cpu_budget;
+      alpha = spec.Wishbone.Spec.alpha;
+    }
+  in
+  let mid k =
+    let p = Profiler.Platform.meraki in
+    let costed = Profiler.Profile.cost raw p in
+    {
+      Wishbone.Placement.tname = Printf.sprintf "%s%d" p.name k;
+      cpu = costed.Profiler.Profile.cpu_fraction;
+      cpu_budget = p.cpu_budget;
+      alpha = 0.;
+    }
+  in
+  let radio k =
+    {
+      Wishbone.Placement.lname = Printf.sprintf "radio%d" k;
+      net_budget = spec.Wishbone.Spec.net_budget;
+      beta = spec.Wishbone.Spec.beta;
+    }
+  in
+  let uplink k =
+    {
+      Wishbone.Placement.lname = Printf.sprintf "uplink%d" k;
+      net_budget = Profiler.Platform.meraki.Profiler.Platform.radio_bytes_per_sec;
+      beta = spec.Wishbone.Spec.beta *. 0.3;
+    }
+  in
+  Wishbone.Placement.v
+    ~topology:(Wishbone.Placement.Topology.of_parents [| 4; 4; 5; 5; 6; 6; -1 |])
+    ~spec
+    ~tiers:
+      [
+        leaf 0; leaf 1; leaf 2; leaf 3; mid 4; mid 5;
+        {
+          Wishbone.Placement.tname = "server";
+          cpu = Array.make n 0.;
+          cpu_budget = infinity;
+          alpha = 0.;
+        };
+      ]
+    ~links:[ radio 0; radio 1; radio 2; radio 3; uplink 4; uplink 5 ]
+    ()
+
+(* the chain-vs-tree builder guard: the same interleaved full-pipeline
+   vs pre-encoded-solver measurement as [bench_two_tier], on tree
+   topologies.  [rate] pins the instance (the eeg testbed rows reuse
+   the chain rows' boundary rate); omitted, the tree's own rate search
+   finds the boundary. *)
+let bench_tree ~name ~reps ?rate pl =
+  let rate =
+    match rate with
+    | Some r -> r
+    | None -> (
+        match Wishbone.Rate_search.search_placement pl with
+        | Some r -> r.Wishbone.Rate_search.placement_multiplier
+        | None -> 1.0)
+  in
+  let pl = Wishbone.Placement.scale_rate pl rate in
+  let c = Wishbone.Preprocess.contract pl.Wishbone.Placement.spec in
+  let enc = Wishbone.Placement.encode Wishbone.Placement.Restricted pl c in
+  let total_ms, solver_ms =
+    time_interleaved reps
+      (fun () -> Wishbone.Placement.solve pl)
+      (fun () -> Lp.Branch_bound.solve enc.Wishbone.Placement.problem)
+  in
+  let objective =
+    match Wishbone.Placement.solve pl with
+    | Wishbone.Placement.Partitioned r -> r.Wishbone.Placement.objective
+    | _ -> nan
+  in
+  let overhead_pct =
+    100. *. (total_ms -. solver_ms) /. Float.max 1e-9 total_ms
+  in
+  Bench_util.row
+    "%-14s x%.4f  %2d tiers  %8.3f ms/solve  (solver floor %8.3f ms)  \
+     overhead %5.1f%%\n"
+    name rate
+    (Wishbone.Placement.n_tiers pl)
+    total_ms solver_ms overhead_pct;
+  {
+    t_name = name;
+    t_n_tiers = Wishbone.Placement.n_tiers pl;
+    t_n_super = c.Wishbone.Preprocess.n_super;
+    t_rate = rate;
+    t_reps = reps;
+    t_total_ms = total_ms;
+    t_solver_ms = solver_ms;
+    t_overhead_pct = overhead_pct;
+    t_objective = objective;
+  }
+
+let write_json insts (chain : chain_result) trees =
   let oc = open_out "BENCH_placement.json" in
   (* absolute milliseconds are always reported; the relative-overhead
      guard applies only when the solver floor is at least 1ms.  Below
@@ -228,17 +380,32 @@ let write_json insts (chain : chain_result) =
       r.overhead_pct r.objective r.pivots r.refactorisations r.ft_updates
       r.ft_entries r.pricing (guard r)
   in
+  (* the tree rows use the same guard as the two-tier hot path *)
+  let tree_guard (r : tree_result) =
+    r.t_solver_ms < 1.0
+    || (r.t_overhead_pct >= -1. && r.t_overhead_pct < 10.)
+  in
+  let tree (r : tree_result) =
+    Printf.sprintf
+      "    {\"name\": \"%s\", \"n_tiers\": %d, \"n_super\": %d, \"rate\": \
+       %.6f, \"reps\": %d, \"total_ms\": %.4f, \"solver_ms\": %.4f, \
+       \"overhead_pct\": %.2f, \"objective\": %.6f, \"guard_ok\": %b}"
+      r.t_name r.t_n_tiers r.t_n_super r.t_rate r.t_reps r.t_total_ms
+      r.t_solver_ms r.t_overhead_pct r.t_objective (tree_guard r)
+  in
   Printf.fprintf oc
     "{\n\
     \  \"benchmark\": \"placement_core_overhead\",\n\
     \  \"two_tier\": [\n%s\n  ],\n\
     \  \"four_tier_chain\": {\"rate\": %.6f, \"wall_ms\": %.4f, \
-     \"objective\": %.6f, \"ops_per_tier\": [%s]}\n\
+     \"objective\": %.6f, \"ops_per_tier\": [%s]},\n\
+    \  \"tree\": [\n%s\n  ]\n\
      }\n"
     (String.concat ",\n" (List.map inst insts))
     chain.c_rate chain.c_wall_ms chain.c_objective
     (String.concat ", "
-       (Array.to_list (Array.map string_of_int chain.c_tiers)));
+       (Array.to_list (Array.map string_of_int chain.c_tiers)))
+    (String.concat ",\n" (List.map tree trees));
   close_out oc
 
 let run () =
@@ -267,5 +434,143 @@ let run () =
   let eeg22_r = bench_two_tier ~name:"eeg22" ~reps:10 eeg22_spec in
   let insts = [ speech_r; eeg14_r; eeg22_r ] in
   let chain = bench_chain (Lazy.force Bench_util.speech_profile) speech_spec in
-  write_json insts chain;
+  (* tree suite: routing star and binary tree on speech at their own
+     boundary rates, the 20-mote testbed star at the eeg chain rates *)
+  let speech_raw = Lazy.force Bench_util.speech_profile in
+  let star_r =
+    bench_tree ~name:"speech-star8" ~reps:50
+      (star_placement ~n_leaves:8 speech_spec)
+  in
+  let bin_r =
+    bench_tree ~name:"speech-bin7" ~reps:50 (binary_placement speech_raw speech_spec)
+  in
+  let eeg14_t =
+    bench_tree ~name:"eeg14-testbed" ~reps:10 ~rate:eeg14_r.rate
+      (star_placement ~n_leaves:20 eeg14_spec)
+  in
+  let eeg22_t =
+    bench_tree ~name:"eeg22-testbed" ~reps:5 ~rate:eeg22_r.rate
+      (star_placement ~n_leaves:20 eeg22_spec)
+  in
+  write_json insts chain [ star_r; bin_r; eeg14_t; eeg22_t ];
   Bench_util.row "wrote BENCH_placement.json\n"
+
+(* ---- CI smoke: Y fixture + one testbed-tree placement -------------- *)
+
+(* the hand-checked Y of test_placement.ml: two sensing branches
+   sharing the microserver -> root uplink; shared budget 5.5 admits
+   exactly one optimum (objective 9.5), 4.9 admits none although each
+   branch alone would fit *)
+let y_placement ~shared_budget =
+  let passthrough () =
+    Dataflow.Op.stateless_instance (fun v ->
+        ([ v ], Dataflow.Workload.make ~call_ops:1. ()))
+  in
+  let mk_op ?(namespace = Dataflow.Op.Node) ?(side_effect = Dataflow.Op.Pure)
+      id name =
+    { Dataflow.Op.id; name; kind = "t"; namespace; stateful = false;
+      side_effect; fresh = passthrough }
+  in
+  let ops =
+    [|
+      mk_op ~side_effect:Dataflow.Op.Sensor_input 0 "srcA";
+      mk_op 1 "a";
+      mk_op ~namespace:Dataflow.Op.Server
+        ~side_effect:Dataflow.Op.Display_output 2 "sinkA";
+      mk_op ~side_effect:Dataflow.Op.Sensor_input 3 "srcB";
+      mk_op 4 "b";
+      mk_op ~namespace:Dataflow.Op.Server
+        ~side_effect:Dataflow.Op.Display_output 5 "sinkB";
+    |]
+  in
+  let g =
+    Dataflow.Graph.make ops [ (0, 1, 0); (1, 2, 0); (3, 4, 0); (4, 5, 0) ]
+  in
+  let placement =
+    match Wishbone.Movable.classify Wishbone.Movable.Conservative g with
+    | Ok p -> p
+    | Error m -> failwith m
+  in
+  let leaf_cpu = [| 0.3; 0.4; 0.; 0.3; 0.4; 0. |] in
+  let spec =
+    {
+      Wishbone.Spec.graph = g;
+      placement;
+      cpu = leaf_cpu;
+      bandwidth = [| 4.; 1.; 4.; 2. |];
+      cpu_budget = 0.5;
+      net_budget = 1e9;
+      alpha = 0.;
+      beta = 1.;
+    }
+  in
+  let leaf tname =
+    { Wishbone.Placement.tname; cpu = leaf_cpu; cpu_budget = 0.5; alpha = 0. }
+  in
+  Wishbone.Placement.v
+    ~topology:(Wishbone.Placement.Topology.of_parents [| 2; 2; 3; -1 |])
+    ~pins:[ (3, 1) ] ~spec
+    ~tiers:
+      [
+        leaf "leafA"; leaf "leafB";
+        { Wishbone.Placement.tname = "micro";
+          cpu = [| 0.; 0.2; 0.; 0.; 0.2; 0. |]; cpu_budget = 0.3; alpha = 0. };
+        { Wishbone.Placement.tname = "root"; cpu = Array.make 6 0.;
+          cpu_budget = infinity; alpha = 0. };
+      ]
+    ~links:
+      [
+        { Wishbone.Placement.lname = "leafA-up"; net_budget = infinity;
+          beta = 1. };
+        { Wishbone.Placement.lname = "leafB-up"; net_budget = infinity;
+          beta = 1. };
+        { Wishbone.Placement.lname = "shared-up"; net_budget = shared_budget;
+          beta = 0.3 };
+      ]
+    ()
+
+let smoke_tree () =
+  Bench_util.header "tree placement: smoke (Y fixture + testbed star)";
+  let check label ok =
+    if not ok then begin
+      Printf.eprintf "tree smoke: FAILED: %s\n" label;
+      exit 1
+    end
+  in
+  let feq a b = Float.abs (a -. b) <= 1e-6 in
+  (match Wishbone.Placement.solve (y_placement ~shared_budget:5.5) with
+  | Wishbone.Placement.Partitioned r ->
+      check "Y objective 9.5" (feq r.Wishbone.Placement.objective 9.5);
+      check "Y tier assignment"
+        (r.Wishbone.Placement.tier_of = [| 0; 2; 3; 1; 3; 3 |]);
+      check "Y shared uplink carries 5 B/s"
+        (feq r.Wishbone.Placement.link_net.(2) 5.)
+  | _ -> check "Y solve at shared budget 5.5" false);
+  (match Wishbone.Placement.solve (y_placement ~shared_budget:4.9) with
+  | Wishbone.Placement.No_feasible_partition -> ()
+  | _ -> check "Y infeasible at shared budget 4.9" false);
+  (* speech on the 20-mote routing star: the placement must reproduce
+     the two-tier optimum with the whole cut on mote 0's uplink *)
+  let spec =
+    Wishbone.Spec.scale_rate
+      (Bench_util.spec_exn ~platform:Profiler.Platform.tmote_sky
+         (Lazy.force Bench_util.speech_profile))
+      0.05
+  in
+  (match
+     ( Wishbone.Placement.solve (star_placement ~n_leaves:20 spec),
+       Wishbone.Placement.solve (Wishbone.Placement.of_spec spec) )
+   with
+  | Wishbone.Placement.Partitioned s, Wishbone.Placement.Partitioned two ->
+      check "star objective = two-tier objective"
+        (feq s.Wishbone.Placement.objective two.Wishbone.Placement.objective);
+      check "cut rides mote 0's uplink"
+        (feq s.Wishbone.Placement.link_net.(0)
+           two.Wishbone.Placement.link_net.(0));
+      check "all other radios idle"
+        (Array.for_all (fun x -> feq x 0.)
+           (Array.sub s.Wishbone.Placement.link_net 1 19))
+  | _ -> check "testbed star solve" false);
+  Bench_util.row
+    "tree smoke ok: Y optimum 9.5 with binding shared uplink, infeasible \
+     at 4.9; 21-tier testbed star matches the two-tier optimum\n"

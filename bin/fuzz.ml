@@ -1,4 +1,4 @@
-(* Randomized correctness fuzzing: seeded generators + the eight
+(* Randomized correctness fuzzing: seeded generators + the nine
    oracles of lib/check (DESIGN.md §11).  Exit status 0 iff every
    case passed. *)
 
@@ -65,8 +65,9 @@ let oracles =
           "Oracle to run (repeatable): lp-certificate, ilp-brute, \
            cut-enumeration, split-equivalence, degradation, \
            placement-equivalence, service-equivalence, \
-           degraded-soundness ($(b,degraded) for short).  Default: all \
-           eight.")
+           degraded-soundness ($(b,degraded) for short), \
+           tree-equivalence ($(b,tree) for short).  Default: all \
+           nine.")
 
 let no_shrink =
   Arg.(

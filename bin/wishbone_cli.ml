@@ -172,7 +172,161 @@ let placement_of_chain (spec : Wishbone.Spec.t) raw middles =
   in
   Wishbone.Placement.v ~spec
     ~tiers:((node_tier :: middle_tiers) @ [ server ])
-    ~links
+    ~links ()
+
+(* ---- tier trees (--topology) ---- *)
+
+(* A rooted tier tree over the listed platforms, node-most first, plus
+   the implicit unbudgeted central server as the root (one past the
+   last listed platform).  [parents = None] is the plain chain, routed
+   through [placement_of_chain] so it stays byte-identical to
+   --tiers. *)
+type topo_spec = {
+  plats : Profiler.Platform.t list;
+  parents : int array option;
+}
+
+let topology_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "topology" ] ~docv:"PLAT[>K],..."
+        ~doc:
+          "Solve over a rooted tier $(i,tree) instead of a chain: \
+           comma-separated $(b,PLATFORM[>K]) entries, node-most first, \
+           where $(b,>K) uplinks the tier to the K'th entry (0-based; K \
+           may also be one past the last entry, naming the implicit \
+           unbudgeted central server at the root).  Without $(b,>K) an \
+           entry uplinks to the next one, so a list with no $(b,>K) at \
+           all is exactly the $(b,--tiers) chain.  Example: \
+           $(b,tmote>2,tmote>2,gumstix) is a Y — two motes sharing one \
+           gumstix whose uplink reaches the server.")
+
+let parse_topology s =
+  if not (String.contains s '>') then
+    Result.map (fun plats -> { plats; parents = None }) (parse_chain s)
+  else
+    let toks =
+      String.split_on_char ',' s
+      |> List.map String.trim
+      |> List.filter (fun x -> x <> "")
+    in
+    let n = List.length toks in
+    if n = 0 then Error "--topology: empty platform list"
+    else
+      let rec go i plats parents = function
+        | [] -> (
+            let parents = Array.of_list (List.rev (-1 :: parents)) in
+            match Wishbone.Placement.Topology.of_parents parents with
+            | _ -> Ok { plats = List.rev plats; parents = Some parents }
+            | exception Invalid_argument m -> Error ("--topology: " ^ m))
+        | tok :: rest -> (
+            let name, parent =
+              match String.index_opt tok '>' with
+              | None -> (tok, Ok (i + 1))
+              | Some j -> (
+                  let k =
+                    String.sub tok (j + 1) (String.length tok - j - 1)
+                  in
+                  ( String.sub tok 0 j,
+                    match int_of_string_opt (String.trim k) with
+                    | Some p when p > i && p <= n -> Ok p
+                    | Some p ->
+                        Error
+                          (Printf.sprintf
+                             "--topology: %S: parent %d not in (%d, %d] \
+                              (parents must sit later in the list; %d is \
+                              the server)"
+                             tok p i n n)
+                    | None ->
+                        Error
+                          (Printf.sprintf "--topology: bad parent index in %S"
+                             tok) ))
+            in
+            match parent with
+            | Error m -> Error m
+            | Ok p -> (
+                match Profiler.Platform.find (String.trim name) with
+                | plat -> go (i + 1) (plat :: plats) (p :: parents) rest
+                | exception Not_found ->
+                    Error
+                      (Printf.sprintf "--topology: unknown platform %S" name)))
+      in
+      go 0 [] [] toks
+
+(* The tree analogue of [placement_of_chain]: tier 0 is the spec, each
+   further listed platform a costed tier, the implicit server the
+   root.  Link k is tier k's uplink; its per-byte weight falls off by
+   0.3 per hop of tree depth $(i,below) it (the leafward radios being
+   the scarce resource), which on a chain reproduces the historical
+   0.3^k fall-off exactly. *)
+let placement_of_topology (spec : Wishbone.Spec.t) raw plats parents =
+  let topo = Wishbone.Placement.Topology.of_parents parents in
+  let n = Array.length spec.Wishbone.Spec.cpu in
+  let n_tiers = Wishbone.Placement.Topology.n_tiers topo in
+  let depth_below = Array.make n_tiers 0 in
+  (* children always carry smaller indices, so one ascending pass *)
+  for k = 0 to n_tiers - 1 do
+    List.iter
+      (fun c ->
+        depth_below.(k) <- Int.max depth_below.(k) (depth_below.(c) + 1))
+      (Wishbone.Placement.Topology.children topo k)
+  done;
+  let node_tier =
+    {
+      Wishbone.Placement.tname = "node";
+      cpu = spec.Wishbone.Spec.cpu;
+      cpu_budget = spec.Wishbone.Spec.cpu_budget;
+      alpha = spec.Wishbone.Spec.alpha;
+    }
+  in
+  let rest =
+    List.mapi
+      (fun i (p : Profiler.Platform.t) ->
+        let costed = Profiler.Profile.cost raw p in
+        {
+          Wishbone.Placement.tname = Printf.sprintf "%s#%d" p.name (i + 1);
+          cpu = costed.Profiler.Profile.cpu_fraction;
+          cpu_budget = p.cpu_budget;
+          alpha = 0.;
+        })
+      (List.tl plats)
+  in
+  let server =
+    {
+      Wishbone.Placement.tname = "server";
+      cpu = Array.make n 0.;
+      cpu_budget = infinity;
+      alpha = 0.;
+    }
+  in
+  let links =
+    List.mapi
+      (fun k (p : Profiler.Platform.t) ->
+        if k = 0 then
+          {
+            Wishbone.Placement.lname = "radio0";
+            net_budget = spec.Wishbone.Spec.net_budget;
+            beta = spec.Wishbone.Spec.beta;
+          }
+        else
+          {
+            Wishbone.Placement.lname = Printf.sprintf "uplink%d" k;
+            net_budget = p.Profiler.Platform.radio_bytes_per_sec;
+            beta =
+              spec.Wishbone.Spec.beta
+              *. (0.3 ** Float.of_int depth_below.(k));
+          })
+      plats
+  in
+  Wishbone.Placement.v ~topology:topo ~spec
+    ~tiers:((node_tier :: rest) @ [ server ])
+    ~links ()
+
+let placement_of_topo_spec spec raw ts =
+  match ts.parents with
+  | None -> placement_of_chain spec raw (List.tl ts.plats)
+  | Some parents -> placement_of_topology spec raw ts.plats parents
 
 (* ---- app construction ---- *)
 
@@ -429,7 +583,7 @@ let partition_cmd =
       m;
     exit 1
   in
-  let run app platform duration mode rate dot search tiers max_pivots
+  let run app platform duration mode rate dot search tiers topology max_pivots
       time_limit_ms node_budget pivot_budget workers pricing schedule =
     (* the rate search keeps its looser per-solve budgets unless
        overridden explicitly *)
@@ -445,18 +599,27 @@ let partition_cmd =
     let fb0 = Lp.Sparse.dense_fallbacks () in
     let b = build_app app in
     let raw = b.profile ~duration in
-    let chain =
-      match tiers with
-      | None -> None
-      | Some s -> (
+    let ts =
+      match (tiers, topology) with
+      | Some _, Some _ ->
+          Printf.eprintf "error: --tiers and --topology are mutually exclusive\n";
+          exit 1
+      | Some s, None -> (
           match parse_chain s with
-          | Ok c -> Some c
+          | Ok plats -> Some { plats; parents = None }
           | Error m ->
               Printf.eprintf "error: %s\n" m;
               exit 1)
+      | None, Some s -> (
+          match parse_topology s with
+          | Ok t -> Some t
+          | Error m ->
+              Printf.eprintf "error: %s\n" m;
+              exit 1)
+      | None, None -> None
     in
     let node_platform =
-      match chain with Some (p :: _) -> p | _ -> platform
+      match ts with Some { plats = p :: _; _ } -> p | _ -> platform
     in
     let write_dot assignment =
       match dot with
@@ -471,7 +634,7 @@ let partition_cmd =
         Printf.eprintf "error: %s\n" m;
         exit 1
     | Ok spec -> (
-        match chain with
+        match ts with
         | None -> (
             let finish (report : Wishbone.Partitioner.report) =
               Format.printf "%a@."
@@ -504,8 +667,8 @@ let partition_cmd =
               | Wishbone.Partitioner.Solver_failure m ->
                   Printf.eprintf "solver failure: %s\n" m;
                   exit 1)
-        | Some chain -> (
-            let pl = placement_of_chain spec raw (List.tl chain) in
+        | Some ts -> (
+            let pl = placement_of_topo_spec spec raw ts in
             let finish pl (r : Wishbone.Placement.report) =
               Format.printf "%a@." (Wishbone.Placement.pp_report b.graph pl) r;
               report_counters options ~fb0;
@@ -547,13 +710,13 @@ let partition_cmd =
     (Cmd.info "partition"
        ~doc:
          "Compute the optimal node/server partition (§4), or — with \
-          $(b,--tiers) — the optimal placement over a multi-tier platform \
-          chain.")
+          $(b,--tiers) / $(b,--topology) — the optimal placement over a \
+          multi-tier platform chain or rooted tier tree.")
     Term.(
       const run $ app_arg $ platform_arg $ duration_arg $ mode_arg $ rate_arg
-      $ dot_arg $ search_arg $ tiers_arg $ max_pivots_arg $ time_limit_arg
-      $ node_budget_arg $ pivot_budget_arg $ workers_arg $ pricing_arg
-      $ schedule_arg)
+      $ dot_arg $ search_arg $ tiers_arg $ topology_arg $ max_pivots_arg
+      $ time_limit_arg $ node_budget_arg $ pivot_budget_arg $ workers_arg
+      $ pricing_arg $ schedule_arg)
 
 let sweep_cmd =
   let from_arg =
@@ -657,8 +820,8 @@ let deploy_cmd =
   let seed_arg =
     Arg.(value & opt int 5 & info [ "seed" ] ~docv:"N" ~doc:"Simulation seed.")
   in
-  let run_tiers_deploy ~chain ~platform:_ ~nodes ~sim_duration ~rate ~seed t =
-    let node_platform = List.hd chain in
+  let run_tiers_deploy ~ts ~replicas ~sim_duration ~rate ~seed t =
+    let node_platform = List.hd ts.plats in
     let raw = Apps.Speech.profile ~duration:10. t in
     match
       Wishbone.Spec.of_profile ~mode:Wishbone.Movable.Conservative
@@ -669,7 +832,7 @@ let deploy_cmd =
         exit 1
     | Ok spec -> (
         let spec = Wishbone.Spec.scale_rate spec rate in
-        let pl = placement_of_chain spec raw (List.tl chain) in
+        let pl = placement_of_topo_spec spec raw ts in
         match Wishbone.Placement.solve pl with
         | Wishbone.Placement.No_feasible_partition ->
             print_endline "no feasible placement at this rate";
@@ -701,7 +864,7 @@ let deploy_cmd =
             in
             let rounds = Int.max 1 (int_of_float sim_duration) in
             let tc =
-              Wishbone.Deploy.run_tiers ~n_nodes:nodes ~links ~rounds
+              Wishbone.Deploy.run_tiers ~n_nodes:replicas ~links ~rounds
                 ~placement:pl ~tier_of:r.tier_of ~sources ()
             in
             (* rounds injections per node at frame_rate*rate windows/s
@@ -710,7 +873,7 @@ let deploy_cmd =
             let per_sec bytes =
               Float.of_int bytes
               *. Apps.Speech.frame_rate *. rate
-              /. Float.of_int (rounds * nodes)
+              /. Float.of_int (rounds * replicas)
             in
             Printf.printf "%-10s %16s %16s %10s\n" "link" "predicted B/s"
               "offered B/s" "dropped";
@@ -725,18 +888,40 @@ let deploy_cmd =
               tc.Wishbone.Deploy.sink_outputs)
   in
   let run platform nodes cut sim_duration faults burst_loss crash_rate
-      reliable adaptive rate seed tiers =
+      reliable adaptive rate seed tiers topology =
     let t = Apps.Speech.build () in
-    match tiers with
-    | Some s -> (
+    let die m =
+      Printf.eprintf "error: %s\n" m;
+      exit 1
+    in
+    match (tiers, topology) with
+    | Some _, Some _ -> die "--tiers and --topology are mutually exclusive"
+    | Some s, None -> (
         match parse_chain s with
-        | Error m ->
-            Printf.eprintf "error: %s\n" m;
-            exit 1
-        | Ok chain ->
-            run_tiers_deploy ~chain ~platform ~nodes ~sim_duration ~rate ~seed
-              t)
-    | None ->
+        | Error m -> die m
+        | Ok plats ->
+            run_tiers_deploy
+              ~ts:{ plats; parents = None }
+              ~replicas:nodes ~sim_duration ~rate ~seed t)
+    | None, Some "testbed" ->
+        (* the fig. 9/10 routing tree: every mote a leaf tier of the
+           node platform, one radio hop from the basestation root; the
+           sensing sources sit on tier 0, so the fan-out IS the
+           topology and no extra tier-0 replication applies *)
+        let n = Int.max 1 nodes in
+        run_tiers_deploy
+          ~ts:
+            {
+              plats = List.init n (fun _ -> platform);
+              parents = Some (Netsim.Testbed.routing_parents ~n_nodes:n);
+            }
+          ~replicas:1 ~sim_duration ~rate ~seed t
+    | None, Some s -> (
+        match parse_topology s with
+        | Error m -> die m
+        | Ok ts ->
+            run_tiers_deploy ~ts ~replicas:nodes ~sim_duration ~rate ~seed t)
+    | None, None ->
     let assignment = Apps.Speech.cut_assignment t cut in
     let link =
       if platform.Profiler.Platform.radio_payload_bytes <= 64 then
@@ -821,13 +1006,16 @@ let deploy_cmd =
     (Cmd.info "deploy"
        ~doc:
          "Run the speech app on the simulated wireless testbed (§7.3), \
-          optionally under injected faults; with $(b,--tiers), execute a \
-          multi-tier placement through the tier-level engine with bounded \
-          inter-tier channels.")
+          optionally under injected faults; with $(b,--tiers) or \
+          $(b,--topology), execute a multi-tier placement through the \
+          tier-level engine with bounded inter-tier channels and a \
+          per-edge predicted-vs-offered table.  $(b,--topology testbed) \
+          places against the testbed's own routing tree ($(b,--nodes) \
+          motes, one hop from the basestation).")
     Term.(
       const run $ platform_arg $ nodes_arg $ cut_arg $ sim_duration_arg
       $ faults_arg $ burst_loss_arg $ crash_rate_arg $ reliable_arg
-      $ adaptive_arg $ rate_arg $ seed_arg $ tiers_arg)
+      $ adaptive_arg $ rate_arg $ seed_arg $ tiers_arg $ topology_arg)
 
 (* ---- serve: the fleet placement service over a query file ---- *)
 
@@ -842,10 +1030,11 @@ let serve_cmd =
              REQUEST [cpu=F] [net=F]) where APP is \
              speech|eeg1|eeg14|eeg22|synthetic:SEED[:NOPS], CHAIN is a \
              comma-separated platform chain (node-most first; $(b,-) for \
-             synthetic specs, which carry their own budgets), REQUEST is \
-             $(b,rate X) or $(b,search), and cpu=/net= override the node \
-             CPU and radio budgets.  Blank lines and $(b,#) comments are \
-             skipped.")
+             synthetic specs, which carry their own budgets) — or, with \
+             $(b,PLAT>K) entries, a rooted tier tree as in \
+             $(b,--topology) — REQUEST is $(b,rate X) or $(b,search), \
+             and cpu=/net= override the node CPU and radio budgets.  \
+             Blank lines and $(b,#) comments are skipped.")
   in
   let shards_arg =
     Arg.(
@@ -1005,19 +1194,20 @@ let serve_cmd =
             end
             else begin
               let _, raw = profile_app lineno app in
-              let chain =
-                match parse_chain chain with
-                | Ok c -> c
+              let ts =
+                match parse_topology chain with
+                | Ok t -> t
                 | Error m -> fail lineno m
               in
-              let node_platform = List.hd chain in
+              let node_platform = List.hd ts.plats in
               match Wishbone.Spec.of_profile ~mode ~node_platform raw with
               | Error m -> fail lineno m
               | Ok spec -> (
                   let spec = parse_overrides lineno spec overrides in
-                  match List.tl chain with
-                  | [] -> Wishbone.Placement.of_spec spec
-                  | middles -> placement_of_chain spec raw middles)
+                  match ts with
+                  | { plats = [ _ ]; parents = None } ->
+                      Wishbone.Placement.of_spec spec
+                  | _ -> placement_of_topo_spec spec raw ts)
             end
           in
           Some (text, { Wishbone.Service.placement; request })

@@ -7,11 +7,12 @@ type oracle =
   | Placement_equivalence
   | Service_equivalence
   | Degraded_soundness
+  | Tree_equivalence
 
 let all_oracles =
   [ Lp_certificate; Ilp_brute; Cut_enumeration; Split_equivalence;
     Degradation; Placement_equivalence; Service_equivalence;
-    Degraded_soundness ]
+    Degraded_soundness; Tree_equivalence ]
 
 let oracle_name = function
   | Lp_certificate -> "lp-certificate"
@@ -22,13 +23,15 @@ let oracle_name = function
   | Placement_equivalence -> "placement-equivalence"
   | Service_equivalence -> "service-equivalence"
   | Degraded_soundness -> "degraded-soundness"
+  | Tree_equivalence -> "tree-equivalence"
 
 let oracle_of_name s =
   let s = String.lowercase_ascii (String.trim s) in
-  (* "placement" and "service" are accepted as short aliases *)
+  (* "placement", "service", "degraded" and "tree" are short aliases *)
   if s = "placement" then Some Placement_equivalence
   else if s = "service" then Some Service_equivalence
   else if s = "degraded" then Some Degraded_soundness
+  else if s = "tree" then Some Tree_equivalence
   else List.find_opt (fun o -> oracle_name o = s) all_oracles
 
 let oracle_index = function
@@ -40,6 +43,7 @@ let oracle_index = function
   | Placement_equivalence -> 5
   | Service_equivalence -> 6
   | Degraded_soundness -> 7
+  | Tree_equivalence -> 8
 
 type config = {
   seed : int;
@@ -230,6 +234,20 @@ let run_case cfg oracle ~case =
       (* budgets and the request re-derive from the case seed, so the
          shrink predicate stays a pure function of the spec *)
       let check s = Oracle.degraded_soundness (chk ()) s in
+      match check s with
+      | Oracle.Pass -> None
+      | Oracle.Fail msg ->
+          let small =
+            if cfg.shrink then Shrink.spec (safe_fails check) s else s
+          in
+          mk (remsg check small msg) (pp_spec small))
+  | Tree_equivalence -> (
+      let scfg = spec_cfg gen_rng ~size:cfg.size in
+      let s = Gen.spec gen_rng scfg in
+      (* the random tier tree, platforms, uplink budgets and tier pins
+         re-derive from the case seed, so the shrink predicate stays a
+         pure function of the spec *)
+      let check s = Oracle.tree_equivalence (chk ()) s in
       match check s with
       | Oracle.Pass -> None
       | Oracle.Fail msg ->

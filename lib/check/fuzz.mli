@@ -27,6 +27,11 @@ type oracle =
           bracket the brute-force optimum; budget = infinity is
           byte-identical to the unbudgeted path ("degraded" is a CLI
           alias) *)
+  | Tree_equivalence
+      (** tree-topology placement agrees with brute-force enumeration
+          over random tier trees, and a chain expressed as a
+          degenerate tree encodes the byte-identical ILP ("tree" is a
+          CLI alias) *)
 
 val all_oracles : oracle list
 val oracle_name : oracle -> string

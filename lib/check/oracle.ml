@@ -622,6 +622,319 @@ let placement_equivalence rng (spec : Wishbone.Spec.t) =
         | Error msg -> Fail msg
         | Ok () -> Pass)
 
+(* ---- oracle 9: tree-topology equivalence ---- *)
+
+(* Independent evaluation of a tier assignment on a tree instance:
+   monotonicity, per-tier CPU, per-tree-edge network and the
+   objective, all recomputed from the parent array with root-path
+   walks — no shared code with Placement.stats/feasible. *)
+let tree_eval (pl : Wishbone.Placement.t) ~monotone tier_of =
+  let topo = pl.Wishbone.Placement.topology in
+  let n_tiers = Array.length pl.Wishbone.Placement.tiers in
+  let root = n_tiers - 1 in
+  let spec = pl.Wishbone.Placement.spec in
+  (* root-path edge set of each tier: tier k's uplink is edge k *)
+  let path tier =
+    let rec up x acc =
+      if x = root then acc
+      else up (Wishbone.Placement.Topology.parent topo x) (x :: acc)
+    in
+    up tier []
+  in
+  let pin_ok =
+    let ok = ref true in
+    Array.iteri
+      (fun i tier ->
+        (match pl.Wishbone.Placement.tier_pins.(i) with
+        | Some tp -> if tier <> tp then ok := false
+        | None -> (
+            match spec.Wishbone.Spec.placement.(i) with
+            | Wishbone.Movable.Pin_node -> if tier <> 0 then ok := false
+            | Wishbone.Movable.Pin_server -> if tier <> root then ok := false
+            | Wishbone.Movable.Movable -> ())))
+      tier_of;
+    !ok
+  in
+  let monotone_ok =
+    (not monotone)
+    || Array.for_all
+         (fun (e : Graph.edge) ->
+           let rec up x =
+             x = tier_of.(e.dst)
+             ||
+             let p = Wishbone.Placement.Topology.parent topo x in
+             p >= 0 && up p
+           in
+           up tier_of.(e.src))
+         (Graph.edges spec.Wishbone.Spec.graph)
+  in
+  let tier_cpu = Array.make n_tiers 0. in
+  Array.iteri
+    (fun i tp ->
+      tier_cpu.(tp) <-
+        tier_cpu.(tp) +. pl.Wishbone.Placement.tiers.(tp).Wishbone.Placement.cpu.(i))
+    tier_of;
+  let link_net = Array.make (n_tiers - 1) 0. in
+  Array.iter
+    (fun (e : Graph.edge) ->
+      let ps = path tier_of.(e.src) and pd = path tier_of.(e.dst) in
+      List.iter
+        (fun k ->
+          if not (List.mem k pd) then
+            link_net.(k) <-
+              link_net.(k) +. spec.Wishbone.Spec.bandwidth.(e.eid))
+        ps;
+      List.iter
+        (fun k ->
+          if not (List.mem k ps) then
+            link_net.(k) <-
+              link_net.(k) +. spec.Wishbone.Spec.bandwidth.(e.eid))
+        pd)
+    (Graph.edges spec.Wishbone.Spec.graph);
+  let cpu_ok =
+    Array.for_all2
+      (fun (t : Wishbone.Placement.tier) c ->
+        (not (Float.is_finite t.Wishbone.Placement.cpu_budget))
+        || c <= t.Wishbone.Placement.cpu_budget +. 1e-9)
+      pl.Wishbone.Placement.tiers tier_cpu
+  in
+  let net_ok =
+    Array.for_all2
+      (fun (l : Wishbone.Placement.link) n ->
+        (not (Float.is_finite l.Wishbone.Placement.net_budget))
+        || n <= l.Wishbone.Placement.net_budget +. 1e-6)
+      pl.Wishbone.Placement.links link_net
+  in
+  let obj = ref 0. in
+  Array.iteri
+    (fun tp c ->
+      obj := !obj +. (pl.Wishbone.Placement.tiers.(tp).Wishbone.Placement.alpha *. c))
+    tier_cpu;
+  Array.iteri
+    (fun k n ->
+      obj := !obj +. (pl.Wishbone.Placement.links.(k).Wishbone.Placement.beta *. n))
+    link_net;
+  (pin_ok && monotone_ok && cpu_ok && net_ok, !obj)
+
+(* Brute-force optimum over per-supernode tiers, enumerating the same
+   contraction [Placement.solve] uses (Three_tier.brute_force's
+   precedent), judged by [tree_eval] only.  [None] = no feasible
+   assignment. *)
+let tree_brute_force (pl : Wishbone.Placement.t) ~contracted ~monotone =
+  let n_tiers = Array.length pl.Wishbone.Placement.tiers in
+  let root = n_tiers - 1 in
+  let c =
+    if contracted then Wishbone.Preprocess.contract pl.Wishbone.Placement.spec
+    else Wishbone.Preprocess.identity pl.Wishbone.Placement.spec
+  in
+  let n_super = c.Wishbone.Preprocess.n_super in
+  let allowed =
+    Array.init n_super (fun s ->
+        let pin =
+          List.fold_left
+            (fun acc i ->
+              match pl.Wishbone.Placement.tier_pins.(i) with
+              | Some tp -> Some tp
+              | None -> acc)
+            None
+            c.Wishbone.Preprocess.members.(s)
+        in
+        match pin with
+        | Some tp -> [ tp ]
+        | None -> (
+            match c.Wishbone.Preprocess.placement.(s) with
+            | Wishbone.Movable.Pin_node -> [ 0 ]
+            | Wishbone.Movable.Pin_server -> [ root ]
+            | Wishbone.Movable.Movable ->
+                let rec tiers tp =
+                  if tp >= n_tiers then [] else tp :: tiers (tp + 1)
+                in
+                tiers 0))
+  in
+  let best = ref None in
+  let choice = Array.make n_super 0 in
+  let rec enum s =
+    if s = n_super then begin
+      let tier_of =
+        Array.map (fun sp -> choice.(sp)) c.Wishbone.Preprocess.super_of
+      in
+      let ok, obj = tree_eval pl ~monotone tier_of in
+      if ok then
+        match !best with
+        | Some (_, b) when b <= obj -> ()
+        | _ -> best := Some (Array.copy tier_of, obj)
+    end
+    else
+      List.iter
+        (fun tp ->
+          choice.(s) <- tp;
+          enum (s + 1))
+        allowed.(s)
+  in
+  enum 0;
+  !best
+
+let tree_equivalence rng (spec : Wishbone.Spec.t) =
+  let n_movable =
+    Array.fold_left
+      (fun acc p -> if p = Wishbone.Movable.Movable then acc + 1 else acc)
+      0 spec.placement
+  in
+  let c = Wishbone.Preprocess.contract spec in
+  if n_movable > 7 || c.Wishbone.Preprocess.n_super > 10 then Pass
+  else begin
+    let module P = Wishbone.Placement in
+    let n = Array.length spec.cpu in
+    (* random rooted tree, 3..5 tiers, topological parent numbering *)
+    let n_tiers = 3 + Prng.int rng 3 in
+    let parents =
+      Array.init n_tiers (fun k ->
+          if k = n_tiers - 1 then -1 else 0)
+    in
+    for k = 0 to n_tiers - 2 do
+      parents.(k) <- k + 1 + Prng.int rng (n_tiers - 1 - k)
+    done;
+    let topo = P.Topology.of_parents parents in
+    let total_bw = Array.fold_left ( +. ) 0. spec.bandwidth in
+    (* tier 0 is the spec's node; middles are cheaper, randomly
+       budgeted platforms; the root an unbudgeted server *)
+    let mk_tier tp =
+      if tp = 0 then
+        {
+          P.tname = "t0";
+          cpu = spec.cpu;
+          cpu_budget = spec.cpu_budget;
+          alpha = spec.alpha;
+        }
+      else if tp = n_tiers - 1 then
+        {
+          P.tname = "root";
+          cpu = Array.make n 0.;
+          cpu_budget = infinity;
+          alpha = 0.;
+        }
+      else begin
+        let cpu = Array.map (fun cc -> cc *. Prng.uniform rng 0.05 0.6) spec.cpu in
+        let total = Array.fold_left ( +. ) 0. cpu in
+        let cpu_budget =
+          if Prng.bool rng 0.5 then infinity
+          else Prng.uniform rng 0.3 1.2 *. Float.max 1e-6 total
+        in
+        { P.tname = Printf.sprintf "t%d" tp; cpu; cpu_budget; alpha = 0. }
+      end
+    in
+    let mk_link k =
+      let net_budget =
+        if Prng.bool rng 0.5 then infinity
+        else Prng.uniform rng 0.3 1.2 *. Float.max 1e-6 total_bw
+      in
+      { P.lname = Printf.sprintf "up%d" k; net_budget; beta = Prng.uniform rng 0.05 1.0 }
+    in
+    let rec build mk i stop = if i >= stop then [] else
+      let x = mk i in
+      x :: build mk (i + 1) stop
+    in
+    let tiers = build mk_tier 0 n_tiers in
+    let links = build mk_link 0 (n_tiers - 1) in
+    (* occasionally tier-pin one movable operator to a random tier *)
+    let pins =
+      if Prng.bool rng 0.3 then begin
+        let movable =
+          List.filter
+            (fun i -> spec.placement.(i) = Wishbone.Movable.Movable)
+            (List.init n Fun.id)
+        in
+        match movable with
+        | [] -> []
+        | l -> [ (List.nth l (Prng.int rng (List.length l)), Prng.int rng n_tiers) ]
+      end
+      else []
+    in
+    let pl = P.v ~topology:topo ~pins ~spec ~tiers ~links () in
+    let check ~encoding ~monotone label =
+      (* enumerate the same space the solve uses: contraction under
+         Restricted with no tier pins, the full graph otherwise *)
+      let contracted = encoding = P.Restricted && pins = [] in
+      match P.solve ~encoding pl with
+      | P.Solver_failure msg ->
+          if budget_failure msg then Ok ()
+          else Error (Printf.sprintf "%s: solver failure: %s" label msg)
+      | outcome -> (
+          match (outcome, tree_brute_force pl ~contracted ~monotone) with
+          | P.No_feasible_partition, None -> Ok ()
+          | P.No_feasible_partition, Some (_, b) ->
+              Error
+                (Printf.sprintf
+                   "%s: placement says infeasible but an assignment with \
+                    objective %g exists"
+                   label b)
+          | P.Partitioned _, None ->
+              Error
+                (Printf.sprintf
+                   "%s: placement found an assignment, enumeration none" label)
+          | P.Partitioned r, Some (_, b) ->
+              let tol = 1e-5 *. (1. +. Float.abs b) in
+              let ok, obj = tree_eval pl ~monotone r.P.tier_of in
+              let cpu, net = P.stats pl ~tier_of:r.P.tier_of in
+              if not ok then
+                Error
+                  (Printf.sprintf "%s: returned assignment is infeasible"
+                     label)
+              else if Float.abs (r.P.objective -. obj) > tol then
+                Error
+                  (Printf.sprintf
+                     "%s: report objective %g but the assignment evaluates \
+                      to %g"
+                     label r.P.objective obj)
+              else if Float.abs (obj -. b) > tol then
+                Error
+                  (Printf.sprintf
+                     "%s: placement objective %g but enumeration's optimum \
+                      is %g"
+                     label obj b)
+              else if
+                Array.exists2
+                  (fun a b -> Float.abs (a -. b) > tol)
+                  cpu r.P.tier_cpu
+                || Array.exists2
+                     (fun a b -> Float.abs (a -. b) > tol)
+                     net r.P.link_net
+              then Error (Printf.sprintf "%s: report stats disagree" label)
+              else Ok ()
+          | P.Solver_failure _, _ -> assert false)
+    in
+    (* the qcheck byte-identity property: a chain expressed as an
+       explicit degenerate tree encodes the very same ILP (variables,
+       rows, names, objective) as the implicit-chain constructor *)
+    let chain_identical =
+      let chain_tiers = build mk_tier 0 3
+      and chain_links = build mk_link 0 2 in
+      let plc = P.v ~spec ~tiers:chain_tiers ~links:chain_links () in
+      let plt =
+        P.v
+          ~topology:(P.Topology.of_parents [| 1; 2; -1 |])
+          ~spec ~tiers:chain_tiers ~links:chain_links ()
+      in
+      let cc = Wishbone.Preprocess.contract spec in
+      let show pl =
+        Format.asprintf "%a" Lp.Problem.pp
+          (P.encode P.Restricted pl cc).P.problem
+      in
+      show plc = show plt
+    in
+    if not chain_identical then
+      Fail "tree: chain-as-degenerate-tree encodes a different ILP"
+    else
+      match check ~encoding:P.Restricted ~monotone:true "tree-restricted" with
+      | Error msg -> Fail msg
+      | Ok () -> (
+          match
+            check ~encoding:P.General ~monotone:false "tree-general"
+          with
+          | Error msg -> Fail msg
+          | Ok () -> Pass)
+  end
+
 (* ---- oracle 7: service equivalence ---- *)
 
 let pp_request = function

@@ -1,4 +1,4 @@
-(** The eight correctness oracles behind [bin/fuzz] (DESIGN.md §11).
+(** The nine correctness oracles behind [bin/fuzz] (DESIGN.md §11).
 
     Each oracle takes one generated instance and either passes or
     fails with a human-readable explanation.  All randomness is drawn
@@ -97,6 +97,25 @@ val degraded_soundness : Prng.t -> Wishbone.Spec.t -> outcome
     budget must reproduce the unbudgeted default path byte for byte.
     [Failed] (budget exhausted, no incumbent) is inconclusive.  Specs
     with more than 16 movable operators pass trivially. *)
+
+val tree_equivalence : Prng.t -> Wishbone.Spec.t -> outcome
+(** The tree-topology placement core against a brute-force enumerator
+    over per-path cuts.  A random rooted tier tree (3–5 tiers,
+    topological parent numbering), random middle platforms (cheaper
+    per-op CPU, random budgets), per-uplink budgets/weights, and an
+    occasional tier pin are built over the spec; [Placement.solve]
+    under both encodings must agree on feasibility and optimal
+    objective with an exhaustive enumeration over the same supernode
+    space (contracted under [Restricted] with no pins, the full graph
+    otherwise), judged by an independent root-path-walk evaluation of
+    monotonicity, budgets and objective.  The returned report must be
+    internally consistent with [Placement.stats].  Additionally the
+    chain-as-degenerate-tree property is checked byte-for-byte: a
+    3-tier chain built with an explicit [Topology.of_parents]
+    [[|1;2;-1|]] must encode the {e identical} ILP (variables, rows,
+    names, objective) as the implicit-chain constructor.  Specs with
+    more than 7 movable operators or 10 supernodes pass trivially, as
+    do solves that exhaust the branch-and-bound budget. *)
 
 val split_equivalence : Prng.t -> Wishbone.Spec.t -> outcome
 (** Execute the same injected samples through {!Runtime.Exec.full} and

@@ -605,3 +605,13 @@ let run config ~graph ~node_of ~sources =
     inputs_lost_down = !inputs_lost_down;
     edge_bytes_per_sec;
   }
+
+(* The single-hop CSMA testbed routes every mote's messages directly
+   to the basestation: a depth-one routing tree.  Exposed as a parent
+   array (mote tiers 0..n-1, basestation root last) so the placement
+   layer can build a [Placement.Topology.t] over the real topology
+   without Netsim depending on the solver. *)
+let routing_parents ~n_nodes =
+  if n_nodes < 1 then
+    invalid_arg "Testbed.routing_parents: need at least one mote";
+  Array.init (n_nodes + 1) (fun k -> if k = n_nodes then -1 else n_nodes)

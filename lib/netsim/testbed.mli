@@ -109,3 +109,10 @@ val run :
     Under reliable transport every message ends in exactly one of
     [msgs_received], [msgs_expired] or [msgs_pending]:
     [msgs_sent = msgs_received + msgs_expired + msgs_pending]. *)
+
+val routing_parents : n_nodes:int -> int array
+(** The testbed's routing tree as a parent array: the single-hop CSMA
+    channel is a depth-one star — motes [0 .. n_nodes-1] each route
+    directly to the basestation, the last entry (parent [-1]).
+    Suitable for [Placement.Topology.of_parents].
+    @raise Invalid_argument when [n_nodes < 1]. *)

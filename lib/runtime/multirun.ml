@@ -15,15 +15,41 @@ type channel = {
 type t = {
   tier_of : int array;
   n_tiers : int;
+  parents : int array;  (* tier tree: parents.(root) = -1; chain default *)
   execs : Exec.t array array;  (* tier -> replicas; tier 0 has n_nodes *)
-  channels : channel option array;  (* per link; None = perfect *)
+  channels : channel option array;  (* per link (= uplink of its tier);
+                                       None = perfect *)
   cross_elems : int array;  (* per link: crossings offered *)
   cross_bytes : int array;
   drop_counts : int array array;  (* per link, per emitting operator *)
 }
 
-let create ?(n_nodes = 1) ?links ~n_tiers ~tier_of graph =
+let create ?(n_nodes = 1) ?links ?parents ~n_tiers ~tier_of graph =
   if n_tiers < 2 then invalid_arg "Multirun.create: need at least two tiers";
+  let parents =
+    match parents with
+    | None ->
+        Array.init n_tiers (fun k -> if k = n_tiers - 1 then -1 else k + 1)
+    | Some p ->
+        if Array.length p <> n_tiers then
+          invalid_arg "Multirun.create: need one parent entry per tier";
+        Array.iteri
+          (fun k pk ->
+            if k = n_tiers - 1 then begin
+              if pk <> -1 then
+                invalid_arg
+                  "Multirun.create: the last tier is the root and must have \
+                   parent -1"
+            end
+            else if pk <= k || pk > n_tiers - 1 then
+              invalid_arg
+                (Printf.sprintf
+                   "Multirun.create: tier %d needs a parent with a larger \
+                    index"
+                   k))
+          p;
+        Array.copy p
+  in
   let n = Graph.n_ops graph in
   let tier_of = Array.init n tier_of in
   Array.iteri
@@ -57,6 +83,7 @@ let create ?(n_nodes = 1) ?links ~n_tiers ~tier_of graph =
   {
     tier_of;
     n_tiers;
+    parents;
     execs;
     channels =
       Array.map
@@ -98,17 +125,22 @@ let rec deliver t ~node (c : Exec.crossing) acc =
   acc := List.rev_append fired.Exec.sink_values !acc;
   route t ~node ~from_tier:tier fired.Exec.crossings acc
 
-(* Offer each crossing leaving [from_tier] to link [from_tier]:
-   counted there, then pushed into the first bounded channel on its
-   path (shedding on overflow) or forwarded through perfect links
-   until it reaches its destination tier.  Crossings to the same or a
-   shallower tier are outside the monotone-descent contract and are
-   ignored — exactly the historical two-tier behaviour. *)
+(* Offer each crossing leaving [from_tier] to link [from_tier] (its
+   uplink): counted there, then pushed into the first bounded channel
+   on its rootward path (shedding on overflow) or forwarded through
+   perfect links until it reaches its destination tier.  Crossings to
+   a tier that is not a strict ancestor are outside the
+   monotone-descent contract and are ignored — for a chain ("strictly
+   deeper tier") exactly the historical two-tier behaviour. *)
 and route t ~node ~from_tier crossings acc =
   List.iter
     (fun (c : Exec.crossing) ->
-      if t.tier_of.(c.edge.dst) > from_tier then
-        send t ~node ~link:from_tier c acc)
+      let dst = t.tier_of.(c.edge.dst) in
+      let rec strict_ancestor x =
+        let p = t.parents.(x) in
+        p >= 0 && (p = dst || strict_ancestor p)
+      in
+      if strict_ancestor from_tier then send t ~node ~link:from_tier c acc)
     crossings
 
 and send t ~node ~link (c : Exec.crossing) acc =
@@ -125,17 +157,17 @@ and send t ~node ~link (c : Exec.crossing) acc =
           t.drop_counts.(link).(old.Exec.edge.src) <-
             t.drop_counts.(link).(old.Exec.edge.src) + 1)
   | None ->
-      if t.tier_of.(c.edge.dst) = link + 1 then deliver t ~node c acc
-      else send t ~node ~link:(link + 1) c acc
+      if t.tier_of.(c.edge.dst) = t.parents.(link) then deliver t ~node c acc
+      else send t ~node ~link:(t.parents.(link)) c acc
 
 (* Pop one parked crossing off channel [link]; it either lands on the
-   next tier or continues across link+1. *)
+   parent tier or continues across the parent's own uplink. *)
 let service_one t ~link ch acc =
   match Shed.pop ch.queue with
   | None -> false
   | Some (node, c) ->
-      if t.tier_of.(c.edge.dst) = link + 1 then deliver t ~node c acc
-      else send t ~node ~link:(link + 1) c acc;
+      if t.tier_of.(c.edge.dst) = t.parents.(link) then deliver t ~node c acc
+      else send t ~node ~link:(t.parents.(link)) c acc;
       true
 
 let drain ?limit t =
@@ -157,15 +189,19 @@ let drain ?limit t =
   List.rev !acc
 
 let inject ?(node = 0) t ~source value =
-  if node < 0 || node >= Array.length t.execs.(0) then
+  (* sources live on any non-root tier: tier 0 addresses one of its
+     [n_nodes] replicas, deeper tiers (e.g. another leaf of a tier
+     tree) have a single engine *)
+  let tier = t.tier_of.(source) in
+  if node < 0 || node >= Array.length t.execs.(tier) then
     invalid_arg "Multirun.inject: bad node id";
-  if t.tier_of.(source) <> 0 then
-    invalid_arg "Multirun.inject: source operator is not on tier 0";
-  let fired = Exec.fire t.execs.(0).(node) ~op:source ~port:0 value in
+  let fired = Exec.fire t.execs.(tier).(node) ~op:source ~port:0 value in
   let sink_values = ref (List.rev fired.Exec.sink_values) in
-  route t ~node ~from_tier:0 fired.Exec.crossings sink_values;
+  route t ~node ~from_tier:tier fired.Exec.crossings sink_values;
   (* service bounded channels, node-most first; crossings relayed into
-     a deeper channel are picked up by that channel's own quota *)
+     a deeper channel are picked up by that channel's own quota (a
+     tier's parent always has a larger index, so ascending link order
+     services every relay in the same pass) *)
   for link = 0 to t.n_tiers - 2 do
     match t.channels.(link) with
     | Some ch when ch.service > 0 ->

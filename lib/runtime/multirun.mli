@@ -1,22 +1,26 @@
-(** Multi-tier split execution: N engine instances connected by
-    bounded channels, driven from a placement.
+(** Multi-tier split execution: N engine instances joined in a tier
+    tree by bounded channels, driven from a placement.
 
-    The operator graph is cut into [n_tiers] slices (tier 0 the
-    embedded node, the last tier the central server) and each slice
-    runs in its own {!Exec} engine; tier 0 is replicated [n_nodes]
-    times, deeper tiers host per-node state for [Node]-namespace
-    operators relocated off the node.  Consecutive tiers are joined by
-    a {e link}: either perfect (lossless, zero-latency — crossings are
-    executed downstream immediately) or a bounded {!Shed} channel with
-    a per-injection service rate and per-operator drop accounting, the
-    overloaded-link semantics of §6.
+    The operator graph is cut into [n_tiers] slices (tier 0 an
+    embedded node, the last tier the central server at the tree root)
+    and each slice runs in its own {!Exec} engine; tier 0 is
+    replicated [n_nodes] times, deeper tiers host per-node state for
+    [Node]-namespace operators relocated off the node.  Each non-root
+    tier sheds into its parent over its {e uplink} (link [k] = uplink
+    of tier [k]; for the default chain, link [k] joins tiers [k] and
+    [k+1] as it always did): either perfect (lossless, zero-latency —
+    crossings are executed at the parent immediately) or a bounded
+    {!Shed} channel with a per-injection service rate and per-operator
+    drop accounting, the overloaded-link semantics of §6.
 
-    A crossing emitted at tier [p] for an operator on tier [q > p]
-    traverses links [p .. q-1] in order: it is counted as offered on
-    each, forwarded straight through lossless links, and parked in the
-    first bounded channel on its way (service then moves it onwards).
-    Channels are serviced in ascending link order, so data drains
-    node-most first — matching the two-tier runtime exactly.
+    A crossing emitted at tier [p] for an operator on an ancestor tier
+    [q] traverses the uplinks on the [p → q] rootward path in order:
+    it is counted as offered on each, forwarded straight through
+    lossless links, and parked in the first bounded channel on its way
+    (service then moves it onwards).  Channels are serviced in
+    ascending link order — every tier's parent has a larger index, so
+    data drains leaf-most first, matching the two-tier runtime exactly
+    on chains.
 
     {!Splitrun} is the two-tier instance of this engine and keeps its
     historical behaviour bit-for-bit (pinned by regression tests). *)
@@ -35,15 +39,18 @@ type t
 val create :
   ?n_nodes:int ->
   ?links:link_config option list ->
+  ?parents:int array ->
   n_tiers:int ->
   tier_of:(int -> int) ->
   Dataflow.Graph.t ->
   t
 (** [tier_of op] places each operator on a tier in [0 .. n_tiers-1].
-    [links] configures the [n_tiers - 1] inter-tier links ([None] =
-    perfect, the default for all).
+    [links] configures the [n_tiers - 1] uplinks ([None] = perfect,
+    the default for all).  [parents] joins the tiers in a rooted tree
+    (entry [k] is tier [k]'s parent, [> k]; the last entry must be
+    [-1]); it defaults to the historical chain.
     @raise Invalid_argument on a bad tier count, a tier out of range,
-    or a [links] list of the wrong length. *)
+    a [links] list of the wrong length, or an invalid parent array. *)
 
 val reset : t -> unit
 (** Reset every engine, flush every channel and zero the traffic and
@@ -51,10 +58,13 @@ val reset : t -> unit
 
 val inject :
   ?node:int -> t -> source:int -> Dataflow.Value.t -> Dataflow.Value.t list
-(** Push one sensor sample into [source] (a tier-0 operator) on the
-    given node (default 0).  Crossings are routed as described above;
-    each bounded channel then services up to its [service] quota.
-    Returns the values that reached sink operators, in order. *)
+(** Push one sensor sample into [source] on the given node (default
+    0).  Tier-0 sources address one of the [n_nodes] replicas; sources
+    on a deeper tier (another leaf of a tier tree) have a single
+    engine, so [node] must be 0.  Crossings are routed as described
+    above; each bounded channel then services up to its [service]
+    quota.  Returns the values that reached sink operators, in
+    order. *)
 
 val drain : ?limit:int -> t -> Dataflow.Value.t list
 (** Service up to [limit] parked crossings (default: all), ascending

@@ -38,6 +38,7 @@ let run_tiers ?n_nodes ?links ?(rounds = 100) ~placement ~tier_of ~sources ()
   in
   let mr =
     Runtime.Multirun.create ?n_nodes ?links
+      ~parents:(Placement.Topology.parents placement.Placement.topology)
       ~n_tiers:(Placement.n_tiers placement)
       ~tier_of:(fun i -> tier_of.(i))
       placement.Placement.spec.Spec.graph
@@ -46,7 +47,12 @@ let run_tiers ?n_nodes ?links ?(rounds = 100) ~placement ~tier_of ~sources ()
   for seq = 0 to rounds - 1 do
     List.iter
       (fun (source, gen) ->
-        for node = 0 to Runtime.Multirun.n_nodes mr - 1 do
+        (* tier-0 sources fire on every node replica; sources placed on
+           another leaf of a tier tree have a single engine *)
+        let replicas =
+          if tier_of.(source) = 0 then Runtime.Multirun.n_nodes mr else 1
+        in
+        for node = 0 to replicas - 1 do
           sinks :=
             !sinks
             + List.length

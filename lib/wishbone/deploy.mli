@@ -45,7 +45,10 @@ val run_tiers :
   sources:(int * (node:int -> seq:int -> Dataflow.Value.t)) list ->
   unit ->
   tier_comparison
-(** Execute a placement end-to-end: [rounds] (default 100) rounds of
-    one injection per (source, generator) pair per node, then a full
-    drain.  [tier_of] is the per-operator tier assignment (typically a
-    {!Placement.report}'s).  Every source must sit on tier 0. *)
+(** Execute a placement end-to-end over the placement's tier topology
+    (the runtime engines are joined by its tree; a chain behaves as it
+    always did): [rounds] (default 100) rounds of one injection per
+    (source, generator) pair per node replica (tier-0 sources fire on
+    every node, sources on another leaf tier on their single engine),
+    then a full drain.  [tier_of] is the per-operator tier assignment
+    (typically a {!Placement.report}'s). *)

@@ -2,6 +2,74 @@ open Dataflow
 
 type encoding = General | Restricted
 
+module Topology = struct
+  (* A rooted tier tree as a parent array.  Tiers are numbered so that
+     every tier's parent has a strictly larger index; the last tier is
+     the root (parent -1).  Tree edge [k] is the uplink of tier [k]
+     (k < root), so a chain of [n] tiers keeps the historical link
+     numbering: link k connects tier k to tier k+1. *)
+  type t = { parents : int array; children : int list array }
+
+  let of_parents parr =
+    let n = Array.length parr in
+    if n < 2 then
+      invalid_arg "Placement.Topology.of_parents: need at least two tiers";
+    Array.iteri
+      (fun k p ->
+        if k = n - 1 then begin
+          if p <> -1 then
+            invalid_arg
+              "Placement.Topology.of_parents: the last tier is the root and \
+               must have parent -1"
+        end
+        else if p <= k || p > n - 1 then
+          invalid_arg
+            (Printf.sprintf
+               "Placement.Topology.of_parents: tier %d needs a parent with a \
+                larger index (topological numbering)"
+               k))
+      parr;
+    let parents = Array.copy parr in
+    let children = Array.make n [] in
+    for k = n - 2 downto 0 do
+      children.(parents.(k)) <- k :: children.(parents.(k))
+    done;
+    { parents; children }
+
+  let chain n =
+    of_parents (Array.init n (fun k -> if k = n - 1 then -1 else k + 1))
+
+  let n_tiers t = Array.length t.parents
+  let root t = Array.length t.parents - 1
+  let parent t k = t.parents.(k)
+  let parents t = Array.copy t.parents
+  let children t k = t.children.(k)
+
+  let is_chain t =
+    let n = Array.length t.parents in
+    let ok = ref true in
+    for k = 0 to n - 2 do
+      if t.parents.(k) <> k + 1 then ok := false
+    done;
+    !ok
+
+  (* [anc] is [tier] itself or one of its ancestors *)
+  let ancestor_or_self t ~anc tier =
+    let rec up x = x = anc || (t.parents.(x) <> -1 && up t.parents.(x)) in
+    up tier
+
+  (* tree edge [e] (the uplink of tier [e]) lies on the root path of
+     [tier], i.e. [tier] sits in the subtree hanging below [e].  For a
+     chain this is [e >= tier]. *)
+  let on_root_path t e tier = ancestor_or_self t ~anc:e tier
+  let equal a b = a.parents = b.parents
+
+  let pp ppf t =
+    Format.fprintf ppf "[%s]"
+      (String.concat ";"
+         (Array.to_list (Array.map string_of_int t.parents)))
+end
+
 type resource = { rname : string; per_op : float array; budget : float }
 
 type tier = {
@@ -13,15 +81,30 @@ type tier = {
 
 type link = { lname : string; net_budget : float; beta : float }
 
-type t = { spec : Spec.t; tiers : tier array; links : link array }
+type t = {
+  spec : Spec.t;
+  tiers : tier array;
+  links : link array;
+  topology : Topology.t;
+  tier_pins : int option array;
+}
 
-let v ~spec ~tiers ~links =
+let v ?topology ?(pins = []) ~spec ~tiers ~links () =
   let tiers = Array.of_list tiers and links = Array.of_list links in
   let n = Graph.n_ops spec.Spec.graph in
   if Array.length tiers < 2 then
     invalid_arg "Placement.v: need at least two tiers";
   if Array.length links <> Array.length tiers - 1 then
     invalid_arg "Placement.v: need exactly one link between consecutive tiers";
+  let topology =
+    match topology with
+    | None -> Topology.chain (Array.length tiers)
+    | Some topo ->
+        if Topology.n_tiers topo <> Array.length tiers then
+          invalid_arg
+            "Placement.v: topology tier count does not match the tier list";
+        topo
+  in
   Array.iter
     (fun t ->
       if Array.length t.cpu <> n then
@@ -31,7 +114,20 @@ let v ~spec ~tiers ~links =
     tiers;
   if tiers.(0).cpu <> spec.Spec.cpu then
     invalid_arg "Placement.v: tier 0 CPU costs must equal the spec's";
-  { spec; tiers; links }
+  let tier_pins = Array.make n None in
+  List.iter
+    (fun (op, tp) ->
+      if op < 0 || op >= n then
+        invalid_arg "Placement.v: tier pin names an unknown operator";
+      if tp < 0 || tp >= Array.length tiers then
+        invalid_arg "Placement.v: tier pin names an unknown tier";
+      (match tier_pins.(op) with
+      | Some tp' when tp' <> tp ->
+          invalid_arg "Placement.v: conflicting tier pins for one operator"
+      | _ -> ());
+      tier_pins.(op) <- Some tp)
+    pins;
+  { spec; tiers; links; topology; tier_pins }
 
 let of_spec (spec : Spec.t) =
   let n = Graph.n_ops spec.Spec.graph in
@@ -60,6 +156,8 @@ let of_spec (spec : Spec.t) =
           beta = spec.Spec.beta;
         };
       |];
+    topology = Topology.chain 2;
+    tier_pins = Array.make n None;
   }
 
 let n_tiers t = Array.length t.tiers
@@ -79,6 +177,7 @@ type encoded = {
   level_var : int array array;
   edge_vars : (int * int * int * int * int) array;
   encoding : encoding;
+  topology : Topology.t;
 }
 
 (* Budget clamping (numerical scaling, not semantics): a vacuous budget
@@ -107,80 +206,145 @@ let encode ?(resources = []) encoding t (c : Preprocess.contracted) =
   let total_bw =
     Array.fold_left (fun acc (_, _, r) -> acc +. r) 1. c.Preprocess.edges
   in
-  (* level binaries d_k(s), k-major; pinning via bounds, eq. (1) *)
-  let bounds s =
-    match c.Preprocess.placement.(s) with
-    | Movable.Pin_node -> (1., 1.)
-    | Movable.Pin_server -> (0., 0.)
-    | Movable.Movable -> (0., 1.)
+  let topo = t.topology in
+  let root = Topology.root topo in
+  (* per-supernode tier pin: every member must agree (contraction is
+     bypassed whenever tier pins are present, so in practice each
+     supernode is a single operator here) *)
+  let pin_of_super =
+    Array.map
+      (fun members ->
+        List.fold_left
+          (fun acc i ->
+            match (t.tier_pins.(i), acc) with
+            | None, acc -> acc
+            | Some tp, None -> Some tp
+            | Some tp, Some tp' ->
+                if tp <> tp' then
+                  invalid_arg
+                    "Placement.encode: contraction merged operators with \
+                     conflicting tier pins";
+                acc)
+          None members)
+      c.Preprocess.members
+  in
+  (* level binaries d_k(s): "[s] sits in the subtree below tree edge k"
+     (for a chain: tier(s) <= k, the historical meaning), k-major;
+     pinning via bounds, eq. (1) — a pinned supernode fixes d_k = 1 on
+     its tier's root path and 0 elsewhere *)
+  let bounds s k =
+    let pin_tier =
+      match pin_of_super.(s) with
+      | Some tp -> Some tp
+      | None -> (
+          match c.Preprocess.placement.(s) with
+          | Movable.Pin_node -> Some 0
+          | Movable.Pin_server -> Some root
+          | Movable.Movable -> None)
+    in
+    match pin_tier with
+    | Some tp -> if Topology.on_root_path topo k tp then (1., 1.) else (0., 0.)
+    | None -> (0., 1.)
   in
   let level_var =
     Array.init levels (fun k ->
         Array.init c.Preprocess.n_super (fun s ->
-            let lo, hi = bounds s in
+            let lo, hi = bounds s k in
             Lp.Problem.add_var
               ~name:(Printf.sprintf "d%d_%d" k s)
               ~lo ~hi ~integer:true p))
   in
   (* objective coefficients accumulate per level variable *)
   let obj = Array.make (levels * c.Preprocess.n_super) 0. in
-  (* tier p occupancy is d_p - d_(p-1) (d_(-1) = 0, d_(P-1) = 1); its
-     alpha-weighted CPU load lands on those variables.  The top tier's
-     constant term (alpha_(P-1) * total cost) cannot live in an LP
-     objective; [solve] reports the true objective recomputed from the
-     assignment, so nothing is lost.  [of_spec] has alpha = 0 above
+  (* tier p's occupancy is d_uplink(p) - sum_children(p) d_c (the root
+     has an implicit uplink fixed at 1; for a chain: d_p - d_(p-1));
+     its alpha-weighted CPU load lands on those variables.  The root
+     tier's constant term (alpha_root * total cost) cannot live in an
+     LP objective; [solve] reports the true objective recomputed from
+     the assignment, so nothing is lost.  [of_spec] has alpha = 0 above
      tier 0, making the encoded objective exactly eq. (5). *)
   for tp = 0 to n_tiers - 1 do
     let a = t.tiers.(tp).alpha in
     if a <> 0. then
       Array.iteri
         (fun s cost ->
-          if tp <= levels - 1 then
+          if tp <> root then
             obj.(level_var.(tp).(s)) <- obj.(level_var.(tp).(s)) +. (a *. cost);
-          if tp - 1 >= 0 then
-            obj.(level_var.(tp - 1).(s)) <-
-              obj.(level_var.(tp - 1).(s)) -. (a *. cost))
+          List.iter
+            (fun ch ->
+              obj.(level_var.(ch).(s)) <-
+                obj.(level_var.(ch).(s)) -. (a *. cost))
+            (Topology.children topo tp))
         super_cpu.(tp)
   done;
-  (* vertex level ordering d_k <= d_(k+1) (vacuous with two tiers) *)
+  (* subtree consistency: membership below a tier's uplink dominates
+     the sum of memberships below its child edges,
+     d_uplink(p) - sum_children(p) d_c >= 0 (the child subtrees are
+     disjoint, so the sum also enforces "at most one").  For a chain
+     this is exactly the historical level ordering d_k <= d_(k+1)
+     (vacuous with two tiers); a multi-child root gets the same
+     disjointness as sum_children(root) d_c <= 1. *)
   for s = 0 to c.Preprocess.n_super - 1 do
-    for k = 0 to levels - 2 do
-      Lp.Problem.add_constr p
-        [ (level_var.(k + 1).(s), 1.); (level_var.(k).(s), -1.) ]
-        Lp.Problem.Ge 0.
-    done
+    for tp = 1 to n_tiers - 2 do
+      match Topology.children topo tp with
+      | [] -> ()
+      | chs ->
+          Lp.Problem.add_constr p
+            ((level_var.(tp).(s), 1.)
+            :: List.map (fun ch -> (level_var.(ch).(s), -1.)) chs)
+            Lp.Problem.Ge 0.
+    done;
+    match Topology.children topo root with
+    | [] | [ _ ] -> ()
+    | chs ->
+        Lp.Problem.add_constr p
+          (List.map (fun ch -> (level_var.(ch).(s), 1.)) chs)
+          Lp.Problem.Le 1.
   done;
-  (* budgeted tier CPU rows, eq. (2) per tier *)
+  (* budgeted tier CPU rows, eq. (2) per tier: occupancy of tier p is
+     d_uplink(p) - sum_children(p) d_c, root occupancy is
+     1 - sum_children(root) d_c *)
   for tp = 0 to n_tiers - 1 do
     let budget = t.tiers.(tp).cpu_budget in
     if Float.is_finite budget then begin
       let name = Printf.sprintf "cpu_%s" t.tiers.(tp).tname in
-      if tp = 0 then
-        Lp.Problem.add_constr ~name p
-          (Array.to_list
-             (Array.mapi (fun s cost -> (level_var.(0).(s), cost)) super_cpu.(0)))
-          Lp.Problem.Le
-          (clamp budget super_cpu.(0))
-      else if tp <= levels - 1 then
+      if tp = root then
         Lp.Problem.add_constr ~name p
           (List.concat
              (Array.to_list
                 (Array.mapi
                    (fun s cost ->
-                     [ (level_var.(tp).(s), cost);
-                       (level_var.(tp - 1).(s), -.cost) ])
+                     List.map
+                       (fun ch -> (level_var.(ch).(s), -.cost))
+                       (Topology.children topo root))
                    super_cpu.(tp))))
           Lp.Problem.Le
-          (clamp budget super_cpu.(tp))
-      else
-        (* top tier occupancy is 1 - d_(P-2) *)
-        Lp.Problem.add_constr ~name p
-          (Array.to_list
-             (Array.mapi
-                (fun s cost -> (level_var.(levels - 1).(s), -.cost))
-                super_cpu.(tp)))
-          Lp.Problem.Le
           (budget -. Array.fold_left ( +. ) 0. super_cpu.(tp))
+      else
+        match Topology.children topo tp with
+        | [] ->
+            (* leaf tier: occupancy is d_uplink alone (tier 0 of a
+               chain is the historical case) *)
+            Lp.Problem.add_constr ~name p
+              (Array.to_list
+                 (Array.mapi
+                    (fun s cost -> (level_var.(tp).(s), cost))
+                    super_cpu.(tp)))
+              Lp.Problem.Le
+              (clamp budget super_cpu.(tp))
+        | chs ->
+            Lp.Problem.add_constr ~name p
+              (List.concat
+                 (Array.to_list
+                    (Array.mapi
+                       (fun s cost ->
+                         (level_var.(tp).(s), cost)
+                         :: List.map
+                              (fun ch -> (level_var.(ch).(s), -.cost))
+                              chs)
+                       super_cpu.(tp))))
+              Lp.Problem.Le
+              (clamp budget super_cpu.(tp))
     end
   done;
   (* per-edge rows; link k is crossed when d_k differs across the edge *)
@@ -283,17 +447,34 @@ let encode ?(resources = []) encoding t (c : Preprocess.contracted) =
     level_var;
     encoding;
     edge_vars = Array.of_list (List.rev !edge_vars);
+    topology = topo;
   }
 
 let super_tiers enc (c : Preprocess.contracted) (sol : Lp.Solution.t) =
   let levels = Array.length enc.level_var in
-  Array.init c.Preprocess.n_super (fun s ->
-      let rec find k =
-        if k >= levels then levels
-        else if sol.Lp.Solution.x.(enc.level_var.(k).(s)) >= 0.5 then k
-        else find (k + 1)
-      in
-      find 0)
+  if Topology.is_chain enc.topology then
+    (* the historical chain decode: smallest k with d_k set *)
+    Array.init c.Preprocess.n_super (fun s ->
+        let rec find k =
+          if k >= levels then levels
+          else if sol.Lp.Solution.x.(enc.level_var.(k).(s)) >= 0.5 then k
+          else find (k + 1)
+        in
+        find 0)
+  else
+    (* tree decode: from the root, descend into the unique child
+       subtree the supernode is a member of *)
+    Array.init c.Preprocess.n_super (fun s ->
+        let rec descend tier =
+          match
+            List.find_opt
+              (fun ch -> sol.Lp.Solution.x.(enc.level_var.(ch).(s)) >= 0.5)
+              (Topology.children enc.topology tier)
+          with
+          | Some ch -> descend ch
+          | None -> tier
+        in
+        descend (Topology.root enc.topology))
 
 let tiers_of_solution enc (c : Preprocess.contracted) sol =
   let st = super_tiers enc c sol in
@@ -317,7 +498,8 @@ let initial_point enc (c : Preprocess.contracted) (tier_of : int array) =
               consistent := false
             else
               for k = 0 to levels - 1 do
-                if tier <= k then x.(enc.level_var.(k).(s)) <- 1.
+                if Topology.on_root_path enc.topology k tier then
+                  x.(enc.level_var.(k).(s)) <- 1.
               done)
       c.Preprocess.members;
     if not !consistent then None
@@ -341,12 +523,20 @@ let stats t ~tier_of =
     (fun i tp -> tier_cpu.(tp) <- tier_cpu.(tp) +. t.tiers.(tp).cpu.(i))
     tier_of;
   let link_net = Array.make (n_tiers - 1) 0. in
+  (* tree edge k carries a dataflow edge iff exactly one endpoint lies
+     in the subtree below k; for a chain this is the historical
+     lo <= k < hi band, accumulated in the same order *)
+  let on_path =
+    Array.init n_tiers (fun tier ->
+        Array.init (n_tiers - 1) (fun k ->
+            Topology.on_root_path t.topology k tier))
+  in
   Array.iter
     (fun (e : Graph.edge) ->
-      let lo = Int.min tier_of.(e.src) tier_of.(e.dst)
-      and hi = Int.max tier_of.(e.src) tier_of.(e.dst) in
-      for k = lo to hi - 1 do
-        link_net.(k) <- link_net.(k) +. t.spec.Spec.bandwidth.(e.eid)
+      let su = on_path.(tier_of.(e.src)) and sv = on_path.(tier_of.(e.dst)) in
+      for k = 0 to n_tiers - 2 do
+        if su.(k) <> sv.(k) then
+          link_net.(k) <- link_net.(k) +. t.spec.Spec.bandwidth.(e.eid)
       done)
     (Graph.edges t.spec.Spec.graph);
   (tier_cpu, link_net)
@@ -358,20 +548,33 @@ let objective_value t ~tier_of =
   Array.iteri (fun k n -> obj := !obj +. (t.links.(k).beta *. n)) link_net;
   !obj
 
-let feasible ?(require_monotone = true) t ~tier_of =
-  let top = Array.length t.tiers - 1 in
+let feasible ?(require_monotone = true) (t : t) ~tier_of =
+  let top = Topology.root t.topology in
   let pin_ok =
-    Array.for_all2
-      (fun p tier ->
-        match p with
-        | Movable.Pin_node -> tier = 0
-        | Movable.Pin_server -> tier = top
-        | Movable.Movable -> true)
-      t.spec.Spec.placement tier_of
+    let ok = ref true in
+    Array.iteri
+      (fun i tier ->
+        let want =
+          match t.tier_pins.(i) with
+          | Some tp -> Some tp
+          | None -> (
+              match t.spec.Spec.placement.(i) with
+              | Movable.Pin_node -> Some 0
+              | Movable.Pin_server -> Some top
+              | Movable.Movable -> None)
+        in
+        match want with Some tp when tier <> tp -> ok := false | _ -> ())
+      tier_of;
+    !ok
   in
+  (* monotone descent along the tree: data flows rootward, so the
+     destination tier must be the source tier or one of its ancestors
+     (for a chain: src <= dst) *)
   let monotone =
     Array.for_all
-      (fun (e : Graph.edge) -> tier_of.(e.src) <= tier_of.(e.dst))
+      (fun (e : Graph.edge) ->
+        Topology.ancestor_or_self t.topology ~anc:tier_of.(e.dst)
+          tier_of.(e.src))
       (Graph.edges t.spec.Spec.graph)
   in
   let tier_cpu, link_net = stats t ~tier_of in
@@ -411,9 +614,14 @@ let solve ?(encoding = Restricted) ?(preprocess = true) ?options
     ?(resources = []) ?initial ?root_basis t =
   (* contraction's dominance argument needs monotone descent (§2.1.2),
      so under the general encoding the uncontracted graph is solved —
-     the PR 2 fuzz-oracle finding, preserved across the refactor *)
+     the PR 2 fuzz-oracle finding, preserved across the refactor.
+     Tier pins also bypass contraction: a merged supernode cannot honor
+     a pin on one member only. *)
   let c =
-    if preprocess && encoding = Restricted then Preprocess.contract t.spec
+    if
+      preprocess && encoding = Restricted
+      && Array.for_all (fun p -> p = None) t.tier_pins
+    then Preprocess.contract t.spec
     else Preprocess.identity t.spec
   in
   let enc = encode ~resources encoding t c in

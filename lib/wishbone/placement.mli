@@ -3,28 +3,75 @@
     The paper states its ILP for a single node/server cut (§4.2.1) and
     sketches multi-node and mixed deployments (§4.2.2, §9).  This
     module is the single encoder behind all of them: platforms are the
-    vertices of a {e tier chain} — tier 0 is the embedded node, the
-    last tier the central server — each with a CPU budget, and
-    consecutive tiers are connected by links with bandwidth budgets
-    and per-byte objective weights.  Two-way partitioning
+    vertices of a rooted {e tier tree} ({!Topology.t}) — tier 0 is an
+    embedded node, the last tier the central server at the root — each
+    with a CPU budget, and each non-root tier has an {e uplink} with
+    its own bandwidth budget and per-byte objective weight.  The
+    historical tier {e chain} is the single-child degenerate case and
+    stays byte-identical through this encoder.  Two-way partitioning
     ({!Partitioner}), three-tier placement ({!Three_tier}) and mixed
     networks ({!Mixed}) are all instances of {!solve}; none of them
     encodes costs or crossings itself.
 
     The encoding generalises the paper's two formulations with {e
-    level} variables: for a chain of [P] tiers, each supernode [s]
-    carries binaries [d_k(s)] ("[s] sits at tier [<= k]") for
-    [k = 0 .. P-2], ordered [d_k <= d_(k+1)].  Tier [p]'s CPU load is
-    [sum cpu_p(s) (d_p(s) - d_(p-1)(s))] and link [k] is crossed by an
-    edge exactly when [d_k] differs across it.  With [P = 2] this is
-    byte-for-byte the §4.2.1 ILP ([d_0 = f]); with [P = 3] it is the
-    two-level [x <= y] encoding of {!Three_tier}. *)
+    subtree-membership} variables: each supernode [s] carries binaries
+    [d_k(s)] ("[s] sits in the subtree below tree edge [k]", i.e. tier
+    [k] or one of its descendants) for each non-root tier [k].  For a
+    chain of [P] tiers this is exactly the historical level variable
+    "[s] sits at tier [<= k]", ordered [d_k <= d_(k+1)]; in a tree the
+    ordering becomes [d_uplink(p) >= sum_children(p) d_c] per tier.
+    Tier [p]'s CPU load is [sum cpu_p(s) (d_uplink(p) -
+    sum_children(p) d_c)] and tree edge [k] is crossed by a dataflow
+    edge exactly when [d_k] differs across it — one network row {e per
+    tree edge} (DESIGN.md §18).  With [P = 2] this is byte-for-byte
+    the §4.2.1 ILP ([d_0 = f]); with a 3-chain it is the two-level
+    [x <= y] encoding of {!Three_tier}. *)
 
 (** {!General} is the bidirectional eqs. (1)–(5) formulation (two
     continuous crossing variables per edge and link); {!Restricted}
     the single-crossing eqs. (6)–(7) form (monotone tier descent along
     every edge, no crossing variables). *)
 type encoding = General | Restricted
+
+(** Rooted tier trees.  Tiers are numbered so that every tier's parent
+    has a strictly larger index (topological numbering); the last tier
+    is the root.  Tree edge [k] is the {e uplink} of non-root tier
+    [k], so a chain keeps the historical link numbering (link [k]
+    connects tiers [k] and [k+1]) and tier 0 is always a leaf. *)
+module Topology : sig
+  type t
+
+  val of_parents : int array -> t
+  (** Build from a parent array: [parents.(k)] is the parent tier of
+      [k], [> k] for every non-root tier; the last entry (the root)
+      must be [-1].
+      @raise Invalid_argument otherwise. *)
+
+  val chain : int -> t
+  (** [chain n]: the degenerate [n]-tier chain [0 - 1 - ... - n-1]. *)
+
+  val n_tiers : t -> int
+  val root : t -> int
+  val parent : t -> int -> int  (** [-1] for the root *)
+
+  val parents : t -> int array  (** a fresh copy of the parent array *)
+
+  val children : t -> int -> int list  (** ascending tier order *)
+
+  val is_chain : t -> bool
+
+  val ancestor_or_self : t -> anc:int -> int -> bool
+  (** [ancestor_or_self t ~anc tier]: [anc] is [tier] itself or an
+      ancestor of it — the monotone-descent order data flows along. *)
+
+  val on_root_path : t -> int -> int -> bool
+  (** [on_root_path t e tier]: tree edge [e] lies on [tier]'s path to
+      the root, i.e. [tier] is in the subtree below [e].  For a chain
+      this is [e >= tier]. *)
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
 
 (** An additional per-operator resource (RAM, code storage) consumed
     only by tier-0 residents — §4.2.1's optional rows. *)
@@ -55,14 +102,34 @@ type t = {
       (** the tier-0 problem: graph, placement pins, tier-0 CPU costs,
           edge bandwidths.  The spec's own budgets and objective
           weights are {e not} read — tiers and links carry them. *)
-  tiers : tier array;  (** node-most first, central server last *)
-  links : link array;  (** [links.(k)] connects tiers [k] and [k+1] *)
+  tiers : tier array;  (** node-most first, central server (root) last *)
+  links : link array;
+      (** [links.(k)] is the uplink of non-root tier [k] towards
+          [Topology.parent topology k]; for a chain it connects tiers
+          [k] and [k+1] as it always did *)
+  topology : Topology.t;
+  tier_pins : int option array;
+      (** per original operator: [Some p] forces the operator onto
+          tier [p], overriding its {!Movable} classification *)
 }
 
-val v : spec:Spec.t -> tiers:tier list -> links:link list -> t
+val v :
+  ?topology:Topology.t ->
+  ?pins:(int * int) list ->
+  spec:Spec.t ->
+  tiers:tier list ->
+  links:link list ->
+  unit ->
+  t
 (** Validating constructor: at least two tiers, [links] one shorter
-    than [tiers], every cost array as long as the operator count, and
-    tier 0's costs equal to the spec's.
+    than [tiers] (one uplink per non-root tier), every cost array as
+    long as the operator count, and tier 0's costs equal to the
+    spec's.  [topology] defaults to the chain over the given tiers;
+    when present its tier count must match.  [pins] is a list of
+    [(operator, tier)] pairs; a tier pin overrides the operator's
+    {!Movable} classification (e.g. a sensor source pinned onto a
+    {e different} leaf tier of a tree) and disables supernode
+    contraction in {!solve}.
     @raise Invalid_argument otherwise. *)
 
 val of_spec : Spec.t -> t
@@ -86,6 +153,7 @@ type encoded = {
       (** [General] only: (link, src supernode, dst supernode, e, e')
           crossing-variable pairs; empty for [Restricted] *)
   encoding : encoding;
+  topology : Topology.t;  (** the tier tree the instance was built over *)
 }
 
 val encode :
@@ -115,18 +183,21 @@ val initial_point :
 
 val stats : t -> tier_of:int array -> float array * float array
 (** [(tier_cpu, link_net)] of an assignment: per-tier CPU load and
-    per-link cut bandwidth (an edge loads link [k] when its endpoints
-    lie on opposite sides of the [k]/[k+1] boundary). *)
+    per-link cut bandwidth (an edge loads tree edge [k] when exactly
+    one endpoint lies in the subtree below [k]; for a chain, when its
+    endpoints straddle the [k]/[k+1] boundary). *)
 
 val objective_value : t -> tier_of:int array -> float
 (** [sum_p alpha_p * tier_cpu_p + sum_k beta_k * link_net_k]. *)
 
 val feasible : ?require_monotone:bool -> t -> tier_of:int array -> bool
-(** Pins respected, budgeted tiers and links within their budgets
-    (with the same numeric slack {!Spec.feasible} uses), and — by
-    default — tiers descend monotonically along every edge (the
-    single-crossing restriction, per link).  Pass
-    [~require_monotone:false] for {!General} solutions. *)
+(** Pins (including tier pins) respected, budgeted tiers and links
+    within their budgets (with the same numeric slack {!Spec.feasible}
+    uses), and — by default — every dataflow edge runs rootward: the
+    destination tier is the source tier or one of its ancestors (the
+    single-crossing restriction, per tree edge; [src <= dst] on a
+    chain).  Pass [~require_monotone:false] for {!General}
+    solutions. *)
 
 type report = {
   tier_of : int array;  (** per original operator *)
@@ -154,9 +225,11 @@ val solve :
   ?root_basis:Lp.Basis.t ->
   t ->
   outcome
-(** Contract (under [Restricted]; the dominance argument behind
-    {!Preprocess.contract} needs monotone descent, so [General] solves
-    the uncontracted graph — the PR 2 fuzz finding, preserved here),
+(** Contract (under [Restricted] with no tier pins; the dominance
+    argument behind {!Preprocess.contract} needs monotone descent, so
+    [General] solves the uncontracted graph — the PR 2 fuzz finding,
+    preserved here — and a merged supernode cannot honor a pin on one
+    member only, so tier pins also disable contraction),
     encode, branch & bound, verify the returned assignment against
     {!feasible}, and expand to original operators.  [initial] (a
     per-original-operator tier assignment) seeds the incumbent and

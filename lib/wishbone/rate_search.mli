@@ -77,7 +77,9 @@ val search_placement :
   ?root_basis:Lp.Basis.t ->
   Placement.t ->
   placement_result option
-(** {!search} generalised to an arbitrary tier chain: the same
+(** {!search} generalised to an arbitrary tier topology — any
+    {!Placement.Topology.t} tree, of which a chain is the
+    single-child special case: the same
     bracket-and-bisect loop (and the same defaults) driven through
     {!Placement.solve} via {!Placement.scale_rate}, threading the last
     feasible tier assignment and root basis across steps when

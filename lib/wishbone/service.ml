@@ -151,6 +151,29 @@ let instance_key (pl : Placement.t) =
       add_f buf l.Placement.net_budget;
       add_f buf l.Placement.beta)
     pl.Placement.links;
+  (* tree topologies and per-operator tier pins extend the key; the
+     degenerate chain with no pins keeps its historical bytes, so
+     every pre-topology digest (caches, checkpoints) stays valid *)
+  if
+    (not (Placement.Topology.is_chain pl.Placement.topology))
+    || Array.exists Option.is_some pl.Placement.tier_pins
+  then begin
+    Buffer.add_string buf "|topo";
+    Array.iter
+      (fun p ->
+        Buffer.add_string buf (string_of_int p);
+        Buffer.add_char buf ',')
+      (Placement.Topology.parents pl.Placement.topology);
+    Buffer.add_string buf "|tpins";
+    Array.iter
+      (fun p ->
+        match p with
+        | None -> Buffer.add_char buf '.'
+        | Some tp ->
+            Buffer.add_string buf (string_of_int tp);
+            Buffer.add_char buf ',')
+      pl.Placement.tier_pins
+  end;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let add_tiers buf tier_of =

@@ -51,7 +51,8 @@ let of_spec ?mote_cpu_budget ?micro_cpu_budget ?mote_net_budget
               net_budget = dflt micro_net_budget infinity;
               beta = beta_micro;
             };
-          ];
+          ]
+        ();
   }
 
 let of_profile ?(mode = Movable.Conservative) ?mote_cpu_budget

@@ -392,6 +392,332 @@ let test_steal_eeg () =
   instance "eeg14" ~n_channels:14;
   instance "eeg22" ~n_channels:22
 
+(* ---- hand-checked Y (tree) fixture -------------------------------- *)
+
+(* Two independent sensing branches share the microserver -> root
+   uplink:
+
+        leafA(0)   leafB(1)
+             \      /
+              M(2)
+               |
+             root(3)        parents [|2;2;3;-1|]
+
+   ops   srcA(0) -> a(1) -> sinkA(2)   edge bandwidths 4, 1 B/s
+         srcB(3) -> b(4) -> sinkB(5)   edge bandwidths 4, 2 B/s
+
+   srcA is pinned to leafA by classification, srcB tier-pinned onto
+   leafB, both sinks to the root.  A leaf (budget 0.5) cannot hold
+   src+filter (0.3+0.4); M (budget 0.3) holds at most one filter (0.2
+   each).  Shared-uplink loads of the three candidates (betas 1/1/0.3,
+   alphas 0):
+
+     a=M,    b=root : e2 = 1+4 = 5,  obj 4 + 4 + 0.3*5 = 9.5  <- optimum
+     a=root, b=M    : e2 = 4+2 = 6,  obj 9.8
+     a=root, b=root : e2 = 4+4 = 8,  obj 10.4
+
+   With shared budget 5.5 only the optimum fits.  At 4.9 the tree is
+   infeasible although EACH branch taken alone as a 3-tier chain
+   (shared-link load 1 resp. 2) still fits comfortably: the shared
+   root edge binds, which any per-branch chain relaxation would
+   over-admit. *)
+
+let y_leaf_cpu = [| 0.3; 0.4; 0.; 0.3; 0.4; 0. |]
+
+let y_spec () =
+  let ops =
+    [|
+      mk_op ~side_effect:Op.Sensor_input 0 "srcA";
+      mk_op 1 "a";
+      mk_op ~namespace:Op.Server ~side_effect:Op.Display_output 2 "sinkA";
+      mk_op ~side_effect:Op.Sensor_input 3 "srcB";
+      mk_op 4 "b";
+      mk_op ~namespace:Op.Server ~side_effect:Op.Display_output 5 "sinkB";
+    |]
+  in
+  let g = Graph.make ops [ (0, 1, 0); (1, 2, 0); (3, 4, 0); (4, 5, 0) ] in
+  match Movable.classify Movable.Conservative g with
+  | Error m -> Alcotest.fail m
+  | Ok placement ->
+      {
+        Spec.graph = g;
+        placement;
+        cpu = y_leaf_cpu;
+        bandwidth = [| 4.; 1.; 4.; 2. |];
+        cpu_budget = 0.5;
+        net_budget = 1e9;
+        alpha = 0.;
+        beta = 1.;
+      }
+
+let y_placement ~shared_budget =
+  let leaf tname =
+    { Placement.tname; cpu = y_leaf_cpu; cpu_budget = 0.5; alpha = 0. }
+  in
+  Placement.v
+    ~topology:(Placement.Topology.of_parents [| 2; 2; 3; -1 |])
+    ~pins:[ (3, 1) ] (* srcB onto leafB, overriding its node pin *)
+    ~spec:(y_spec ())
+    ~tiers:
+      [
+        leaf "leafA";
+        leaf "leafB";
+        {
+          Placement.tname = "micro";
+          cpu = [| 0.; 0.2; 0.; 0.; 0.2; 0. |];
+          cpu_budget = 0.3;
+          alpha = 0.;
+        };
+        {
+          Placement.tname = "root";
+          cpu = Array.make 6 0.;
+          cpu_budget = infinity;
+          alpha = 0.;
+        };
+      ]
+    ~links:
+      [
+        { Placement.lname = "leafA-up"; net_budget = infinity; beta = 1. };
+        { Placement.lname = "leafB-up"; net_budget = infinity; beta = 1. };
+        { Placement.lname = "shared-up"; net_budget = shared_budget;
+          beta = 0.3 };
+      ]
+    ()
+
+(* one branch of the Y alone, as the 3-tier chain leaf -> micro -> root
+   over the same budgets and weights *)
+let y_branch_placement ~last_bw ~shared_budget =
+  let ops =
+    [|
+      mk_op ~side_effect:Op.Sensor_input 0 "src";
+      mk_op 1 "f";
+      mk_op ~namespace:Op.Server ~side_effect:Op.Display_output 2 "sink";
+    |]
+  in
+  let g = Graph.make ops [ (0, 1, 0); (1, 2, 0) ] in
+  match Movable.classify Movable.Conservative g with
+  | Error m -> Alcotest.fail m
+  | Ok placement ->
+      let spec =
+        {
+          Spec.graph = g;
+          placement;
+          cpu = [| 0.3; 0.4; 0. |];
+          bandwidth = [| 4.; last_bw |];
+          cpu_budget = 0.5;
+          net_budget = 1e9;
+          alpha = 0.;
+          beta = 1.;
+        }
+      in
+      Placement.v ~spec
+        ~tiers:
+          [
+            { Placement.tname = "leaf"; cpu = [| 0.3; 0.4; 0. |];
+              cpu_budget = 0.5; alpha = 0. };
+            { Placement.tname = "micro"; cpu = [| 0.; 0.2; 0. |];
+              cpu_budget = 0.3; alpha = 0. };
+            { Placement.tname = "root"; cpu = [| 0.; 0.; 0. |];
+              cpu_budget = infinity; alpha = 0. };
+          ]
+        ~links:
+          [
+            { Placement.lname = "leaf-up"; net_budget = infinity; beta = 1. };
+            { Placement.lname = "shared-up"; net_budget = shared_budget;
+              beta = 0.3 };
+          ]
+        ()
+
+let test_y_tree_hand_checked () =
+  let pl = y_placement ~shared_budget:5.5 in
+  (match Placement.solve pl with
+  | Placement.Partitioned r ->
+      Alcotest.(check (list int)) "tiers = srcA@leafA a@M sinkA@root ..."
+        [ 0; 2; 3; 1; 3; 3 ]
+        (Array.to_list r.Placement.tier_of);
+      feq "objective" 9.5 r.Placement.objective;
+      feq "leafA uplink" 4. r.Placement.link_net.(0);
+      feq "leafB uplink" 4. r.Placement.link_net.(1);
+      feq "shared uplink (binding)" 5. r.Placement.link_net.(2);
+      List.iteri
+        (fun p want ->
+          feq (Printf.sprintf "tier %d cpu" p) want r.Placement.tier_cpu.(p))
+        [ 0.3; 0.3; 0.2; 0. ];
+      Alcotest.(check bool) "feasible accepts the optimum" true
+        (Placement.feasible pl ~tier_of:r.Placement.tier_of)
+  | Placement.No_feasible_partition ->
+      Alcotest.fail "Y tree: expected a partition at shared budget 5.5"
+  | Placement.Solver_failure m -> Alcotest.fail m);
+  (* the bidirectional encoding lands on the same optimum *)
+  match Placement.solve ~encoding:Placement.General pl with
+  | Placement.Partitioned r -> feq "general objective" 9.5 r.Placement.objective
+  | _ -> Alcotest.fail "Y tree: general encoding failed"
+
+let test_y_tree_shared_edge_binds () =
+  (match Placement.solve (y_placement ~shared_budget:4.9) with
+  | Placement.No_feasible_partition -> ()
+  | Placement.Partitioned r ->
+      Alcotest.failf "tree at shared budget 4.9 should be infeasible, got %g"
+        r.Placement.objective
+  | Placement.Solver_failure m -> Alcotest.fail m);
+  (* each branch alone still fits the very same shared budget *)
+  List.iter
+    (fun (name, last_bw) ->
+      match Placement.solve (y_branch_placement ~last_bw ~shared_budget:4.9) with
+      | Placement.Partitioned r ->
+          Alcotest.(check (list int))
+            (name ^ " alone stays feasible, filter on the microserver")
+            [ 0; 1; 2 ]
+            (Array.to_list r.Placement.tier_of)
+      | _ -> Alcotest.fail (name ^ ": branch chain should stay feasible"))
+    [ ("branch A", 1.); ("branch B", 2.) ];
+  (* rate search: the shared uplink caps the tree at ~1.1x while either
+     branch alone reaches its CPU-bound 1.5x *)
+  (match Rate_search.search_placement (y_placement ~shared_budget:5.5) with
+  | Some r ->
+      let m = r.Rate_search.placement_multiplier in
+      Alcotest.(check bool)
+        (Printf.sprintf "tree multiplier %.3f within [1.0, 1.12]" m)
+        true
+        (m >= 1.0 && m <= 1.12)
+  | None -> Alcotest.fail "tree rate search found no feasible rate");
+  List.iter
+    (fun (name, last_bw) ->
+      match
+        Rate_search.search_placement
+          (y_branch_placement ~last_bw ~shared_budget:5.5)
+      with
+      | Some r ->
+          let m = r.Rate_search.placement_multiplier in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s multiplier %.3f >= 1.4" name m)
+            true (m >= 1.4)
+      | None -> Alcotest.fail (name ^ ": rate search found no feasible rate"))
+    [ ("branch A", 1.); ("branch B", 2.) ]
+
+(* ---- chain as a degenerate tree ----------------------------------- *)
+
+(* the hand-checked three-tier chain built through an explicit
+   [Topology.of_parents [|1;2;-1|]] must encode the byte-identical ILP
+   and solve to the same partition as the implicit chain constructor *)
+let chain3 ?topology () =
+  let spec = chain_spec () in
+  Placement.v ?topology ~spec
+    ~tiers:
+      [
+        { Placement.tname = "mote"; cpu = spec.Spec.cpu; cpu_budget = 1.0;
+          alpha = 0. };
+        { Placement.tname = "micro"; cpu = [| 0.; 0.1; 0.1; 0. |];
+          cpu_budget = 0.15; alpha = 0. };
+        { Placement.tname = "central"; cpu = Array.make 4 0.;
+          cpu_budget = infinity; alpha = 0. };
+      ]
+    ~links:
+      [
+        { Placement.lname = "radio0"; net_budget = 1e9; beta = 1. };
+        { Placement.lname = "radio1"; net_budget = 1e9; beta = 0.3 };
+      ]
+    ()
+
+let test_chain_tree_byte_identical () =
+  let implicit = chain3 () in
+  let explicit =
+    chain3 ~topology:(Placement.Topology.of_parents [| 1; 2; -1 |]) ()
+  in
+  Alcotest.(check bool) "explicit 3-chain recognised as a chain" true
+    (Placement.Topology.is_chain explicit.Placement.topology);
+  List.iter
+    (fun (label, encoding, contraction) ->
+      let render t =
+        let c = contraction t.Placement.spec in
+        Format.asprintf "%a" Lp.Problem.pp
+          (Placement.encode encoding t c).Placement.problem
+      in
+      Alcotest.(check string) (label ^ ": byte-identical ILP")
+        (render implicit) (render explicit))
+    [
+      ("restricted/contracted", Placement.Restricted, Preprocess.contract);
+      ("restricted/identity", Placement.Restricted, Preprocess.identity);
+      ("general/identity", Placement.General, Preprocess.identity);
+    ];
+  match (Placement.solve implicit, Placement.solve explicit) with
+  | Placement.Partitioned a, Placement.Partitioned b ->
+      Alcotest.(check (list int)) "same tiers"
+        (Array.to_list a.Placement.tier_of)
+        (Array.to_list b.Placement.tier_of);
+      feq "same objective" a.Placement.objective b.Placement.objective;
+      (* and both equal the hand-checked three-tier optimum *)
+      Alcotest.(check (list int)) "the known optimum" [ 0; 0; 1; 2 ]
+        (Array.to_list b.Placement.tier_of);
+      feq "the known objective" 4.6 b.Placement.objective
+  | _ -> Alcotest.fail "chain-vs-tree solve failed"
+
+(* ---- the 20-mote testbed as a routing star ------------------------- *)
+
+let test_testbed_star () =
+  let topo =
+    Placement.Topology.of_parents (Netsim.Testbed.routing_parents ~n_nodes:20)
+  in
+  Alcotest.(check int) "21 tiers" 21 (Placement.Topology.n_tiers topo);
+  Alcotest.(check int) "the basestation is the root" 20
+    (Placement.Topology.root topo);
+  Alcotest.(check bool) "not a chain" false (Placement.Topology.is_chain topo);
+  Alcotest.(check (list int)) "every mote uplinks straight to the root"
+    (List.init 20 Fun.id)
+    (Placement.Topology.children topo 20);
+  (* pinned golden of the canonical rendering (what service digests
+     cover for non-chain instances) *)
+  Alcotest.(check string) "topology golden"
+    "[20;20;20;20;20;20;20;20;20;20;20;20;20;20;20;20;20;20;20;20;-1]"
+    (Format.asprintf "%a" Placement.Topology.pp topo);
+  (* figure 3 deployed on the star: sources sit on mote 0, every other
+     mote idles, so the solve must reproduce the two-tier optimum with
+     the whole cut on mote 0's uplink *)
+  let spec = Apps.Synthetic.fig3_spec ~cpu_budget:4. in
+  let n_ops = Array.length spec.Spec.cpu in
+  let mote k =
+    { Placement.tname = Printf.sprintf "mote%d" k; cpu = spec.Spec.cpu;
+      cpu_budget = spec.Spec.cpu_budget; alpha = spec.Spec.alpha }
+  in
+  let star =
+    Placement.v ~topology:topo ~spec
+      ~tiers:
+        (List.init 21 (fun k ->
+             if k = 20 then
+               { Placement.tname = "base"; cpu = Array.make n_ops 0.;
+                 cpu_budget = infinity; alpha = 0. }
+             else mote k))
+      ~links:
+        (List.init 20 (fun k ->
+             { Placement.lname = Printf.sprintf "radio%d" k;
+               net_budget = spec.Spec.net_budget; beta = spec.Spec.beta }))
+      ()
+  in
+  match (Placement.solve star, Placement.solve (Placement.of_spec spec)) with
+  | Placement.Partitioned s, Placement.Partitioned two ->
+      feq "star objective = two-tier objective" two.Placement.objective
+        s.Placement.objective;
+      feq "mote 0's uplink carries the two-tier cut"
+        two.Placement.link_net.(0) s.Placement.link_net.(0);
+      for k = 1 to 19 do
+        feq (Printf.sprintf "radio%d idle" k) 0. s.Placement.link_net.(k)
+      done;
+      (* fig3 has co-optimal splits, so don't pin the exact assignment:
+         everything must sit on mote 0 or the base, and mapping the
+         star's split back onto the two-tier instance must be feasible
+         at the same objective *)
+      Alcotest.(check bool) "only mote 0 and the base are used" true
+        (Array.for_all (fun t -> t = 0 || t = 20) s.Placement.tier_of);
+      let two_t = Placement.of_spec spec in
+      let mapped =
+        Array.map (fun t -> if t = 0 then 0 else 1) s.Placement.tier_of
+      in
+      Alcotest.(check bool) "mapped split feasible on two tiers" true
+        (Placement.feasible two_t ~tier_of:mapped);
+      feq "mapped split co-optimal on two tiers" two.Placement.objective
+        (Placement.objective_value two_t ~tier_of:mapped)
+  | _ -> Alcotest.fail "testbed star solve failed"
+
 let () =
   Alcotest.run "placement"
     [
@@ -415,6 +741,16 @@ let () =
         [
           Alcotest.test_case "three-tier end-to-end" `Quick
             test_multirun_three_tier_e2e;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "hand-checked Y fixture" `Quick
+            test_y_tree_hand_checked;
+          Alcotest.test_case "shared root edge binds" `Quick
+            test_y_tree_shared_edge_binds;
+          Alcotest.test_case "chain is a degenerate tree" `Quick
+            test_chain_tree_byte_identical;
+          Alcotest.test_case "testbed routing star" `Quick test_testbed_star;
         ] );
       ( "steal",
         [
