@@ -28,6 +28,8 @@ let experiments =
     ("robust", fun () -> Robust_bench.run ());
     ("robust-smoke", fun () -> Robust_bench.smoke ());
     ("tree-smoke", fun () -> Placement_bench.smoke_tree ());
+    ("scale", fun () -> Scale_bench.run ());
+    ("scale-smoke", fun () -> Scale_bench.smoke ());
   ]
 
 let default_order =

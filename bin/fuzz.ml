@@ -1,4 +1,4 @@
-(* Randomized correctness fuzzing: seeded generators + the nine
+(* Randomized correctness fuzzing: seeded generators + the ten
    oracles of lib/check (DESIGN.md §11).  Exit status 0 iff every
    case passed. *)
 
@@ -66,8 +66,9 @@ let oracles =
            cut-enumeration, split-equivalence, degradation, \
            placement-equivalence, service-equivalence, \
            degraded-soundness ($(b,degraded) for short), \
-           tree-equivalence ($(b,tree) for short).  Default: all \
-           nine.")
+           tree-equivalence ($(b,tree) for short), \
+           sched-equivalence ($(b,sched) for short).  Default: all \
+           ten.")
 
 let no_shrink =
   Arg.(

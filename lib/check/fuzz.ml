@@ -8,11 +8,12 @@ type oracle =
   | Service_equivalence
   | Degraded_soundness
   | Tree_equivalence
+  | Sched_equivalence
 
 let all_oracles =
   [ Lp_certificate; Ilp_brute; Cut_enumeration; Split_equivalence;
     Degradation; Placement_equivalence; Service_equivalence;
-    Degraded_soundness; Tree_equivalence ]
+    Degraded_soundness; Tree_equivalence; Sched_equivalence ]
 
 let oracle_name = function
   | Lp_certificate -> "lp-certificate"
@@ -24,14 +25,17 @@ let oracle_name = function
   | Service_equivalence -> "service-equivalence"
   | Degraded_soundness -> "degraded-soundness"
   | Tree_equivalence -> "tree-equivalence"
+  | Sched_equivalence -> "sched-equivalence"
 
 let oracle_of_name s =
   let s = String.lowercase_ascii (String.trim s) in
-  (* "placement", "service", "degraded" and "tree" are short aliases *)
+  (* "placement", "service", "degraded", "tree" and "sched" are short
+     aliases *)
   if s = "placement" then Some Placement_equivalence
   else if s = "service" then Some Service_equivalence
   else if s = "degraded" then Some Degraded_soundness
   else if s = "tree" then Some Tree_equivalence
+  else if s = "sched" then Some Sched_equivalence
   else List.find_opt (fun o -> oracle_name o = s) all_oracles
 
 let oracle_index = function
@@ -44,6 +48,7 @@ let oracle_index = function
   | Service_equivalence -> 6
   | Degraded_soundness -> 7
   | Tree_equivalence -> 8
+  | Sched_equivalence -> 9
 
 type config = {
   seed : int;
@@ -255,6 +260,16 @@ let run_case cfg oracle ~case =
             if cfg.shrink then Shrink.spec (safe_fails check) s else s
           in
           mk (remsg check small msg) (pp_spec small))
+  | Sched_equivalence -> (
+      (* the testbed instance (fleet, faults, transport, cells) is
+         drawn inside the oracle from the check stream, so the whole
+         case re-derives from the case seed; there is no structure to
+         shrink *)
+      ignore gen_rng;
+      match Oracle.sched_equivalence (chk ()) with
+      | Oracle.Pass -> None
+      | Oracle.Fail msg ->
+          mk msg "(testbed instance re-derived from the case seed)")
 
 let null_formatter =
   Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())

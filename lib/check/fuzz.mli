@@ -32,6 +32,12 @@ type oracle =
           over random tier trees, and a chain expressed as a
           degenerate tree encodes the byte-identical ILP ("tree" is a
           CLI alias) *)
+  | Sched_equivalence
+      (** the timing-wheel event scheduler walks the identical event
+          trace and lands on the bit-identical testbed result as the
+          historical binary heap, across schedulers, cell
+          decompositions and simulation-domain counts ("sched" is a
+          CLI alias) *)
 
 val all_oracles : oracle list
 val oracle_name : oracle -> string

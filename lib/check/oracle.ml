@@ -1228,3 +1228,174 @@ let split_equivalence rng (spec : Wishbone.Spec.t) =
         | Error msg -> Fail msg)
   in
   run cuts
+
+(* ---- oracle 10: scheduler equivalence on the simulated testbed ---- *)
+
+let testbed_result_mismatch (a : Netsim.Testbed.result)
+    (b : Netsim.Testbed.result) =
+  let ints =
+    [
+      ("inputs_offered", a.inputs_offered, b.inputs_offered);
+      ("inputs_processed", a.inputs_processed, b.inputs_processed);
+      ("msgs_sent", a.msgs_sent, b.msgs_sent);
+      ("msgs_received", a.msgs_received, b.msgs_received);
+      ("packets_sent", a.packets_sent, b.packets_sent);
+      ("packets_lost_collision", a.packets_lost_collision,
+       b.packets_lost_collision);
+      ("packets_lost_channel", a.packets_lost_channel,
+       b.packets_lost_channel);
+      ("packets_lost_queue", a.packets_lost_queue, b.packets_lost_queue);
+      ("sink_outputs", a.sink_outputs, b.sink_outputs);
+      ("msgs_duplicate", a.msgs_duplicate, b.msgs_duplicate);
+      ("msgs_expired", a.msgs_expired, b.msgs_expired);
+      ("msgs_pending", a.msgs_pending, b.msgs_pending);
+      ("retransmissions", a.retransmissions, b.retransmissions);
+      ("acks_sent", a.acks_sent, b.acks_sent);
+      ("acks_lost", a.acks_lost, b.acks_lost);
+      ("crashes", a.crashes, b.crashes);
+      ("inputs_lost_down", a.inputs_lost_down, b.inputs_lost_down);
+      ("events_processed", a.events_processed, b.events_processed);
+      ("edge_rows", Array.length a.edge_bytes_per_sec,
+       Array.length b.edge_bytes_per_sec);
+    ]
+  in
+  let floats =
+    [
+      ("input_fraction", a.input_fraction, b.input_fraction);
+      ("msg_fraction", a.msg_fraction, b.msg_fraction);
+      ("goodput_fraction", a.goodput_fraction, b.goodput_fraction);
+      ("node_busy_fraction", a.node_busy_fraction, b.node_busy_fraction);
+      ("offered_bytes_per_sec", a.offered_bytes_per_sec,
+       b.offered_bytes_per_sec);
+    ]
+  in
+  let bad_int =
+    List.find_opt (fun (_, x, y) -> x <> y) ints
+  in
+  match bad_int with
+  | Some (name, x, y) -> Some (Printf.sprintf "%s: %d vs %d" name x y)
+  | None -> (
+      let differs x y =
+        not (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+      in
+      match List.find_opt (fun (_, x, y) -> differs x y) floats with
+      | Some (name, x, y) ->
+          Some (Printf.sprintf "%s: %.17g vs %.17g" name x y)
+      | None ->
+          let n = Array.length a.edge_bytes_per_sec in
+          let rec scan i =
+            if i >= n then None
+            else if differs a.edge_bytes_per_sec.(i) b.edge_bytes_per_sec.(i)
+            then
+              Some
+                (Printf.sprintf "edge_bytes_per_sec.(%d): %.17g vs %.17g" i
+                   a.edge_bytes_per_sec.(i) b.edge_bytes_per_sec.(i))
+            else scan (i + 1)
+          in
+          scan 0)
+
+let sched_equivalence rng =
+  (* a random small fleet: both schedulers must walk the identical
+     event sequence (trace digest over the [?probe] hook) and land on
+     the identical result, and the cell decomposition must be
+     invariant under the domain count *)
+  let n_nodes = 2 + Prng.int rng 11 in
+  let rate = Prng.uniform rng 0.5 8. in
+  let payload = 8 + (2 * Prng.int rng 56) in
+  let duration = Prng.uniform rng 2. 8. in
+  let seed = Prng.int rng 1_000_000 in
+  let faults =
+    if Prng.bool rng 0.5 then
+      {
+        Netsim.Faults.crash_rate =
+          (if Prng.bool rng 0.5 then Prng.uniform rng 0.005 0.05 else 0.);
+        reboot_s = Prng.uniform rng 0.5 3.;
+        burst =
+          (if Prng.bool rng 0.7 then
+             Some (Netsim.Faults.burst_of_loss (Prng.uniform rng 0.05 0.3))
+           else None);
+        clock_drift =
+          (if Prng.bool rng 0.5 then Prng.uniform rng 0. 100e-6 else 0.);
+      }
+    else Netsim.Faults.none
+  in
+  let reliable = Prng.bool rng 0.5 in
+  let transport =
+    if reliable then Netsim.Transport.default_reliable ()
+    else Netsim.Transport.Unreliable
+  in
+  let b = Builder.create () in
+  let src = Builder.in_node b (fun () -> Builder.source b ~name:"probe" ()) in
+  Builder.sink b ~name:"collect" src;
+  let graph = Builder.build b and src = Builder.op_id src in
+  let payload_arr = Array.make (Int.max 1 ((payload - 2) / 2)) 0 in
+  let sources =
+    [
+      {
+        Netsim.Testbed.source = src;
+        rate;
+        gen = (fun ~node:_ ~seq:_ -> Value.Int16_arr payload_arr);
+      };
+    ]
+  in
+  let go ?probe ?cells ?(domains = 1) sched =
+    let config =
+      Netsim.Testbed.default_config ~n_nodes ~duration ~seed ~faults
+        ~transport ~sched ?cells ~domains
+        ~platform:Profiler.Platform.tmote_sky ~link:Netsim.Link.cc2420 ()
+    in
+    Netsim.Testbed.run ?probe config ~graph
+      ~node_of:(fun i -> i = src)
+      ~sources
+  in
+  let digest_run sched =
+    let dg = ref 0x9E3779B97F4A7C1 in
+    let probe t ev =
+      let tb = Int64.to_int (Int64.bits_of_float t) land max_int in
+      dg := (((!dg * 0x100000001B3) lxor tb) * 0x100000001B3) lxor ev
+    in
+    let r = go ~probe sched in
+    (!dg, r)
+  in
+  let dh, rh = digest_run Netsim.Sched.Heap in
+  let dw, rw = digest_run Netsim.Sched.Wheel in
+  if rh.Netsim.Testbed.events_processed <= 0 then
+    failf "sched-equivalence: vacuous case, no events processed"
+  else if dh <> dw then
+    failf
+      "sched-equivalence: heap and wheel event traces diverge (digest %x vs \
+       %x; %d vs %d events)"
+      dh dw rh.Netsim.Testbed.events_processed
+      rw.Netsim.Testbed.events_processed
+  else
+    match testbed_result_mismatch rh rw with
+    | Some msg -> failf "sched-equivalence: heap vs wheel result: %s" msg
+    | None ->
+        if
+          reliable
+          && rh.Netsim.Testbed.msgs_sent
+             <> rh.Netsim.Testbed.msgs_received
+                + rh.Netsim.Testbed.msgs_expired
+                + rh.Netsim.Testbed.msgs_pending
+        then
+          failf
+            "sched-equivalence: reliable conservation broken: %d sent <> %d \
+             received + %d expired + %d pending"
+            rh.Netsim.Testbed.msgs_sent rh.Netsim.Testbed.msgs_received
+            rh.Netsim.Testbed.msgs_expired rh.Netsim.Testbed.msgs_pending
+        else begin
+          let cell_size = 1 + Prng.int rng 4 in
+          let cells = Array.init n_nodes (fun i -> i / cell_size) in
+          let c1 = go ~cells Netsim.Sched.Wheel in
+          let c2 = go ~cells ~domains:2 Netsim.Sched.Wheel in
+          let ch = go ~cells ~domains:2 Netsim.Sched.Heap in
+          match testbed_result_mismatch c1 c2 with
+          | Some msg ->
+              failf "sched-equivalence: wheel domains 1 vs 2: %s" msg
+          | None -> (
+              match testbed_result_mismatch c1 ch with
+              | Some msg ->
+                  failf
+                    "sched-equivalence: multi-cell wheel vs heap: %s" msg
+              | None -> Pass)
+        end

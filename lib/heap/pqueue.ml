@@ -4,7 +4,9 @@ type 'a t = {
   mutable size : int;
 }
 
-let create () = { keys = Array.make 16 0.; data = Array.make 16 None; size = 0 }
+let create ?(capacity = 16) () =
+  let capacity = Int.max 1 capacity in
+  { keys = Array.make capacity 0.; data = Array.make capacity None; size = 0 }
 
 let is_empty q = q.size = 0
 let length q = q.size

@@ -1,0 +1,117 @@
+(* Open-addressing int->int table, linear probing with tombstones.
+   Slot states in [keys]: -1 empty, -2 tombstone, >= 0 live key. *)
+
+type t = {
+  mutable keys : int array;
+  mutable vals : int array;
+  mutable live : int;  (* live bindings *)
+  mutable used : int;  (* live + tombstones *)
+}
+
+let empty_slot = -1
+let tombstone = -2
+
+let rec pow2 n c = if c >= n then c else pow2 n (2 * c)
+
+let create ?(capacity = 16) () =
+  let cap = pow2 (Int.max 8 capacity) 8 in
+  { keys = Array.make cap empty_slot; vals = Array.make cap 0; live = 0; used = 0 }
+
+let length t = t.live
+
+(* Fibonacci-style multiplicative hash; keys are full 62-bit packs so
+   the low bits alone are not well distributed. *)
+let hash k m = (k * 0x2545F4914F6CDD1D) land max_int land (m - 1)
+
+let rec probe_find keys m k i =
+  let ki = keys.(i) in
+  if ki = k then i
+  else if ki = empty_slot then -1
+  else probe_find keys m k ((i + 1) land (m - 1))
+
+let find_slot t k =
+  let m = Array.length t.keys in
+  probe_find t.keys m k (hash k m)
+
+let get t k =
+  let i = find_slot t k in
+  if i < 0 then -1 else t.vals.(i)
+
+let mem t k = find_slot t k >= 0
+
+(* The probe must run to the key or an empty slot before reusing a
+   tombstone: stopping at the first tombstone would duplicate a key
+   that lives further down its chain, and the stale copy would
+   resurface after a remove. *)
+let insert keys vals m k v start =
+  let rec go i free =
+    let ki = keys.(i) in
+    if ki = k then begin
+      vals.(i) <- v;
+      `Replaced
+    end
+    else if ki = empty_slot then begin
+      match free with
+      | Some f ->
+          keys.(f) <- k;
+          vals.(f) <- v;
+          `Reused
+      | None ->
+          keys.(i) <- k;
+          vals.(i) <- v;
+          `Fresh
+    end
+    else if ki = tombstone then
+      go ((i + 1) land (m - 1)) (match free with None -> Some i | _ -> free)
+    else go ((i + 1) land (m - 1)) free
+  in
+  go start None
+
+let rehash t cap =
+  let keys = Array.make cap empty_slot in
+  let vals = Array.make cap 0 in
+  let old = t.keys and oldv = t.vals in
+  for i = 0 to Array.length old - 1 do
+    let k = old.(i) in
+    if k >= 0 then ignore (insert keys vals cap k oldv.(i) (hash k cap))
+  done;
+  t.keys <- keys;
+  t.vals <- vals;
+  t.used <- t.live
+
+let set t k v =
+  if k < 0 then invalid_arg "Itbl.set: negative key";
+  if v < 0 then invalid_arg "Itbl.set: negative value";
+  let m = Array.length t.keys in
+  if 4 * (t.used + 1) > 3 * m then
+    rehash t (if 2 * t.live >= m then 2 * m else m);
+  let m = Array.length t.keys in
+  match insert t.keys t.vals m k v (hash k m) with
+  | `Replaced -> ()
+  | `Reused -> t.live <- t.live + 1
+  | `Fresh ->
+      t.live <- t.live + 1;
+      t.used <- t.used + 1
+
+let remove t k =
+  let i = find_slot t k in
+  if i >= 0 then begin
+    t.keys.(i) <- tombstone;
+    t.live <- t.live - 1
+  end
+
+let clear t =
+  Array.fill t.keys 0 (Array.length t.keys) empty_slot;
+  t.live <- 0;
+  t.used <- 0
+
+let iter f t =
+  let keys = t.keys in
+  for i = 0 to Array.length keys - 1 do
+    if keys.(i) >= 0 then f keys.(i) t.vals.(i)
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun k v -> acc := f k v !acc) t;
+  !acc

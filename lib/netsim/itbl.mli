@@ -1,0 +1,41 @@
+(** Flat open-addressing hash table from non-negative ints to
+    non-negative ints.
+
+    Replaces the tuple-keyed [Hashtbl]s on the testbed hot path:
+    callers pack [(node, mid, attempt)] triples into a single
+    non-negative int key, and values are either small counters or slot
+    indices into preallocated pools — so lookups allocate nothing and
+    never box.
+
+    Linear probing with tombstones; the table rehashes at ~3/4 load.
+    Absence is signalled in-band: {!get} returns [-1], which is safe
+    because every stored value is [>= 0]. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is rounded up to a power of two (default 16). *)
+
+val length : t -> int
+(** Number of live bindings. *)
+
+val get : t -> int -> int
+(** [get t k] is the value bound to [k], or [-1] when absent. *)
+
+val mem : t -> int -> bool
+
+val set : t -> int -> int -> unit
+(** [set t k v] binds [k] to [v], replacing any previous binding.
+    @raise Invalid_argument when [k < 0] or [v < 0]. *)
+
+val remove : t -> int -> unit
+(** No-op when [k] is absent. *)
+
+val clear : t -> unit
+(** Drops all bindings, keeping the allocated capacity. *)
+
+val iter : (int -> int -> unit) -> t -> unit
+(** Iterates live bindings in unspecified order.  The callback must
+    not mutate the table. *)
+
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a

@@ -1,6 +1,6 @@
 (** Discrete-event simulation of a deployed, partitioned program on a
     single-hop wireless testbed (the reproduction of §7.3's 20-TMote
-    deployment).
+    deployment), scalable to synthetic fleets of 10^5 nodes.
 
     Per node: sensor windows arrive periodically; if the CPU is still
     busy with an earlier traversal (beyond one buffered window) the
@@ -24,12 +24,39 @@
     identical to the pre-fault-injection testbed, so existing seeds
     reproduce bit-identical results.
 
+    {2 Scale-out}
+
+    Three independent knobs rebuild the hot path for large fleets
+    without moving any small-N result:
+
+    - {!config.sched} picks the event scheduler: the historical
+      binary heap ([Sched.Heap], the default — goldens cannot move
+      silently) or the O(1) timing wheel ([Sched.Wheel]).  Both pop
+      the same event sequence (ties are measure-zero; the
+      [sched-equivalence] fuzz oracle enforces trace identity).
+    - {!config.cells} partitions nodes into disjoint {e collision
+      domains} (radio cells): nodes contend only within their cell,
+      each cell draws from its own derived PRNG streams
+      ([derive seed [2; cell(; k)]]), and the server half fires over
+      the deterministically merged delivery log.  [None] (default) is
+      the single shared channel of the paper's testbed with the
+      historical stream layout.
+    - {!config.domains} simulates cells in parallel on that many
+      {!Domain}s.  Cells are joined in cell-index order, so the
+      result is a pure function of the cell decomposition: domains
+      1, 2 and 4 return identical results, bit for bit.  Under
+      [domains > 1] every [source_spec.gen] closure (and any [?probe]
+      callback passed to {!run}) must be thread-safe.
+
     Seed derivation: the config [seed] drives the primary
     channel/CSMA stream directly ([Prng.create seed]); fault
     processes use [Prng.derive seed [1; k]] with [k = 0] for clock
     drift, [k = 1] for the crash schedule and [k = 2] for the burst
     channel, so enabling one fault class never perturbs another's
-    schedule. *)
+    schedule.  Multi-cell runs give cell [c] the primary stream
+    [derive seed [2; c]] and fault streams [derive seed [2; c; k]],
+    making each cell's draws independent of the number of cells
+    around it. *)
 
 type source_spec = {
   source : int;  (** source operator id *)
@@ -52,13 +79,20 @@ type config = {
       (** multiplier on traversal compute time for OS/task overheads *)
   faults : Faults.t;  (** injected failure processes *)
   transport : Transport.policy;  (** end-to-end reliability *)
+  sched : Sched.kind;  (** event scheduler; [Heap] is the legacy default *)
+  cells : int array option;
+      (** [cells.(node)] = collision-domain id (dense, every cell
+          nonempty); [None] = one shared channel (the paper's testbed) *)
+  domains : int;  (** parallel simulation domains (>= 1) *)
 }
 
 val default_config :
   ?n_nodes:int -> ?duration:float -> ?seed:int ->
   ?faults:Faults.t -> ?transport:Transport.policy ->
+  ?sched:Sched.kind -> ?cells:int array -> ?domains:int ->
   platform:Profiler.Platform.t -> link:Link.t -> unit -> config
-(** Defaults: no faults, unreliable transport. *)
+(** Defaults: no faults, unreliable transport, heap scheduler, one
+    shared collision domain, one simulation domain. *)
 
 type result = {
   inputs_offered : int;
@@ -98,13 +132,25 @@ type result = {
           both halves — the {e observed} edge rates the adaptive
           controller feeds back into the partitioner, as opposed to
           the profiled rates the static plan was built from *)
+  events_processed : int;
+      (** discrete events handled inside the horizon, summed over
+          cells — the numerator of the bench's events/sec *)
 }
 
 val run :
+  ?probe:(float -> int -> unit) ->
   config -> graph:Dataflow.Graph.t -> node_of:(int -> bool) ->
   sources:source_spec list -> result
 (** Simulate the given partition.  [node_of] must place every source
     operator on the node.
+
+    [probe] observes every handled event as [(time, packed_event)]
+    before its handler runs — the hook the [sched-equivalence] oracle
+    digests traces with.  The packing is internal (stable within a
+    run: equal inputs give equal packings), node indices in it are
+    cell-local, and under [domains > 1] the callback fires
+    concurrently from worker domains, so callers either synchronize
+    or probe single-domain runs only.
 
     Under reliable transport every message ends in exactly one of
     [msgs_received], [msgs_expired] or [msgs_pending]:
@@ -116,3 +162,33 @@ val routing_parents : n_nodes:int -> int array
     directly to the basestation, the last entry (parent [-1]).
     Suitable for [Placement.Topology.of_parents].
     @raise Invalid_argument when [n_nodes < 1]. *)
+
+(** {2 Synthetic fleets} *)
+
+type fleet = {
+  graph : Dataflow.Graph.t;  (** probe program: node source → server sink *)
+  source_op : int;
+  sources : source_spec list;
+  cells : int array;  (** radio cell per node, [cell_size] nodes each *)
+  parents : int array;
+      (** routing tree over cells, basestation root last (parent
+          [-1]); [parents.(k) > k], suitable for
+          [Placement.Topology.of_parents] *)
+}
+
+val synthetic :
+  nodes:int -> seed:int -> ?cell_size:int -> ?rate:float ->
+  ?payload_bytes:int -> ?shape:[ `Star | `Dary of int | `Random ] ->
+  unit -> fleet
+(** A generated fleet for scale testing: [nodes] motes grouped into
+    radio cells of [cell_size] (default 16), each running the
+    two-operator probe program at [rate] windows/s (default 2) with
+    [payload_bytes] windows (default 110).  [shape] arranges the
+    cells into a routing tree: a depth-one [`Star] (every cell under
+    the basestation), a regular [`Dary d] tree (default [`Dary 4]),
+    or a seeded [`Random] tree ([Prng.derive seed [3]]).  The shape
+    is placement-layer metadata ({!fleet.parents}); radio contention
+    is always within-cell.  The shared [gen] payload is immutable, so
+    the fleet is safe under [domains > 1].
+    @raise Invalid_argument when [nodes < 1], [cell_size < 1] or a
+    tree arity is [< 1]. *)
